@@ -1,0 +1,150 @@
+// E8 — ablations over the design constants the paper fixes.
+//
+//   (a) coin barrier b: larger b lowers per-round disagreement (fewer
+//       rounds) but each coin walk costs O((b+1)²n²) steps — the total
+//       work curve exposes the trade-off; the paper's b is a small
+//       constant on the flat part.
+//   (b) counter bound m: the bounded coin's only new failure mode.
+//       Shrinking m below the walk's natural excursion range injects
+//       deterministic-heads overflows; the experiment shows consensus
+//       stays CORRECT for every m (safety never depends on m) while
+//       extra disagreement/rounds appear only at absurdly small m.
+//   (c) strip constant K: K=2 suffices (the paper's choice); larger K
+//       keeps more coin history per register for no round-count benefit
+//       — pure register-size cost.
+//   (d) arrow substrate: native 2W2R vs Bloom construction — constant
+//       step-factor, identical behavior.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "experiment_common.hpp"
+
+namespace bprc::bench {
+namespace {
+
+struct Cell {
+  double rounds_mean = 0;
+  double steps_mean = 0;
+  double steps_p95 = 0;
+};
+
+Cell measure(ProtocolFactory factory, int n, const std::string& adv,
+             std::uint64_t trials, std::uint64_t salt) {
+  Samples rounds;
+  Samples steps;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const auto res =
+        run_consensus_sim(factory, split_inputs(n),
+                          make_adversary(adv, seed * 17 + salt), seed,
+                          kRunBudget);
+    BPRC_REQUIRE(res.ok(), "ablation run failed");
+    rounds.add(static_cast<double>(res.max_round));
+    steps.add(static_cast<double>(res.total_steps));
+  }
+  return {rounds.mean(), steps.mean(), steps.quantile(0.95)};
+}
+
+void ablate_b() {
+  const std::uint64_t trials = scaled_trials(25);
+  const int n = 4;
+  print_banner("E8a", "Coin barrier b: rounds vs per-round walk cost");
+  Table t({"b", "rounds mean", "steps mean", "steps p95"});
+  for (const int b : {2, 4, 8, 16}) {
+    const auto c = measure(bprc_factory(n, 2, b), n, "coin-bias", trials,
+                           static_cast<std::uint64_t>(b));
+    t.add_row({Table::num(b), Table::num(c.rounds_mean, 2),
+               Table::num(c.steps_mean, 0), Table::num(c.steps_p95, 0)});
+  }
+  t.print();
+  std::printf(
+      "\nRounds fall slowly with b (disagreement <= 1/b is already small);\n"
+      "per-coin cost rises as (b+1)^2 — small constant b wins, as chosen\n"
+      "by the paper.\n");
+}
+
+void ablate_m() {
+  const std::uint64_t trials = scaled_trials(25);
+  const int n = 4;
+  print_banner("E8b", "Counter bound m: safety never at stake");
+  Table t({"m", "rounds mean", "steps mean", "all runs consistent"});
+  BPRCParams base = BPRCParams::standard(n, 2, 4);
+  for (const std::int64_t m : std::vector<std::int64_t>{1, 8, 64, base.coin.m}) {
+    BPRCParams params = base;
+    params.coin.m = m;
+    bool all_ok = true;
+    Samples rounds;
+    Samples steps;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      const auto res = run_consensus_sim(
+          bprc_factory_params(params), split_inputs(n),
+          make_adversary("coin-bias", seed * 29 + 1), seed, kRunBudget);
+      all_ok = all_ok && res.ok();
+      rounds.add(static_cast<double>(res.max_round));
+      steps.add(static_cast<double>(res.total_steps));
+    }
+    t.add_row({Table::num(m), Table::num(rounds.mean(), 2),
+               Table::num(steps.mean(), 0), all_ok ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf(
+      "\nEven m=1 (counters useless, constant overflow-heads) stays\n"
+      "consistent and valid — the overflow rule only biases the coin;\n"
+      "the m = Theta(n^2) choice restores the agreement probability.\n");
+}
+
+void ablate_k() {
+  const std::uint64_t trials = scaled_trials(25);
+  const int n = 4;
+  print_banner("E8c", "Strip constant K: 2 suffices");
+  Table t({"K", "rounds mean", "steps mean", "register coin slots (n*(K+1))"});
+  for (const int K : {2, 3, 4, 6}) {
+    const auto c = measure(bprc_factory(n, K, 4), n, "leader-suppress",
+                           trials, static_cast<std::uint64_t>(K));
+    t.add_row({Table::num(K), Table::num(c.rounds_mean, 2),
+               Table::num(c.steps_mean, 0), Table::num(n * (K + 1))});
+  }
+  t.print();
+}
+
+void ablate_arrows() {
+  const int n = 4;
+  print_banner("E8d", "Arrow substrate: native 2W2R vs Bloom construction");
+  std::printf(
+      "Unanimous inputs: the execution path is coin-free and fixed, so the\n"
+      "step ratio is exactly the constructed registers' per-op overhead\n"
+      "(arrow write 1 -> 2 steps, arrow read 1 -> 3 steps).\n\n");
+  auto run_once = [n](BPRCConsensus::ArrowImpl arrows) {
+    const auto res = run_consensus_sim(
+        [n, arrows](Runtime& rt) {
+          return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n),
+                                                 arrows);
+        },
+        std::vector<int>(static_cast<std::size_t>(n), 1),
+        make_adversary("round-robin", 1), 1, kRunBudget);
+    BPRC_REQUIRE(res.ok(), "arrow ablation run failed");
+    return res;
+  };
+  const auto native = run_once(BPRCConsensus::ArrowImpl::kNative);
+  const auto bloom = run_once(BPRCConsensus::ArrowImpl::kBloom);
+  Table t({"arrows", "rounds", "total steps", "step factor"});
+  t.add_row({"native", Table::num(native.max_round),
+             Table::num(native.total_steps), "1.00"});
+  t.add_row({"bloom-2w2r", Table::num(bloom.max_round),
+             Table::num(bloom.total_steps),
+             Table::num(static_cast<double>(bloom.total_steps) /
+                            static_cast<double>(native.total_steps),
+                        2)});
+  t.print();
+}
+
+}  // namespace
+}  // namespace bprc::bench
+
+int main() {
+  bprc::bench::ablate_b();
+  bprc::bench::ablate_m();
+  bprc::bench::ablate_k();
+  bprc::bench::ablate_arrows();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E5 — the headline theorem (§6.3): BPRC decides in a CONSTANT expected
+// number of rounds against every adversary, for a polynomial expected
+// total number of primitive steps.
+//
+// The table sweeps n × adversary and reports the rounds-to-decide
+// distribution (mean / p50 / p95 / max) and total primitive steps; the
+// footer fits total steps against n³ (scan O(n) × coin walk O(n²) per
+// round × O(1) rounds).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "experiment_common.hpp"
+
+namespace bprc::bench {
+namespace {
+
+void run() {
+  const std::uint64_t trials = scaled_trials(30);
+  print_banner("E5",
+               "BPRC: constant expected rounds, polynomial expected steps");
+  std::printf(
+      "split inputs (0,1,0,1,...), %llu runs per cell, K=2, b=4.\n"
+      "rounds = local round at which the last decider decided.\n\n",
+      static_cast<unsigned long long>(trials));
+
+  Table t({"n", "adversary", "rounds mean", "p50", "p95", "max",
+           "steps mean", "steps p95"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const int n : {2, 4, 6, 8}) {
+    for (const std::string adv :
+         {"random", "lockstep", "leader-suppress", "coin-bias"}) {
+      Samples rounds;
+      Samples steps;
+      for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        const auto res = run_consensus_sim(
+            bprc_factory(n), split_inputs(n),
+            make_adversary(adv, seed * 977 + 5), seed, kRunBudget);
+        BPRC_REQUIRE(res.ok(), "consensus run failed");
+        rounds.add(static_cast<double>(res.max_round));
+        steps.add(static_cast<double>(res.total_steps));
+      }
+      t.add_row({Table::num(n), adv, Table::num(rounds.mean(), 2),
+                 Table::num(rounds.quantile(0.5), 1),
+                 Table::num(rounds.quantile(0.95), 1),
+                 Table::num(rounds.max(), 0), Table::num(steps.mean(), 0),
+                 Table::num(steps.quantile(0.95), 0)});
+      if (adv == "coin-bias") {
+        xs.push_back(n);
+        ys.push_back(steps.mean());
+      }
+    }
+  }
+  t.print();
+  // Measured growth order: least-squares slope of log(steps) vs log(n)
+  // over the coin-bias column.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double m = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  std::printf(
+      "\nmeasured growth order (coin-bias column): steps ~ n^%.2f —\n"
+      "polynomial, as the paper proves (scan O(n) x walk O(n^2) per\n"
+      "contested round x O(1) rounds predicts ~n^3); rounds stay O(1)\n"
+      "across n AND adversaries (compare the rounds columns down the table).\n",
+      slope);
+}
+
+}  // namespace
+}  // namespace bprc::bench
+
+int main() {
+  bprc::bench::run();
+  return 0;
+}

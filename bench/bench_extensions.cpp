@@ -1,0 +1,124 @@
+// E10 — cost characterization of the extension layers built on BPRC
+// (not part of the paper's evaluation; these quantify what §1's promised
+// applications cost when realized on the paper's algorithm).
+//
+//   (a) multi-valued consensus: cost vs value-domain width — the bit-wise
+//       transform is linear in value_bits, with unanimous-bit instances
+//       (the common case after the first disagreement resolves) far
+//       cheaper than contested ones;
+//   (b) universal log (fetch&cons): per-append cost vs n, with the
+//       helping discipline keeping slot consumption ≤ n per append;
+//   (c) sticky bits: one consensus + one publication.
+#include <cstdio>
+#include <memory>
+
+#include "consensus/multivalue.hpp"
+#include "core/sticky.hpp"
+#include "core/universal.hpp"
+#include "experiment_common.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bprc::bench {
+namespace {
+
+void multivalue_cost() {
+  const std::uint64_t trials = scaled_trials(10);
+  print_banner("E10a", "Multi-valued consensus: steps vs value width");
+  std::printf(
+      "n=4, distinct inputs spread over the domain, random adversary,\n"
+      "%llu runs per width.\n\n",
+      static_cast<unsigned long long>(trials));
+  Table t({"value bits", "mean steps", "steps per bit"});
+  for (const int bits : {4, 8, 16, 32}) {
+    RunningStat steps;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      const int n = 4;
+      SimRuntime rt(n, std::make_unique<RandomAdversary>(seed * 3 + 1),
+                    seed);
+      MultiValueConsensus mv(rt, bits, bprc_factory(n));
+      Rng rng(seed + 42);
+      for (ProcId p = 0; p < n; ++p) {
+        const std::uint64_t input =
+            rng.below(std::uint64_t{1} << bits);
+        rt.spawn(p, [&mv, input] { mv.propose(input); });
+      }
+      const RunResult res = rt.run(kRunBudget);
+      BPRC_REQUIRE(res.reason == RunResult::Reason::kAllDone,
+                   "multivalue run failed");
+      steps.add(static_cast<double>(res.steps));
+    }
+    t.add_row({Table::num(bits), Table::num(steps.mean(), 0),
+               Table::num(steps.mean() / bits, 0)});
+  }
+  t.print();
+}
+
+void universal_cost() {
+  const std::uint64_t trials = scaled_trials(5);
+  print_banner("E10b", "Universal log (fetch&cons): per-append cost vs n");
+  std::printf("2 appends per process, BPRC underneath, %llu runs per n.\n\n",
+              static_cast<unsigned long long>(trials));
+  Table t({"n", "mean steps per append", "slots used / commands"});
+  for (const int n : {2, 3, 4}) {
+    RunningStat per_append;
+    RunningStat slot_ratio;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      SimRuntime rt(n, std::make_unique<RandomAdversary>(seed * 5 + 2),
+                    seed);
+      UniversalLog log(rt, 3 * n, bprc_factory(n));
+      for (ProcId p = 0; p < n; ++p) {
+        rt.spawn(p, [&log, p] {
+          log.append(static_cast<std::uint32_t>(p + 1));
+          log.append(static_cast<std::uint32_t>(p + 100));
+        });
+      }
+      const RunResult res = rt.run(kRunBudget);
+      BPRC_REQUIRE(res.reason == RunResult::Reason::kAllDone,
+                   "universal run failed");
+      const double commands = 2.0 * n;
+      per_append.add(static_cast<double>(res.steps) / commands);
+      int used = 0;
+      while (used < log.capacity() && log.decided(used).has_value()) ++used;
+      slot_ratio.add(static_cast<double>(used) / commands);
+    }
+    t.add_row({Table::num(n), Table::num(per_append.mean(), 0),
+               Table::num(slot_ratio.mean(), 2)});
+  }
+  t.print();
+  std::printf(
+      "\n(slot ratio near 1.0 = helping wastes almost no slots on duplicate\n"
+      "or no-op wins.)\n");
+}
+
+void sticky_cost() {
+  const std::uint64_t trials = scaled_trials(15);
+  print_banner("E10c", "Sticky bit: contested jam cost");
+  Table t({"n", "mean steps until everyone knows the winner"});
+  for (const int n : {2, 4, 8}) {
+    RunningStat steps;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      SimRuntime rt(n, std::make_unique<RandomAdversary>(seed * 9 + 4),
+                    seed);
+      StickyBit bit(rt, bprc_factory(n));
+      for (ProcId p = 0; p < n; ++p) {
+        rt.spawn(p, [&bit, p] { bit.jam(static_cast<int>(p) % 2); });
+      }
+      const RunResult res = rt.run(kRunBudget);
+      BPRC_REQUIRE(res.reason == RunResult::Reason::kAllDone,
+                   "sticky run failed");
+      steps.add(static_cast<double>(res.steps));
+    }
+    t.add_row({Table::num(n), Table::num(steps.mean(), 0)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace bprc::bench
+
+int main() {
+  bprc::bench::multivalue_cost();
+  bprc::bench::universal_cost();
+  bprc::bench::sticky_cost();
+  return 0;
+}

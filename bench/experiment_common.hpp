@@ -1,0 +1,77 @@
+// Shared plumbing for the experiment harnesses (bench/bench_*.cpp).
+//
+// Every harness runs with no arguments in seconds on a single laptop core
+// and prints fixed-width tables; BPRC_SCALE multiplies the Monte-Carlo
+// trial counts for higher-fidelity runs. EXPERIMENTS.md is regenerated
+// from exactly this output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/abrahamson.hpp"
+#include "consensus/aspnes_herlihy.hpp"
+#include "consensus/bprc.hpp"
+#include "consensus/driver.hpp"
+#include "consensus/strong_coin.hpp"
+#include "runtime/adversary.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bprc::bench {
+
+inline ProtocolFactory bprc_factory(int n, int K = 2, int b = 4) {
+  return [n, K, b](Runtime& rt) {
+    return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n, K, b));
+  };
+}
+
+inline ProtocolFactory bprc_factory_params(BPRCParams params) {
+  return [params](Runtime& rt) {
+    return std::make_unique<BPRCConsensus>(rt, params);
+  };
+}
+
+inline ProtocolFactory ah_factory(int n, int b = 4) {
+  return [n, b](Runtime& rt) {
+    return std::make_unique<AspnesHerlihyConsensus>(
+        rt, CoinParams::standard(n, b));
+  };
+}
+
+inline ProtocolFactory local_coin_factory() {
+  return [](Runtime& rt) { return std::make_unique<LocalCoinConsensus>(rt); };
+}
+
+inline ProtocolFactory strong_factory(std::uint64_t coin_seed) {
+  return [coin_seed](Runtime& rt) {
+    return std::make_unique<StrongCoinConsensus>(rt, coin_seed);
+  };
+}
+
+/// Adversary factory keyed by name, freshly seeded per run.
+inline std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                                 std::uint64_t seed) {
+  if (name == "random") return std::make_unique<RandomAdversary>(seed);
+  if (name == "round-robin") return std::make_unique<RoundRobinAdversary>();
+  if (name == "lockstep") return std::make_unique<LockstepAdversary>(seed);
+  if (name == "leader-suppress") {
+    return std::make_unique<LeaderSuppressAdversary>(seed);
+  }
+  if (name == "coin-bias") return std::make_unique<CoinBiasAdversary>(seed);
+  BPRC_REQUIRE(false, "unknown adversary name");
+  return nullptr;
+}
+
+/// Split inputs 0,1,0,1,... — the hardest input pattern.
+inline std::vector<int> split_inputs(int n) {
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) inputs[static_cast<std::size_t>(i)] = i % 2;
+  return inputs;
+}
+
+inline constexpr std::uint64_t kRunBudget = 400'000'000;
+
+}  // namespace bprc::bench

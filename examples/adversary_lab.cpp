@@ -1,0 +1,82 @@
+// Adversary lab: pit every consensus protocol against every scheduler.
+//
+//   $ ./examples/adversary_lab [n] [seed]
+//
+// Runs the four protocols (BPRC, Aspnes–Herlihy, local-coin, strong-coin)
+// under each adversary strategy in the deterministic simulator and prints
+// a matrix of steps-to-decide. Good for building intuition about WHICH
+// schedules hurt WHICH algorithms: watch the local-coin column blow up
+// under lockstep, and everything shrug off leader suppression.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bprc;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::uint64_t seed = argc > 2
+                                 ? static_cast<std::uint64_t>(
+                                       std::strtoull(argv[2], nullptr, 10))
+                                 : 7;
+  if (n < 1 || n > 32) {
+    std::fprintf(stderr, "usage: %s [n in 1..32] [seed]\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) inputs[static_cast<std::size_t>(i)] = i % 2;
+
+  struct Proto {
+    std::string name;
+    ProtocolFactory factory;
+  };
+  const std::vector<Proto> protocols = {
+      {"bprc",
+       [n](Runtime& rt) {
+         return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
+       }},
+      {"aspnes-herlihy",
+       [n](Runtime& rt) {
+         return std::make_unique<AspnesHerlihyConsensus>(
+             rt, CoinParams::standard(n));
+       }},
+      {"local-coin",
+       [](Runtime& rt) { return std::make_unique<LocalCoinConsensus>(rt); }},
+      {"strong-coin", [seed](Runtime& rt) {
+         return std::make_unique<StrongCoinConsensus>(rt, seed ^ 0xABC);
+       }}};
+
+  std::printf("n=%d, split inputs, seed=%llu — steps until last decision\n\n",
+              n, static_cast<unsigned long long>(seed));
+  Table table({"protocol", "random", "round-robin", "lockstep",
+               "leader-suppress", "coin-bias", "decision"});
+  for (const auto& proto : protocols) {
+    std::vector<std::string> row{proto.name};
+    int decision = -1;
+    for (std::size_t advk = 0; advk < 5; ++advk) {
+      auto advs = standard_adversaries(seed);
+      const auto res = run_consensus_sim(proto.factory, inputs,
+                                         std::move(advs[advk]), seed,
+                                         2'000'000'000ull);
+      if (!res.ok()) {
+        row.push_back("FAILED");
+        continue;
+      }
+      row.push_back(Table::num(res.total_steps));
+      decision = res.decisions[0];
+    }
+    row.push_back(decision >= 0 ? Table::num(decision) : "?");
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\n(decisions may differ BETWEEN protocols/adversaries — each cell is\n"
+      "an independent consensus instance; within a cell all n processes\n"
+      "agreed, which is the property that matters.)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// fetch&cons — the universal primitive the paper's introduction promises:
+// "Such an algorithm provides a basis for constructing novel universal
+//  synchronization primitives, such as the fetch and cons of [H88]..."
+//
+//   $ ./examples/fetch_and_cons
+//
+// Six processes concurrently cons cells onto one shared list. Each cons
+// is linearized through the universal log (helping makes it wait-free);
+// at the end every process materializes the identical list even though
+// every position was contested. The binary consensus underneath is the
+// paper's bounded polynomial protocol — so the whole tower runs on
+// bounded atomic registers.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace bprc;
+
+  const int kProcs = 6;
+  const int kConsEach = 2;
+
+  SimRuntime rt(kProcs, std::make_unique<RandomAdversary>(1989), 1989);
+  Replicated<std::vector<std::uint32_t>> list(
+      rt, /*capacity=*/kProcs * kConsEach + kProcs,
+      [](Runtime& inner) {
+        return std::make_unique<BPRCConsensus>(
+            inner, BPRCParams::standard(inner.nprocs()));
+      },
+      /*initial=*/{},
+      [](std::vector<std::uint32_t>& state, const UniversalLog::Entry& e) {
+        state.push_back(e.payload);  // cons (append) the cell
+      });
+
+  std::vector<std::vector<int>> placements(kProcs);
+  for (ProcId p = 0; p < kProcs; ++p) {
+    rt.spawn(p, [&list, &placements, p] {
+      for (int k = 0; k < kConsEach; ++k) {
+        const auto cell = static_cast<std::uint32_t>(100 * (p + 1) + k);
+        placements[static_cast<std::size_t>(p)].push_back(list.update(cell));
+      }
+    });
+  }
+
+  const RunResult res = rt.run(4'000'000'000ull);
+  if (res.reason != RunResult::Reason::kAllDone) {
+    std::printf("run did not finish\n");
+    return 1;
+  }
+
+  for (ProcId p = 0; p < kProcs; ++p) {
+    std::printf("process %d cons'd cells at log slots:", p);
+    for (const int s : placements[static_cast<std::size_t>(p)]) {
+      std::printf(" %d", s);
+    }
+    std::printf("\n");
+  }
+
+  const auto value = list.materialize();
+  std::printf("\nthe one agreed list (%zu cells): ", value.size());
+  for (const auto cell : value) std::printf("%u ", cell);
+  std::printf(
+      "\n\n%llu primitive register operations; every register bounded.\n",
+      static_cast<unsigned long long>(res.steps));
+  return value.size() == static_cast<std::size_t>(kProcs * kConsEach) ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Quickstart: wait-free randomized consensus among 5 OS threads.
+//
+//   $ ./examples/quickstart
+//
+// Five processes with mixed inputs run the BPRC protocol on the thread
+// runtime (real preemption) and print the bit they all agreed on. This is
+// the smallest complete use of the public API: pick a runtime, construct
+// the protocol, have every process call propose().
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace bprc;
+
+  const std::vector<int> inputs = {0, 1, 1, 0, 1};
+  std::printf("proposing:");
+  for (const int v : inputs) std::printf(" %d", v);
+  std::printf("\n");
+
+  const ConsensusRunResult result = run_consensus_threads(
+      [](Runtime& rt) {
+        return std::make_unique<BPRCConsensus>(
+            rt, BPRCParams::standard(rt.nprocs()));
+      },
+      inputs, /*seed=*/2026, /*max_steps=*/100'000'000);
+
+  if (!result.ok()) {
+    std::printf("consensus failed (this should never happen)\n");
+    return 1;
+  }
+
+  std::printf("decided:  ");
+  for (const int d : result.decisions) std::printf(" %d", d);
+  std::printf("\n");
+  std::printf(
+      "agreement on %d after %llu primitive register operations;\n"
+      "every shared register stayed within its static bound (max walk\n"
+      "counter %lld of allowed %lld; rounds stored in shared memory: none).\n",
+      result.decisions[0],
+      static_cast<unsigned long long>(result.total_steps),
+      static_cast<long long>(result.footprint.max_counter),
+      static_cast<long long>(result.footprint.static_bound));
+  return 0;
+}

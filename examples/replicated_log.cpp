@@ -1,0 +1,80 @@
+// Replicated log: the universal-construction pattern the paper's
+// introduction motivates (fetch&cons / sticky bits), built from a sequence
+// of binary consensus instances.
+//
+//   $ ./examples/replicated_log
+//
+// Four replicas each generate a local stream of commands (bits); for every
+// log slot they run one BPRC instance proposing their own next command,
+// then append whatever the instance decided. Wait-freedom means a replica
+// never blocks on the others — it can fill its log at its own pace — and
+// consistency means all replicas end with the identical log even though
+// every slot was contested.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace bprc;
+
+  const int kReplicas = 4;
+  const int kSlots = 12;
+
+  SimRuntime rt(kReplicas, std::make_unique<RandomAdversary>(42), 42);
+
+  // One single-shot consensus object per log slot.
+  std::vector<std::unique_ptr<BPRCConsensus>> slots;
+  slots.reserve(kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    slots.push_back(std::make_unique<BPRCConsensus>(
+        rt, BPRCParams::standard(kReplicas)));
+  }
+
+  std::vector<std::vector<int>> logs(kReplicas);
+  std::vector<std::vector<int>> wanted(kReplicas);
+
+  for (ProcId p = 0; p < kReplicas; ++p) {
+    rt.spawn(p, [&rt, &slots, &logs, &wanted, p] {
+      for (int s = 0; s < kSlots; ++s) {
+        // The replica's own next command: a pseudo-random bit from its
+        // private stream (in a real system: the head of its client queue).
+        const int command = static_cast<int>(rt.rng()() & 1);
+        wanted[static_cast<std::size_t>(p)].push_back(command);
+        const int agreed =
+            slots[static_cast<std::size_t>(s)]->propose(command);
+        logs[static_cast<std::size_t>(p)].push_back(agreed);
+      }
+    });
+  }
+
+  const RunResult res = rt.run(2'000'000'000ull);
+  if (res.reason != RunResult::Reason::kAllDone) {
+    std::printf("log replication did not finish (budget)\n");
+    return 1;
+  }
+
+  std::printf("replica |  proposed stream  |  agreed log\n");
+  for (ProcId p = 0; p < kReplicas; ++p) {
+    std::printf("   %d    |  ", p);
+    for (const int b : wanted[static_cast<std::size_t>(p)]) {
+      std::printf("%d", b);
+    }
+    std::printf("     |  ");
+    for (const int b : logs[static_cast<std::size_t>(p)]) std::printf("%d", b);
+    std::printf("\n");
+  }
+
+  for (ProcId p = 1; p < kReplicas; ++p) {
+    if (logs[static_cast<std::size_t>(p)] != logs[0]) {
+      std::printf("REPLICA DIVERGENCE — this must never happen\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nall %d replicas hold the identical %d-entry log "
+      "(%llu register ops total).\n",
+      kReplicas, kSlots, static_cast<unsigned long long>(res.steps));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Leader election with a sticky register — the [P89] primitive from the
+// paper's introduction, in action.
+//
+//   $ ./examples/sticky_election
+//
+// Eight processes race to jam their own id into one write-once sticky
+// register; whoever the underlying (bounded, polynomial, register-only)
+// consensus linearizes first becomes the leader, and every process —
+// including pure observers that never jammed — learns the same winner.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace bprc;
+
+  const int kCandidates = 6;
+  const int kObservers = 2;
+  const int n = kCandidates + kObservers;
+
+  SimRuntime rt(n, std::make_unique<LockstepAdversary>(7), 7);
+  StickyRegister leader_slot(rt, /*value_bits=*/8, [](Runtime& inner) {
+    return std::make_unique<BPRCConsensus>(
+        inner, BPRCParams::standard(inner.nprocs()));
+  });
+
+  std::vector<std::uint64_t> winner_seen(static_cast<std::size_t>(n),
+                                         ~std::uint64_t{0});
+  for (ProcId p = 0; p < kCandidates; ++p) {
+    rt.spawn(p, [&leader_slot, &winner_seen, p] {
+      winner_seen[static_cast<std::size_t>(p)] =
+          leader_slot.jam(static_cast<std::uint64_t>(p));
+    });
+  }
+  for (ProcId p = kCandidates; p < n; ++p) {
+    rt.spawn(p, [&leader_slot, &winner_seen, p] {
+      // Observers poll without ever proposing.
+      while (true) {
+        if (const auto w = leader_slot.read()) {
+          winner_seen[static_cast<std::size_t>(p)] = *w;
+          return;
+        }
+      }
+    });
+  }
+
+  const RunResult res = rt.run(2'000'000'000ull);
+  if (res.reason != RunResult::Reason::kAllDone) {
+    std::printf("election did not finish\n");
+    return 1;
+  }
+
+  std::printf("candidates 0..%d raced; everyone sees the leader:\n",
+              kCandidates - 1);
+  for (ProcId p = 0; p < n; ++p) {
+    std::printf("  %s %d -> leader = %llu\n",
+                p < kCandidates ? "candidate" : "observer ", p,
+                static_cast<unsigned long long>(
+                    winner_seen[static_cast<std::size_t>(p)]));
+  }
+  for (ProcId p = 1; p < n; ++p) {
+    if (winner_seen[static_cast<std::size_t>(p)] != winner_seen[0]) {
+      std::printf("DISAGREEMENT — must never happen\n");
+      return 1;
+    }
+  }
+  std::printf("unanimous. (%llu register operations)\n",
+              static_cast<unsigned long long>(res.steps));
+  return 0;
+}

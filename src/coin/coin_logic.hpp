@@ -1,0 +1,94 @@
+// Core decision logic of the bounded weak shared coin (Section 3).
+//
+// The coin is a collective random walk: each process owns a bounded
+// counter c_i ∈ {-(m+1)..(m+1)}; the walk value is Σ c_i as seen in a
+// snapshot view. A process reads the coin as
+//
+//   1. heads      if its OWN counter left {-m..m}   (the overflow rule)
+//   2. heads      if walk_value >  b·n
+//   3. tails      if walk_value < -b·n
+//   4. undecided  otherwise.
+//
+// Rule 1 is what bounds the space: instead of unbounded counters
+// (Aspnes–Herlihy), a process whose counter overflows deterministically
+// answers heads. Lemmas 3.3/3.4: for m = (f(b)·n)² the adversary can
+// force an overflow only with probability O(b·n/√m), which is absorbed
+// into the coin's built-in disagreement probability (Lemma 3.1: ≤ 1/b,
+// i.e. each outcome is unanimous with probability ≥ (b-1)/2b).
+//
+// These are pure functions over a snapshot view so the standalone coin
+// (shared_coin.hpp) and the consensus protocol's per-round coins
+// (consensus/bprc.cpp, via the coin slots of Section 5) share one
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+struct CoinParams {
+  int n = 0;           ///< number of processes
+  int b = 4;           ///< decision threshold multiple (barrier at ±b·n)
+  std::int64_t m = 0;  ///< own-counter bound; overflow at |c_i| > m
+
+  /// Paper defaults: m = (f(b)·n)² with f(b) chosen so the overflow
+  /// probability is far below the coin's inherent 1/b disagreement
+  /// (Lemma 3.4 gives overflow ≲ C·b·n/√m = C/(4(b+1)) here).
+  static CoinParams standard(int n, int b = 4) {
+    BPRC_REQUIRE(n >= 1 && b >= 2, "coin needs n >= 1 and b >= 2");
+    const auto side = static_cast<std::int64_t>(4 * (b + 1)) * n;
+    return CoinParams{n, b, side * side};
+  }
+};
+
+enum class CoinValue : std::uint8_t { kHeads, kTails, kUndecided };
+
+inline const char* to_string(CoinValue v) {
+  switch (v) {
+    case CoinValue::kHeads:
+      return "heads";
+    case CoinValue::kTails:
+      return "tails";
+    case CoinValue::kUndecided:
+      return "undecided";
+  }
+  return "?";
+}
+
+/// §3 `function coin_value`, evaluated by process `self` over a snapshot
+/// view of all counters. `counters[self]` must be the caller's own
+/// counter value.
+inline CoinValue coin_value(const std::vector<std::int64_t>& counters,
+                            int self, const CoinParams& p) {
+  BPRC_REQUIRE(static_cast<int>(counters.size()) == p.n,
+               "coin view width must equal n");
+  BPRC_REQUIRE(self >= 0 && self < p.n, "coin reader id out of range");
+  // 1: own-counter overflow → deterministic heads.
+  const std::int64_t own = counters[static_cast<std::size_t>(self)];
+  if (own < -p.m || own > p.m) return CoinValue::kHeads;
+  std::int64_t walk = 0;
+  for (const std::int64_t c : counters) walk += c;
+  const std::int64_t barrier = static_cast<std::int64_t>(p.b) * p.n;
+  if (walk > barrier) return CoinValue::kHeads;   // 2
+  if (walk < -barrier) return CoinValue::kTails;  // 3
+  return CoinValue::kUndecided;                   // 4
+}
+
+/// §3 `procedure walk_step`: the counter update implied by one local coin
+/// flip. The counter saturates at ±(m+1) — one past the overflow bound,
+/// which is all the state rule 1 ever inspects, so deeper excursions need
+/// not be representable (this is what keeps the register field bounded).
+inline std::int64_t walk_step(std::int64_t counter, bool flip_heads,
+                              const CoinParams& p) {
+  const std::int64_t next = counter + (flip_heads ? 1 : -1);
+  const std::int64_t cap = p.m + 1;
+  if (next > cap) return cap;
+  if (next < -cap) return -cap;
+  return next;
+}
+
+}  // namespace bprc

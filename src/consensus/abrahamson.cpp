@@ -1,0 +1,87 @@
+#include "consensus/abrahamson.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+LocalCoinConsensus::LocalCoinConsensus(Runtime& rt)
+    : rt_(rt),
+      mem_(rt, LocalCoinRecord{}),
+      decisions_(static_cast<std::size_t>(rt.nprocs()), -1),
+      decision_rounds_(static_cast<std::size_t>(rt.nprocs()), 0) {}
+
+int LocalCoinConsensus::propose(int input) {
+  BPRC_REQUIRE(input == 0 || input == 1, "input must be a bit");
+  const ProcId me = rt_.self();
+  const int n = rt_.nprocs();
+
+  LocalCoinRecord rec;
+  rec.pref = static_cast<std::int8_t>(input);
+  rec.version = 1;
+
+  auto publish = [&](bool decided) {
+    Hint hint;
+    hint.round = static_cast<std::int32_t>(
+        std::min<std::int64_t>(rec.version, INT32_MAX));
+    hint.pref = rec.pref;
+    hint.decided = decided;
+    rt_.publish_hint(hint);
+  };
+
+  // Write before the first scan — consistency depends on it (see header).
+  publish(false);
+  mem_.write(rec);
+
+  while (true) {
+    const std::vector<LocalCoinRecord> view = mem_.scan();
+
+    bool unanimous = true;
+    for (int j = 0; j < n && unanimous; ++j) {
+      if (j == me) continue;
+      const std::int8_t p = view[static_cast<std::size_t>(j)].pref;
+      if (p == kUnwritten) continue;  // j has not joined yet
+      if (p != rec.pref) unanimous = false;
+    }
+    if (unanimous) {
+      decisions_[static_cast<std::size_t>(me)] = rec.pref;
+      decision_rounds_[static_cast<std::size_t>(me)] = rec.version;
+      publish(true);
+      max_version_.store(std::max(max_version_.load(std::memory_order_relaxed),
+                                  rec.version),
+                         std::memory_order_relaxed);
+      return rec.pref;
+    }
+
+    // Disagreement: re-randomize the preference with a local coin.
+    rec.pref = rt_.rng().flip() ? kPref1 : kPref0;
+    rec.version += 1;
+    flips_.fetch_add(1, std::memory_order_relaxed);
+    publish(false);
+    mem_.write(rec);
+    max_version_.store(std::max(max_version_.load(std::memory_order_relaxed),
+                                rec.version),
+                       std::memory_order_relaxed);
+  }
+}
+
+int LocalCoinConsensus::decision(ProcId p) const {
+  return decisions_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t LocalCoinConsensus::decision_round(ProcId p) const {
+  return decision_rounds_[static_cast<std::size_t>(p)];
+}
+
+MemoryFootprint LocalCoinConsensus::footprint() const {
+  MemoryFootprint f;
+  f.bounded = false;  // the full A88 protocol stores unbounded timestamps
+  f.max_round_stored = max_version_.load(std::memory_order_relaxed);
+  f.max_counter = 0;
+  f.coin_locations = 0;
+  f.static_bound = 0;
+  return f;
+}
+
+}  // namespace bprc

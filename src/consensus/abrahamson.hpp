@@ -1,0 +1,65 @@
+// Abrahamson-style local-coin consensus — the exponential baseline [A88].
+//
+// The first randomized consensus from plain read/write registers used only
+// *local* coin flips: a process re-randomizes its preference until some
+// snapshot shows unanimity. Expected convergence requires n independent
+// coins to coincide, so against a lockstep scheduler the expected number
+// of phases is 2^Θ(n) — the exponential running time the paper's shared
+// coin eliminates. Experiment E7's crossover is this protocol against
+// BPRC.
+//
+// Simplification note (DESIGN.md §5): Abrahamson's full protocol layers an
+// unbounded-timestamp locking mechanism over this core to obtain
+// consistency with non-snapshot reads; since our substrate provides
+// snapshot scans, unanimity-in-one-snapshot plus write-before-first-scan
+// already yields consistency (scans are serializable, and a decided
+// process's register freezes at its decision value, so two snapshots can
+// never both be unanimous for different values). The exponential step
+// complexity — the property the comparison is about — is unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "consensus/protocol.hpp"
+#include "runtime/runtime.hpp"
+#include "snapshot/scannable_memory.hpp"
+
+namespace bprc {
+
+struct LocalCoinRecord {
+  std::int8_t pref = kUnwritten;
+  /// Re-randomization count: instrumentation of the unbounded timestamp
+  /// the full A88 protocol would store here.
+  std::int64_t version = 0;
+
+  friend bool operator==(const LocalCoinRecord& a, const LocalCoinRecord& b) {
+    return a.pref == b.pref && a.version == b.version;
+  }
+};
+
+class LocalCoinConsensus final : public ConsensusProtocol {
+ public:
+  explicit LocalCoinConsensus(Runtime& rt);
+
+  int propose(int input) override;
+  std::string name() const override { return "local-coin"; }
+  int decision(ProcId p) const override;
+  std::int64_t decision_round(ProcId p) const override;
+  MemoryFootprint footprint() const override;
+
+  std::uint64_t total_flips() const {
+    return flips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Runtime& rt_;
+  ScannableMemory<LocalCoinRecord> mem_;
+  std::vector<std::int8_t> decisions_;
+  std::vector<std::int64_t> decision_rounds_;
+  std::atomic<std::uint64_t> flips_{0};
+  std::atomic<std::int64_t> max_version_{0};
+};
+
+}  // namespace bprc

@@ -1,0 +1,220 @@
+#include "consensus/bprc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+namespace {
+
+BPRCRecord initial_record(const BPRCParams& p) {
+  BPRCRecord rec;
+  rec.pref = kUnwritten;
+  rec.coins = CoinSlots(p.K);
+  rec.edges = initial_edge_counters(p.n);
+  return rec;
+}
+
+}  // namespace
+
+BPRCConsensus::BPRCConsensus(Runtime& rt, BPRCParams params, ArrowImpl arrows)
+    : rt_(rt),
+      params_(params),
+      mem_(rt, initial_record(params), arrows),
+      decisions_(static_cast<std::size_t>(params.n), -1),
+      decision_rounds_(static_cast<std::size_t>(params.n), 0) {
+  BPRC_REQUIRE(params_.n == rt.nprocs(),
+               "params sized for a different process count");
+  BPRC_REQUIRE(params_.K >= 2, "the protocol requires K >= 2");
+  BPRC_REQUIRE(params_.coin.n == params_.n, "coin params out of sync");
+}
+
+BPRCConsensus::View BPRCConsensus::scan_view() {
+  View view{mem_.scan(), DistanceGraph(params_.n, params_.K)};
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<EdgeCounters> rows;
+  rows.reserve(view.recs.size());
+  for (const auto& rec : view.recs) rows.push_back(rec.edges);
+  view.graph = make_graph(rows, params_.K);
+  return view;
+}
+
+bool BPRCConsensus::all_disagree_trail_K(ProcId me, std::int8_t pref,
+                                         const View& view) const {
+  // Line 2's guard: every process whose visible preference differs from
+  // mine (⊥ and unwritten count as differing) must trail me by the full
+  // cap K.
+  for (int j = 0; j < params_.n; ++j) {
+    if (j == me) continue;
+    if (view.recs[static_cast<std::size_t>(j)].pref == pref) continue;
+    if (view.graph.signed_diff(me, j) != params_.K) return false;
+  }
+  return true;
+}
+
+std::optional<std::int8_t> BPRCConsensus::leaders_agreement(
+    const View& view) const {
+  // Leaders are the graph-maximal processes. They "agree" when every
+  // leader's preference is the same concrete value (not ⊥, not unwritten).
+  std::optional<std::int8_t> value;
+  for (int j = 0; j < params_.n; ++j) {
+    if (!view.graph.is_leader(j)) continue;
+    const std::int8_t p = view.recs[static_cast<std::size_t>(j)].pref;
+    if (p != kPref0 && p != kPref1) return std::nullopt;
+    if (value.has_value() && *value != p) return std::nullopt;
+    value = p;
+  }
+  return value;
+}
+
+CoinValue BPRCConsensus::next_coin_value(ProcId me, const BPRCRecord& mine,
+                                         const View& view) const {
+  // §5 `function next_coin_value`: assemble the counter view c̄ for the
+  // coin of my round r+1. My own contribution is my "next" slot; a
+  // process j ahead of or tied with me by w < K contributes its slot for
+  // round r+1 = r_j - w + 1; everyone else reads as withdrawn (0).
+  std::vector<std::int64_t> counters(static_cast<std::size_t>(params_.n), 0);
+  counters[static_cast<std::size_t>(me)] = mine.coins.next_slot();
+  for (int j = 0; j < params_.n; ++j) {
+    if (j == me) continue;
+    const int s = view.graph.signed_diff(j, me);
+    if (s >= 0 && s < params_.K) {
+      counters[static_cast<std::size_t>(j)] =
+          view.recs[static_cast<std::size_t>(j)].coins.read_for_trailing(s);
+    }
+  }
+  return coin_value(counters, me, params_.coin);
+}
+
+void BPRCConsensus::do_inc(ProcId me, BPRCRecord& rec,
+                           const DistanceGraph& graph) {
+  // §5 `function inc`: advance the coin pointer (recycling and zeroing the
+  // K+1-rounds-old slot) and apply the guarded edge-counter increments
+  // computed from the scanned graph.
+  rec.coins.advance();
+  inc_counters(me, graph, rec.edges);
+}
+
+void BPRCConsensus::publish(ProcId me, const BPRCRecord& rec,
+                            std::int64_t round, int walk_delta,
+                            bool decided) {
+  (void)me;
+  Hint hint;
+  hint.round = static_cast<std::int32_t>(std::min<std::int64_t>(
+      round, std::numeric_limits<std::int32_t>::max()));
+  hint.pref = rec.pref;
+  hint.walk_delta = static_cast<std::int8_t>(walk_delta);
+  hint.counter = rec.coins.next_slot();
+  hint.decided = decided;
+  rt_.publish_hint(hint);
+}
+
+void BPRCConsensus::track_counter(std::int64_t c) {
+  const std::int64_t mag = c < 0 ? -c : c;
+  std::int64_t cur = max_counter_.load(std::memory_order_relaxed);
+  while (cur < mag && !max_counter_.compare_exchange_weak(
+                          cur, mag, std::memory_order_relaxed)) {
+  }
+}
+
+int BPRCConsensus::propose(int input) {
+  BPRC_REQUIRE(input == 0 || input == 1, "input must be a bit");
+  const ProcId me = rt_.self();
+  BPRC_REQUIRE(decisions_[static_cast<std::size_t>(me)] == -1,
+               "propose called twice by one process");
+
+  BPRCRecord rec = initial_record(params_);
+  rec.pref = static_cast<std::int8_t>(input);
+  std::int64_t round = 0;
+
+  // Initial write: pref := input, round := inc(round). The inc is
+  // computed against the all-tied initial graph (this process has not yet
+  // observed anyone, and from the initial state the correct move is to
+  // pull one step ahead of everyone regardless of what they have done).
+  do_inc(me, rec, DistanceGraph(params_.n, params_.K));
+  round = 1;
+  publish(me, rec, round, 0, false);
+  mem_.write(rec);
+
+  while (true) {
+    const View view = scan_view();
+
+    // Line 2: decide.
+    if ((rec.pref == kPref0 || rec.pref == kPref1) &&
+        view.graph.is_leader(me) &&
+        all_disagree_trail_K(me, rec.pref, view)) {
+      decisions_[static_cast<std::size_t>(me)] = rec.pref;
+      decision_rounds_[static_cast<std::size_t>(me)] = round;
+      publish(me, rec, round, 0, true);
+      return rec.pref;
+    }
+
+    // Lines 3-4: adopt the leaders' agreed value and advance.
+    if (const auto agreed = leaders_agreement(view)) {
+      rec.pref = *agreed;
+      do_inc(me, rec, view.graph);
+      ++round;
+      max_round_.store(
+          std::max(max_round_.load(std::memory_order_relaxed), round),
+          std::memory_order_relaxed);
+      publish(me, rec, round, 0, false);
+      mem_.write(rec);
+      continue;
+    }
+
+    // Lines 5-6: leaders disagree; withdraw my preference (round kept).
+    if (rec.pref == kPref0 || rec.pref == kPref1) {
+      rec.pref = kBottom;
+      publish(me, rec, round, 0, false);
+      mem_.write(rec);
+      continue;
+    }
+
+    // Line 7: flip the shared coin for round r+1 until it decides.
+    const CoinValue cv = next_coin_value(me, rec, view);
+    if (cv == CoinValue::kUndecided) {
+      const bool flip = rt_.rng().flip();
+      // The strong adversary sees the flip before the write lands.
+      publish(me, rec, round, flip ? 1 : -1, false);
+      std::int64_t& slot = rec.coins.next_slot();
+      slot = walk_step(slot, flip, params_.coin);
+      track_counter(slot);
+      flips_.fetch_add(1, std::memory_order_relaxed);
+      mem_.write(rec, /*payload=*/flip ? 1 : -1);
+      publish(me, rec, round, 0, false);
+      continue;
+    }
+
+    // Line 8: adopt the coin's value and advance.
+    rec.pref = (cv == CoinValue::kHeads) ? kPref1 : kPref0;
+    do_inc(me, rec, view.graph);
+    ++round;
+    max_round_.store(
+        std::max(max_round_.load(std::memory_order_relaxed), round),
+        std::memory_order_relaxed);
+    publish(me, rec, round, 0, false);
+    mem_.write(rec);
+  }
+}
+
+int BPRCConsensus::decision(ProcId p) const {
+  return decisions_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t BPRCConsensus::decision_round(ProcId p) const {
+  return decision_rounds_[static_cast<std::size_t>(p)];
+}
+
+MemoryFootprint BPRCConsensus::footprint() const {
+  MemoryFootprint f;
+  f.bounded = true;
+  f.max_round_stored = 0;  // no round number exists in shared memory
+  f.max_counter = max_counter_.load(std::memory_order_relaxed);
+  f.coin_locations = static_cast<std::int64_t>(params_.n) * (params_.K + 1);
+  f.static_bound = params_.coin.m + 1;
+  return f;
+}
+
+}  // namespace bprc

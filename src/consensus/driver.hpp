@@ -1,0 +1,66 @@
+// Experiment driver: runs one consensus instance end to end and checks
+// the paper's correctness properties on the spot.
+//
+//   consistency — no two processes decided different values;
+//   validity    — if all inputs were equal, the decision is that input;
+//   decision ∈ inputs — the decided value is some process's input
+//                 (implied by validity for unanimous inputs; checked
+//                 always, it holds for every protocol here);
+//   termination — every non-crashed process decided within the budget.
+//
+// Every run is parameterized by (protocol factory, inputs, adversary,
+// seed, step budget) and is bit-for-bit reproducible in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/protocol.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/runtime.hpp"
+
+namespace bprc {
+
+/// Builds a protocol instance bound to the given runtime.
+using ProtocolFactory =
+    std::function<std::unique_ptr<ConsensusProtocol>(Runtime&)>;
+
+struct ConsensusRunResult {
+  bool all_decided = false;   ///< every non-crashed process decided
+  bool consistent = false;    ///< no two decisions differ
+  bool valid = false;         ///< unanimous input => that decision
+  std::vector<int> decisions; ///< per process; -1 = none (crashed/budget)
+  std::vector<std::int64_t> decision_rounds;
+  std::uint64_t total_steps = 0;
+  std::uint64_t max_proc_steps = 0;
+  std::int64_t max_round = 0;  ///< max decision round over deciders
+  MemoryFootprint footprint;
+  RunResult::Reason reason = RunResult::Reason::kAllDone;
+
+  /// True iff every correctness property holds (termination of crashed
+  /// processes excepted, naturally).
+  bool ok() const { return all_decided && consistent && valid; }
+};
+
+/// Runs one instance in the deterministic simulator.
+ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
+                                     const std::vector<int>& inputs,
+                                     std::unique_ptr<Adversary> adversary,
+                                     std::uint64_t seed,
+                                     std::uint64_t max_steps);
+
+/// Runs one instance on real threads (kernel scheduler as adversary).
+ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
+                                         const std::vector<int>& inputs,
+                                         std::uint64_t seed,
+                                         std::uint64_t max_steps,
+                                         double yield_prob = 0.05);
+
+/// Input patterns the test matrix sweeps.
+std::vector<std::vector<int>> standard_input_patterns(int n,
+                                                      std::uint64_t seed);
+
+}  // namespace bprc

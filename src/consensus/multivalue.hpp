@@ -1,0 +1,75 @@
+// Multi-valued consensus — the extension the paper states (§5):
+// "We assume that processors start with binary initial values; however,
+//  the protocol can be extended to handle arbitrary initial values."
+//
+// This is the standard bit-by-bit transform, built on any binary consensus
+// protocol from this library:
+//
+//   1. Announce: every process publishes its input in a scannable memory
+//      slot (write-once), then keeps a local `candidate` = its own input.
+//   2. For bit positions high → low, run one binary consensus instance
+//      proposing the candidate's bit. If the decision differs from the
+//      candidate's bit, rescan the announcements and switch the candidate
+//      to any announced input matching the decided prefix — one always
+//      exists: the decided bit was proposed by some process whose
+//      candidate matched the prefix (inductively an announced input), and
+//      that input's announcement causally precedes the decision, hence
+//      the rescan.
+//   3. After the last bit, the decided prefix IS the candidate: an
+//      announced input. Agreement holds bit-wise; validity holds because
+//      only announced inputs survive as candidates.
+//
+// Cost: `value_bits` binary instances + one announcement round. Inherits
+// wait-freedom, crash tolerance, expected-time and (with BPRC underneath)
+// bounded-register properties from the binary protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "consensus/driver.hpp"
+#include "consensus/protocol.hpp"
+#include "runtime/runtime.hpp"
+#include "snapshot/scannable_memory.hpp"
+
+namespace bprc {
+
+class MultiValueConsensus {
+ public:
+  /// `value_bits` bounds the input domain to [0, 2^value_bits);
+  /// `binary_factory` supplies the underlying binary instances (one per
+  /// bit) — any protocol in this library works.
+  MultiValueConsensus(Runtime& rt, int value_bits,
+                      const ProtocolFactory& binary_factory);
+
+  /// Runs the calling process's protocol to completion; every process
+  /// must call at most once. Returns the agreed value, which is some
+  /// process's input.
+  std::uint64_t propose(std::uint64_t input);
+
+  int value_bits() const { return value_bits_; }
+
+  /// Decision of process p, or ~0ull if it has not decided.
+  std::uint64_t decision(ProcId p) const {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  struct Announcement {
+    bool valid = false;
+    std::uint64_t value = 0;
+
+    friend bool operator==(const Announcement& a, const Announcement& b) {
+      return a.valid == b.valid && a.value == b.value;
+    }
+  };
+
+  Runtime& rt_;
+  int value_bits_;
+  ScannableMemory<Announcement> announcements_;
+  std::vector<std::unique_ptr<ConsensusProtocol>> bits_;
+  std::vector<std::uint64_t> decisions_;
+};
+
+}  // namespace bprc

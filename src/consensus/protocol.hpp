@@ -1,0 +1,58 @@
+// Common interface of every consensus protocol in the library.
+//
+// A protocol object owns the shared memory for one consensus instance;
+// each participating process calls propose(input) from its own runtime
+// process body and receives the decided value. The interface also exposes
+// the instrumentation the experiments need: step/round statistics and the
+// memory footprint (the bounded-vs-unbounded axis the paper is about).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+namespace bprc {
+
+/// Preference values stored in shared records. kBottom is the paper's ⊥;
+/// kUnwritten marks a register nobody has written yet.
+inline constexpr std::int8_t kPref0 = 0;
+inline constexpr std::int8_t kPref1 = 1;
+inline constexpr std::int8_t kBottom = 2;
+inline constexpr std::int8_t kUnwritten = 3;
+
+/// High-water marks of everything a protocol stores in shared registers.
+/// For a bounded protocol, every entry is dominated by a static function
+/// of n alone; for the unbounded baselines the entries grow with the
+/// execution. Experiment E6 prints these side by side.
+struct MemoryFootprint {
+  bool bounded = false;             ///< paper-level claim for this protocol
+  std::int64_t max_round_stored = 0;///< largest round number in a register
+  std::int64_t max_counter = 0;     ///< largest |walk counter| in a register
+  std::int64_t coin_locations = 0;  ///< distinct coin slots ever allocated
+  std::int64_t static_bound = 0;    ///< protocol's own bound on max_counter
+                                    ///< (0 when none exists)
+};
+
+class ConsensusProtocol {
+ public:
+  virtual ~ConsensusProtocol() = default;
+
+  /// Runs the calling process's consensus protocol to completion.
+  /// `input` must be 0 or 1; the return value is the decided bit.
+  /// Must be called at most once per process, from inside a runtime body.
+  virtual int propose(int input) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Decision made by process p, or -1 if p has not decided (crashed or
+  /// still running). Safe to call after the run completes.
+  virtual int decision(ProcId p) const = 0;
+
+  /// Local round number at which p decided (protocol-specific unit), or 0.
+  virtual std::int64_t decision_round(ProcId p) const = 0;
+
+  virtual MemoryFootprint footprint() const = 0;
+};
+
+}  // namespace bprc

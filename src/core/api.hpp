@@ -1,0 +1,63 @@
+// bprc — Bounded Polynomial Randomized Consensus.
+//
+// Umbrella header: everything a downstream user needs to run wait-free
+// randomized binary consensus among n asynchronous processes over atomic
+// read/write registers, per Attiya–Dolev–Shavit (PODC 1989).
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   #include "core/api.hpp"
+//   using namespace bprc;
+//
+//   auto result = run_consensus_threads(
+//       [](Runtime& rt) {
+//         return std::make_unique<BPRCConsensus>(
+//             rt, BPRCParams::standard(rt.nprocs()));
+//       },
+//       /*inputs=*/{0, 1, 1, 0, 1}, /*seed=*/42, /*max_steps=*/10'000'000);
+//   // result.decisions — one agreed bit for every process.
+//
+// Layer map (bottom-up):
+//   runtime/    fibers, deterministic simulator, adversaries, threads
+//   registers/  SWMR / MRMW atomic registers, Bloom 2W2R construction
+//   snapshot/   scannable memory (§2) + unbounded baseline
+//   coin/       bounded weak shared coin (§3)
+//   strip/      token game, distance graph, edge counters, coin slots (§4)
+//   timestamp/  bounded sequential timestamps (the [IL88]/[DS89] lineage)
+//   consensus/  BPRC (§5) + A88 / AH88 / CIL87-style baselines,
+//               multi-valued extension, run driver
+//   core/       universal log (fetch&cons), sticky bits, Replicated<T>
+//   verify/     linearizability + snapshot-property checkers
+#pragma once
+
+#include "coin/coin_logic.hpp"       // IWYU pragma: export
+#include "coin/shared_coin.hpp"      // IWYU pragma: export
+#include "coin/unbounded_coin.hpp"   // IWYU pragma: export
+#include "consensus/abrahamson.hpp"  // IWYU pragma: export
+#include "consensus/aspnes_herlihy.hpp"  // IWYU pragma: export
+#include "consensus/bprc.hpp"        // IWYU pragma: export
+#include "consensus/driver.hpp"      // IWYU pragma: export
+#include "consensus/multivalue.hpp"  // IWYU pragma: export
+#include "core/sticky.hpp"           // IWYU pragma: export
+#include "core/universal.hpp"        // IWYU pragma: export
+#include "consensus/protocol.hpp"    // IWYU pragma: export
+#include "consensus/strong_coin.hpp" // IWYU pragma: export
+#include "verify/linearizability.hpp"  // IWYU pragma: export
+#include "verify/snapshot_linearizability.hpp"  // IWYU pragma: export
+#include "verify/snapshot_props.hpp"   // IWYU pragma: export
+#include "registers/bloom_2w2r.hpp"  // IWYU pragma: export
+#include "registers/register.hpp"    // IWYU pragma: export
+#include "runtime/adversary.hpp"     // IWYU pragma: export
+#include "runtime/sim_runtime.hpp"   // IWYU pragma: export
+#include "runtime/thread_runtime.hpp"  // IWYU pragma: export
+#include "snapshot/baseline_snapshot.hpp"  // IWYU pragma: export
+#include "snapshot/scannable_memory.hpp"   // IWYU pragma: export
+#include "strip/coin_slots.hpp"      // IWYU pragma: export
+#include "strip/distance_graph.hpp"  // IWYU pragma: export
+#include "strip/edge_counters.hpp"   // IWYU pragma: export
+#include "strip/token_game.hpp"      // IWYU pragma: export
+#include "timestamp/bounded_timestamps.hpp"  // IWYU pragma: export
+#include "util/env.hpp"              // IWYU pragma: export
+#include "util/rng.hpp"              // IWYU pragma: export
+#include "util/stats.hpp"            // IWYU pragma: export
+#include "util/table.hpp"            // IWYU pragma: export

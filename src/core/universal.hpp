@@ -1,0 +1,133 @@
+// Universal construction — the fetch&cons of Herlihy [H88] that the
+// paper's introduction names as the payoff of randomized consensus:
+// "Such an algorithm provides a basis for constructing novel universal
+//  synchronization primitives, such as the fetch and cons of [H88], or
+//  the sticky bits of [P89]."
+//
+// UniversalLog lets n asynchronous processes agree on a single growing
+// sequence of commands: a wait-free replicated log (equivalently: any
+// object, by replaying the log through its sequential semantics — see
+// Replicated<State> below). One multi-valued consensus instance decides
+// each slot; wait-freedom comes from HELPING: before proposing, a process
+// scans an announcement board of pending commands and proposes the
+// pending command of process (slot mod n) if there is one, so every
+// announced command wins a slot within at most n slots of its
+// announcement, no matter how the adversary schedules.
+//
+// Commands are (pid, seq, payload) triples packed into one word; a command
+// can win multiple slots when a helper races its owner (stale
+// announcement), so readers deduplicate by (pid, seq) — the standard
+// discipline for consensus-number-∞ universal objects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/driver.hpp"
+#include "consensus/multivalue.hpp"
+#include "runtime/runtime.hpp"
+#include "snapshot/scannable_memory.hpp"
+#include "util/assert.hpp"
+
+namespace bprc {
+
+class UniversalLog {
+ public:
+  /// A command as seen by readers of the log.
+  struct Entry {
+    ProcId owner = -1;
+    std::uint32_t seq = 0;       ///< owner-local sequence number (from 1)
+    std::uint32_t payload = 0;   ///< user data (24 bits used)
+  };
+
+  /// `capacity` = maximum number of log slots (consensus instances are
+  /// pre-allocated; the shared-memory model has no dynamic allocation).
+  /// `binary_factory` powers the per-slot multi-valued agreement.
+  UniversalLog(Runtime& rt, int capacity, ProtocolFactory binary_factory);
+
+  /// Appends `payload` (24 bits) to the log: announces it, then drives
+  /// slot consensus (helping others' pending commands on the way) until
+  /// the command holds a slot. Returns the slot index. Wait-free given
+  /// capacity: at most n slots are consumed per append in the worst case.
+  int append(std::uint32_t payload);
+
+  /// Number of slots this process knows to be decided (its local prefix
+  /// knowledge; monotone, may trail other processes).
+  int known_length(ProcId p) const {
+    return known_length_[static_cast<std::size_t>(p)];
+  }
+
+  /// Decided entry of slot s as recorded by the driver of that slot;
+  /// available to any caller after the run (test/inspection API).
+  std::optional<Entry> decided(int slot) const;
+
+  /// The deduplicated command sequence up to the first undecided slot:
+  /// the abstract log value. Post-run inspection API.
+  std::vector<Entry> log() const;
+
+  int capacity() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct Pending {
+    bool active = false;
+    std::uint32_t seq = 0;
+    std::uint32_t payload = 0;
+
+    friend bool operator==(const Pending& a, const Pending& b) {
+      return a.active == b.active && a.seq == b.seq && a.payload == b.payload;
+    }
+  };
+
+  static std::uint64_t encode(ProcId owner, std::uint32_t seq,
+                              std::uint32_t payload);
+  static Entry decode(std::uint64_t word);
+
+  /// Drives consensus on `slot` (idempotent per process) and returns the
+  /// decided entry.
+  Entry drive_slot(int slot);
+
+  Runtime& rt_;
+  ScannableMemory<Pending> board_;
+  std::vector<std::unique_ptr<MultiValueConsensus>> slots_;
+  /// Per-process cache of decided slots (local, not shared).
+  std::vector<std::vector<std::optional<Entry>>> local_decided_;
+  std::vector<int> known_length_;
+  std::vector<std::uint32_t> next_seq_;
+};
+
+/// Any sequential object, replicated: replay the universal log through a
+/// transition function. Reads are local (on the known prefix); updates go
+/// through append().
+template <class State>
+class Replicated {
+ public:
+  using Apply = std::function<void(State&, const UniversalLog::Entry&)>;
+
+  Replicated(Runtime& rt, int capacity, ProtocolFactory binary_factory,
+             State initial, Apply apply)
+      : log_(rt, capacity, std::move(binary_factory)),
+        initial_(std::move(initial)),
+        apply_(std::move(apply)) {}
+
+  /// Linearizes `payload` into the shared history; returns its slot.
+  int update(std::uint32_t payload) { return log_.append(payload); }
+
+  /// The state after replaying every decided slot (post-run inspection).
+  State materialize() const {
+    State state = initial_;
+    for (const auto& entry : log_.log()) apply_(state, entry);
+    return state;
+  }
+
+  const UniversalLog& raw_log() const { return log_; }
+
+ private:
+  UniversalLog log_;
+  State initial_;
+  Apply apply_;
+};
+
+}  // namespace bprc

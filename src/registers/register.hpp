@@ -1,0 +1,103 @@
+// Native atomic registers.
+//
+// The paper's base objects are atomic single-writer-multi-reader (SWMR)
+// read/write registers plus two-writer-two-reader (2W2R) registers for the
+// scan "arrows". These native implementations are internally synchronized
+// (trivially linearizable: the lock-protected access is the linearization
+// point) and pass every operation through the runtime checkpoint, which is
+// where the simulator's adversary takes control. A bounded *construction*
+// of the 2W2R register from SWMR registers — honoring the paper's
+// citation lineage — lives in bloom_2w2r.hpp.
+//
+// Step accounting: one checkpoint per read/write, so `Runtime::steps`
+// counts primitive register operations, the complexity unit of the paper.
+#pragma once
+
+#include <mutex>
+
+#include "runtime/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace bprc {
+
+/// Single-writer multi-reader atomic register. `owner` is the only process
+/// allowed to write; every process may read.
+template <class T>
+class SWMRRegister {
+ public:
+  SWMRRegister(Runtime& rt, ProcId owner, T initial, int object_id = -1)
+      : rt_(rt), owner_(owner), id_(object_id), value_(std::move(initial)) {}
+
+  SWMRRegister(const SWMRRegister&) = delete;
+  SWMRRegister& operator=(const SWMRRegister&) = delete;
+
+  /// Atomic read by any process.
+  T read() {
+    rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
+    const std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+  /// Atomic write; caller must be the owner. `payload` is a digest of the
+  /// written value shown to the adversary (see OpDesc).
+  void write(const T& v, std::int64_t payload = 0) {
+    BPRC_REQUIRE(rt_.self() == owner_, "non-owner write to SWMR register");
+    rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
+    const std::scoped_lock lock(mu_);
+    value_ = v;
+  }
+
+  /// Non-linearizable peek for post-run inspection and debugging only —
+  /// never called from algorithm code (no checkpoint, no step).
+  T peek() const {
+    const std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+  ProcId owner() const { return owner_; }
+
+ private:
+  Runtime& rt_;
+  ProcId owner_;
+  int id_;
+  mutable std::mutex mu_;
+  T value_;
+};
+
+/// Multi-writer multi-reader atomic register. Used for native 2W2R arrows
+/// and for test scaffolding; the paper's protocols never need more than
+/// two writers per register.
+template <class T>
+class MRMWRegister {
+ public:
+  MRMWRegister(Runtime& rt, T initial, int object_id = -1)
+      : rt_(rt), id_(object_id), value_(std::move(initial)) {}
+
+  MRMWRegister(const MRMWRegister&) = delete;
+  MRMWRegister& operator=(const MRMWRegister&) = delete;
+
+  T read() {
+    rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
+    const std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+  void write(const T& v, std::int64_t payload = 0) {
+    rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
+    const std::scoped_lock lock(mu_);
+    value_ = v;
+  }
+
+  T peek() const {
+    const std::scoped_lock lock(mu_);
+    return value_;
+  }
+
+ private:
+  Runtime& rt_;
+  int id_;
+  mutable std::mutex mu_;
+  T value_;
+};
+
+}  // namespace bprc

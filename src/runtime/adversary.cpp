@@ -1,0 +1,126 @@
+#include "runtime/adversary.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+namespace {
+
+/// Collects the runnable process ids.
+std::vector<ProcId> runnable_set(const SimCtl& ctl) {
+  std::vector<ProcId> out;
+  out.reserve(static_cast<std::size_t>(ctl.nprocs()));
+  for (ProcId p = 0; p < ctl.nprocs(); ++p) {
+    if (ctl.proc(p).runnable) out.push_back(p);
+  }
+  return out;
+}
+
+ProcId pick_uniform(const std::vector<ProcId>& set, Rng& rng) {
+  if (set.empty()) return -1;
+  return set[rng.below(set.size())];
+}
+
+}  // namespace
+
+ProcId RandomAdversary::pick(SimCtl& ctl) {
+  return pick_uniform(runnable_set(ctl), rng_);
+}
+
+ProcId RoundRobinAdversary::pick(SimCtl& ctl) {
+  const int n = ctl.nprocs();
+  for (int offset = 1; offset <= n; ++offset) {
+    const ProcId p = static_cast<ProcId>((last_ + offset) % n);
+    if (ctl.proc(p).runnable) {
+      last_ = p;
+      return p;
+    }
+  }
+  return -1;
+}
+
+ProcId LockstepAdversary::pick(SimCtl& ctl) {
+  // Drop entries that became unrunnable since the phase was formed.
+  std::erase_if(phase_, [&](ProcId p) { return !ctl.proc(p).runnable; });
+  if (phase_.empty()) {
+    phase_ = runnable_set(ctl);
+    if (phase_.empty()) return -1;
+    // Random order within the phase, drawn per phase.
+    for (std::size_t i = phase_.size(); i > 1; --i) {
+      std::swap(phase_[i - 1], phase_[rng_.below(i)]);
+    }
+  }
+  const ProcId p = phase_.back();
+  phase_.pop_back();
+  return p;
+}
+
+ProcId LeaderSuppressAdversary::pick(SimCtl& ctl) {
+  const auto runnable = runnable_set(ctl);
+  if (runnable.empty()) return -1;
+  std::int32_t min_round = ctl.proc(runnable.front()).hint.round;
+  for (ProcId p : runnable) {
+    min_round = std::min(min_round, ctl.proc(p).hint.round);
+  }
+  std::vector<ProcId> laggards;
+  for (ProcId p : runnable) {
+    if (ctl.proc(p).hint.round == min_round) laggards.push_back(p);
+  }
+  return pick_uniform(laggards, rng_);
+}
+
+ProcId CoinBiasAdversary::pick(SimCtl& ctl) {
+  const auto runnable = runnable_set(ctl);
+  if (runnable.empty()) return -1;
+
+  // Adversary's view of the walk: the sum of the counters the processes
+  // have published (it has seen every local flip already performed).
+  std::int64_t walk = 0;
+  for (ProcId p = 0; p < ctl.nprocs(); ++p) {
+    walk += ctl.proc(p).hint.counter;
+  }
+
+  // Prefer a process whose pending counter write pulls the walk toward 0;
+  // when the walk sits at 0, stall progress by preferring non-walk steps.
+  std::vector<ProcId> preferred;
+  for (ProcId p : runnable) {
+    const int delta = ctl.proc(p).hint.walk_delta;
+    if (walk != 0 ? (static_cast<std::int64_t>(delta) * walk < 0)
+                  : (delta == 0)) {
+      preferred.push_back(p);
+    }
+  }
+  if (!preferred.empty()) return pick_uniform(preferred, rng_);
+  return pick_uniform(runnable, rng_);
+}
+
+ProcId ScriptedAdversary::pick(SimCtl& ctl) {
+  while (pos_ < script_.size()) {
+    const ProcId p = script_[pos_++];
+    if (p >= 0 && p < ctl.nprocs() && ctl.proc(p).runnable) return p;
+  }
+  return fallback_.pick(ctl);
+}
+
+ProcId CrashPlanAdversary::pick(SimCtl& ctl) {
+  while (next_ < plan_.size() && ctl.step() >= plan_[next_].at_step) {
+    ctl.crash(plan_[next_].victim);
+    ++next_;
+  }
+  return inner_->pick(ctl);
+}
+
+std::vector<std::unique_ptr<Adversary>> standard_adversaries(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<Adversary>> out;
+  out.push_back(std::make_unique<RandomAdversary>(seed));
+  out.push_back(std::make_unique<RoundRobinAdversary>());
+  out.push_back(std::make_unique<LockstepAdversary>(seed ^ 0x1));
+  out.push_back(std::make_unique<LeaderSuppressAdversary>(seed ^ 0x2));
+  out.push_back(std::make_unique<CoinBiasAdversary>(seed ^ 0x3));
+  return out;
+}
+
+}  // namespace bprc

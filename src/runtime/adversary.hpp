@@ -1,0 +1,183 @@
+// Adversary schedulers for the deterministic simulator.
+//
+// In the randomized-consensus model the scheduler is an adaptive adversary
+// with full knowledge of process states and past coin flips (but not
+// future ones). SimRuntime consults an Adversary at every step; the
+// strategies here implement the published attack patterns the algorithms
+// in this library are designed to absorb (or, for the baselines, to
+// succumb to).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+
+/// Read/control surface the simulator exposes to its adversary.
+class SimCtl {
+ public:
+  struct ProcView {
+    bool runnable = false;  ///< spawned, not finished, not crashed
+    bool crashed = false;
+    bool finished = false;
+    OpDesc pending;  ///< the operation the process will perform if scheduled
+    Hint hint;       ///< protocol-state digest (see runtime.hpp)
+    std::uint64_t steps = 0;
+  };
+
+  virtual ~SimCtl() = default;
+  virtual int nprocs() const = 0;
+  virtual const ProcView& proc(ProcId p) const = 0;
+  virtual std::uint64_t step() const = 0;
+
+  /// Permanently stops scheduling p (a crash failure). Wait-free protocols
+  /// tolerate up to nprocs()-1 of these.
+  virtual void crash(ProcId p) = 0;
+};
+
+/// Strategy interface. pick() must return a currently runnable process, or
+/// -1 to end the run early.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual ProcId pick(SimCtl& ctl) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniformly random runnable process each step. The "benign" schedule.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Fixed rotation over runnable processes.
+class RoundRobinAdversary final : public Adversary {
+ public:
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  ProcId last_ = -1;
+};
+
+/// Barrier-synchronous: every runnable process moves exactly once per
+/// phase, in a per-phase random order. This is the schedule under which
+/// processes keep observing each other's freshest local coin flips — the
+/// pattern that drives Abrahamson-style local-coin protocols to expected
+/// exponential time.
+class LockstepAdversary final : public Adversary {
+ public:
+  explicit LockstepAdversary(std::uint64_t seed) : rng_(seed) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "lockstep"; }
+
+ private:
+  Rng rng_;
+  std::vector<ProcId> phase_;  ///< processes not yet scheduled this phase
+};
+
+/// Adaptive: starves the processes with the highest published round,
+/// scheduling a minimal-round runnable process — the canonical attack on
+/// round/leader-based protocols (keeps leadership contested).
+class LeaderSuppressAdversary final : public Adversary {
+ public:
+  explicit LeaderSuppressAdversary(std::uint64_t seed) : rng_(seed) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "leader-suppress"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Adaptive: attacks the shared coin. Among runnable processes it prefers
+/// one whose pending write moves the random walk back toward zero (it has
+/// seen the local flip and may reorder the write), keeping the walk away
+/// from the decision barriers as long as it can. Lemma 3.1's agreement
+/// bound must hold against exactly this adversary.
+class CoinBiasAdversary final : public Adversary {
+ public:
+  explicit CoinBiasAdversary(std::uint64_t seed) : rng_(seed) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "coin-bias"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Replays a fixed schedule (one ProcId per step), then falls back to
+/// round-robin once the script is exhausted. Skips unrunnable entries.
+/// This is the exhaustive-enumeration workhorse of the property tests:
+/// every interleaving of a small scenario is a script.
+class ScriptedAdversary final : public Adversary {
+ public:
+  explicit ScriptedAdversary(std::vector<ProcId> script)
+      : script_(std::move(script)) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "scripted"; }
+
+ private:
+  std::vector<ProcId> script_;
+  std::size_t pos_ = 0;
+  RoundRobinAdversary fallback_;
+};
+
+/// Decorator: records the inner strategy's pick sequence. Feed the
+/// recorded script to a ScriptedAdversary to replay any run exactly —
+/// the debugging loop for failures found by randomized testing:
+/// reproduce via the seed, record, then replay/bisect the schedule.
+class RecordingAdversary final : public Adversary {
+ public:
+  explicit RecordingAdversary(std::unique_ptr<Adversary> inner)
+      : inner_(std::move(inner)) {}
+  ProcId pick(SimCtl& ctl) override {
+    const ProcId p = inner_->pick(ctl);
+    if (p >= 0) script_.push_back(p);
+    return p;
+  }
+  std::string name() const override { return inner_->name() + "+rec"; }
+
+  /// The schedule so far; pass to ScriptedAdversary to replay.
+  const std::vector<ProcId>& script() const { return script_; }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  std::vector<ProcId> script_;
+};
+
+/// Decorator: crashes given processes once the global step counter passes
+/// their trigger, otherwise delegates scheduling to the inner strategy.
+class CrashPlanAdversary final : public Adversary {
+ public:
+  struct Crash {
+    std::uint64_t at_step;
+    ProcId victim;
+  };
+
+  CrashPlanAdversary(std::unique_ptr<Adversary> inner, std::vector<Crash> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override {
+    return inner_->name() + "+crashes";
+  }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  std::vector<Crash> plan_;
+  std::size_t next_ = 0;
+};
+
+/// All adversaries used by the integration test matrix, freshly seeded.
+std::vector<std::unique_ptr<Adversary>> standard_adversaries(
+    std::uint64_t seed);
+
+}  // namespace bprc

@@ -1,0 +1,232 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace bprc {
+
+namespace {
+// The fiber being entered by the current resume(); read by the trampoline
+// on the new stack. The simulator is single-threaded, but thread_local
+// keeps the thread-runtime tests honest if they ever build fibers.
+thread_local Fiber* g_entering = nullptr;
+}  // namespace
+
+// --- AddressSanitizer fiber-switch annotations -----------------------------
+//
+// ASan tracks a "fake stack" per execution stack; every switch must be
+// bracketed by start_switch/finish_switch or exception unwinding and
+// use-after-return detection misfire on the foreign stack. The helpers
+// below collapse to nothing in non-ASan builds.
+
+#if defined(__SANITIZE_ADDRESS__)
+
+void Fiber::asan_on_first_entry() {
+  // First arrival on the fresh fiber stack: no fake stack to restore yet;
+  // learn the scheduler stack's extent from the switch that got us here.
+  __sanitizer_finish_switch_fiber(nullptr, &asan_sched_bottom_,
+                                  &asan_sched_size_);
+}
+
+namespace {
+
+inline void asan_enter_fiber_begin(Fiber* f, void** sched_fake,
+                                   const char* stack, std::size_t size) {
+  (void)f;
+  __sanitizer_start_switch_fiber(sched_fake, stack, size);
+}
+inline void asan_enter_fiber_end(void* sched_fake) {
+  __sanitizer_finish_switch_fiber(sched_fake, nullptr, nullptr);
+}
+inline void asan_leave_fiber_begin(void** fiber_fake, bool final_exit,
+                                   const void* sched_bottom,
+                                   std::size_t sched_size) {
+  // Passing a null save slot tells ASan the departing fiber is done for
+  // good and its fake stack can be released.
+  __sanitizer_start_switch_fiber(final_exit ? nullptr : fiber_fake,
+                                 sched_bottom, sched_size);
+}
+inline void asan_leave_fiber_end(void* fiber_fake, const void** sched_bottom,
+                                 std::size_t* sched_size) {
+  __sanitizer_finish_switch_fiber(fiber_fake, sched_bottom, sched_size);
+}
+
+}  // namespace
+
+#define BPRC_ASAN_ENTER_BEGIN(f) \
+  asan_enter_fiber_begin((f), &(f)->asan_sched_fake_, (f)->stack_.get(), \
+                         Fiber::kStackSize)
+#define BPRC_ASAN_ENTER_END(f) asan_enter_fiber_end((f)->asan_sched_fake_)
+#define BPRC_ASAN_LEAVE_BEGIN(f, final_exit)                            \
+  asan_leave_fiber_begin(&(f)->asan_fiber_fake_, (final_exit),          \
+                         (f)->asan_sched_bottom_, (f)->asan_sched_size_)
+#define BPRC_ASAN_LEAVE_END(f)                                   \
+  asan_leave_fiber_end((f)->asan_fiber_fake_,                    \
+                       &(f)->asan_sched_bottom_, &(f)->asan_sched_size_)
+#define BPRC_ASAN_FIRST_ENTRY(f) (f)->asan_on_first_entry()
+
+#else
+
+#define BPRC_ASAN_ENTER_BEGIN(f) ((void)0)
+#define BPRC_ASAN_ENTER_END(f) ((void)0)
+#define BPRC_ASAN_LEAVE_BEGIN(f, final_exit) ((void)0)
+#define BPRC_ASAN_LEAVE_END(f) ((void)0)
+#define BPRC_ASAN_FIRST_ENTRY(f) ((void)0)
+
+#endif
+
+// ---------------------------------------------------------------------------
+
+#if !defined(BPRC_FIBER_USE_UCONTEXT)
+
+extern "C" void bprc_ctx_swap(void** save_sp, void* load_sp);
+
+namespace {
+// First function executed on a fresh fiber stack; reached via the `ret` in
+// bprc_ctx_swap, so its "return address" slot is a dummy and it must never
+// return.
+extern "C" void bprc_fiber_trampoline() {
+  Fiber* f = g_entering;
+  BPRC_ASAN_FIRST_ENTRY(f);
+  f->yield();  // complete the bootstrap resume() without running the body
+  // (unreachable until first real resume returns here)
+  BPRC_CHECK(false);
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body)
+    : body_(std::move(body)), stack_(new char[kStackSize]) {
+  // Build an initial stack image that bprc_ctx_swap can "restore": six
+  // zeroed callee-saved register slots below the trampoline's address. The
+  // dummy word on top keeps rsp ≡ 8 (mod 16) at trampoline entry, matching
+  // the ABI state just after a call instruction.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.get() + kStackSize);
+  top &= ~std::uintptr_t{15};
+  auto* sp = reinterpret_cast<void**>(top);
+  *--sp = nullptr;  // dummy word (trampoline's fake return address slot)
+  *--sp = reinterpret_cast<void*>(&bprc_fiber_trampoline);
+  for (int i = 0; i < 6; ++i) *--sp = nullptr;  // rbp, rbx, r12..r15
+  self_sp_ = sp;
+
+  // Enter the trampoline once so the fiber parks at the top of its body
+  // dispatch; afterwards resume() always continues from a yield point.
+  g_entering = this;
+  running_ = true;
+  BPRC_ASAN_ENTER_BEGIN(this);
+  bprc_ctx_swap(&return_sp_, self_sp_);
+  BPRC_ASAN_ENTER_END(this);
+  running_ = false;
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended-but-unfinished fiber leaks whatever its stack
+  // frames own. The simulator only does this for crashed processes, whose
+  // bodies by design hold no owning resources at checkpoints.
+}
+
+void Fiber::resume() {
+  BPRC_REQUIRE(!finished_, "resume() on a finished fiber");
+  BPRC_REQUIRE(!running_, "resume() on a fiber that is already running");
+  g_entering = this;
+  running_ = true;
+  BPRC_ASAN_ENTER_BEGIN(this);
+  bprc_ctx_swap(&return_sp_, self_sp_);
+  BPRC_ASAN_ENTER_END(this);
+  running_ = false;
+}
+
+void Fiber::yield() {
+  if (body_) {
+    // First entry: we are inside the bootstrap trampoline. Park here; the
+    // next resume() runs the body.
+    BPRC_ASAN_LEAVE_BEGIN(this, false);
+    bprc_ctx_swap(&self_sp_, return_sp_);
+    BPRC_ASAN_LEAVE_END(this);
+    {
+      // Scoped so the function object is destroyed before the final swap
+      // below — the fiber never runs again, so nothing on its stack would
+      // otherwise be cleaned up.
+      std::function<void()> body = std::move(body_);
+      body_ = nullptr;
+      body();
+    }
+    finished_ = true;
+    // Return control to the scheduler forever.
+    BPRC_ASAN_LEAVE_BEGIN(this, true);
+    bprc_ctx_swap(&self_sp_, return_sp_);
+    BPRC_REQUIRE(false, "finished fiber was resumed");
+  }
+  BPRC_ASAN_LEAVE_BEGIN(this, false);
+  bprc_ctx_swap(&self_sp_, return_sp_);
+  BPRC_ASAN_LEAVE_END(this);
+}
+
+#else  // ucontext fallback
+
+namespace {
+extern "C" void bprc_ucontext_entry() {
+  Fiber* f = g_entering;
+  BPRC_ASAN_FIRST_ENTRY(f);
+  f->yield();
+  BPRC_CHECK(false);
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body)
+    : body_(std::move(body)), stack_(new char[kStackSize]) {
+  BPRC_CHECK(getcontext(&self_ctx_) == 0);
+  self_ctx_.uc_stack.ss_sp = stack_.get();
+  self_ctx_.uc_stack.ss_size = kStackSize;
+  self_ctx_.uc_link = nullptr;
+  makecontext(&self_ctx_, reinterpret_cast<void (*)()>(&bprc_ucontext_entry),
+              0);
+  g_entering = this;
+  running_ = true;
+  BPRC_ASAN_ENTER_BEGIN(this);
+  BPRC_CHECK(swapcontext(&return_ctx_, &self_ctx_) == 0);
+  BPRC_ASAN_ENTER_END(this);
+  running_ = false;
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::resume() {
+  BPRC_REQUIRE(!finished_, "resume() on a finished fiber");
+  BPRC_REQUIRE(!running_, "resume() on a fiber that is already running");
+  g_entering = this;
+  running_ = true;
+  BPRC_ASAN_ENTER_BEGIN(this);
+  BPRC_CHECK(swapcontext(&return_ctx_, &self_ctx_) == 0);
+  BPRC_ASAN_ENTER_END(this);
+  running_ = false;
+}
+
+void Fiber::yield() {
+  if (body_) {
+    BPRC_ASAN_LEAVE_BEGIN(this, false);
+    BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
+    BPRC_ASAN_LEAVE_END(this);
+    {
+      // Scoped: destroyed before the final swap (see the asm variant).
+      std::function<void()> body = std::move(body_);
+      body_ = nullptr;
+      body();
+    }
+    finished_ = true;
+    BPRC_ASAN_LEAVE_BEGIN(this, true);
+    BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
+    BPRC_REQUIRE(false, "finished fiber was resumed");
+  }
+  BPRC_ASAN_LEAVE_BEGIN(this, false);
+  BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
+  BPRC_ASAN_LEAVE_END(this);
+}
+
+#endif
+
+}  // namespace bprc

@@ -1,0 +1,103 @@
+// Abstract execution environment for n asynchronous processes.
+//
+// The paper's model: n completely asynchronous processes, scheduled by a
+// strong (adaptive) adversary, communicating only through atomic registers.
+// A Runtime realizes that model. Algorithm code is written once against
+// this interface and runs unchanged on:
+//   * SimRuntime    — deterministic single-threaded fiber scheduler where a
+//                     pluggable Adversary picks who moves at every shared-
+//                     memory operation (the strong-adversary model, exactly);
+//   * ThreadRuntime — std::jthread preemptive execution (the OS scheduler
+//                     plays the adversary).
+//
+// The unit of time is one primitive shared-memory operation ("step"), the
+// complexity measure used by the paper's lemmas.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+#include "util/rng.hpp"
+
+namespace bprc {
+
+using ProcId = int;
+
+/// Description of the shared-memory operation a process is about to
+/// perform. Published at every checkpoint, and visible to the adversary —
+/// the "strong" adversary of the randomized-consensus literature sees the
+/// value a process is about to write (it has already observed the local
+/// coin flip) and may delay the write arbitrarily.
+struct OpDesc {
+  enum class Kind : std::uint8_t { kNone, kRead, kWrite };
+  Kind kind = Kind::kNone;
+  int object = -1;           ///< component-assigned shared-object id
+  std::int64_t payload = 0;  ///< value being written, when meaningful
+};
+
+/// Digest of a process's protocol state, published at checkpoints for
+/// adaptive adversaries. Everything in here is information the strong
+/// adversary legitimately has (full knowledge of all process states and
+/// past coin flips).
+struct Hint {
+  std::int32_t round = 0;    ///< protocol round (local view)
+  std::int8_t pref = -1;     ///< 0/1 preference, 2 = ⊥ ("undecided"), -1 = n/a
+  std::int8_t walk_delta = 0;///< ±1 when the pending write moves a walk counter
+  std::int64_t counter = 0;  ///< this process's current walk-counter value
+  bool decided = false;      ///< process has irrevocably decided
+};
+
+/// Thrown out of checkpoint() to unwind a process that the runtime is
+/// shutting down (crashed by the adversary, or the step budget is
+/// exhausted). Algorithm code must let it propagate — RAII-only cleanup.
+class ProcessStopped : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "bprc process stopped by runtime";
+  }
+};
+
+/// Why a run() returned.
+struct RunResult {
+  enum class Reason {
+    kAllDone,   ///< every non-crashed process finished its body
+    kBudget,    ///< the step budget was exhausted first
+    kNoRunnable ///< every unfinished process was crashed
+  };
+  Reason reason = Reason::kAllDone;
+  std::uint64_t steps = 0;  ///< total primitive operations executed
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual int nprocs() const = 0;
+
+  /// Id of the calling process. Only valid from inside a process body.
+  virtual ProcId self() const = 0;
+
+  /// Scheduling point, called by every register primitive immediately
+  /// before its atomic action. May throw ProcessStopped.
+  virtual void checkpoint(const OpDesc& op) = 0;
+
+  /// Strictly increasing logical clock; each call returns a fresh tick.
+  /// Used by components to timestamp operation intervals for the
+  /// verification library.
+  virtual std::uint64_t now() = 0;
+
+  /// The calling process's private deterministic random source (its local
+  /// coin). Only valid from inside a process body.
+  virtual Rng& rng() = 0;
+
+  /// Publishes the caller's protocol-state digest (see Hint).
+  virtual void publish_hint(const Hint& hint) = 0;
+
+  /// Primitive operations executed by process p so far.
+  virtual std::uint64_t steps(ProcId p) const = 0;
+
+  /// Primitive operations executed by all processes so far.
+  virtual std::uint64_t total_steps() const = 0;
+};
+
+}  // namespace bprc

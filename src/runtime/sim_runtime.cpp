@@ -1,0 +1,151 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+SimRuntime::SimRuntime(int nprocs, std::unique_ptr<Adversary> adversary,
+                       std::uint64_t seed)
+    : procs_(static_cast<std::size_t>(nprocs)),
+      adversary_(std::move(adversary)) {
+  BPRC_REQUIRE(nprocs > 0, "simulator needs at least one process");
+  BPRC_REQUIRE(adversary_ != nullptr, "simulator needs an adversary");
+  Rng master(seed);
+  for (auto& proc : procs_) {
+    proc.rng = master.split(static_cast<std::uint64_t>(&proc - &procs_[0]));
+  }
+}
+
+SimRuntime::~SimRuntime() {
+  // run() unwinds survivors; if run() was never called there are no
+  // started fibers (spawn only parks them before their body).
+}
+
+std::size_t SimRuntime::checked(ProcId p) const {
+  BPRC_REQUIRE(p >= 0 && p < nprocs(), "process id out of range");
+  return static_cast<std::size_t>(p);
+}
+
+void SimRuntime::spawn(ProcId p, std::function<void()> body) {
+  Proc& proc = procs_[checked(p)];
+  BPRC_REQUIRE(proc.fiber == nullptr, "process spawned twice");
+  BPRC_REQUIRE(!ran_, "spawn after run");
+  proc.fiber = std::make_unique<Fiber>([this, p, fn = std::move(body)] {
+    try {
+      fn();
+    } catch (const ProcessStopped&) {
+      // Normal shutdown path for crashed / budget-stopped processes.
+    }
+    procs_[static_cast<std::size_t>(p)].view.finished = true;
+    procs_[static_cast<std::size_t>(p)].view.runnable = false;
+  });
+  proc.view.runnable = true;
+}
+
+void SimRuntime::checkpoint(const OpDesc& op) {
+  Proc& me = procs_[checked(current_)];
+  if (me.stop) {
+    // A second checkpoint after ProcessStopped was delivered means the
+    // body caught and swallowed it; that would deadlock the teardown, so
+    // fail loudly instead.
+    BPRC_REQUIRE(!me.stop_delivered,
+                 "process swallowed ProcessStopped; bodies must let it "
+                 "propagate");
+    me.stop_delivered = true;
+    throw ProcessStopped{};
+  }
+  me.view.pending = op;
+  ++me.view.steps;
+  ++total_steps_;
+  me.fiber->yield();  // park; the run loop takes over
+  if (me.stop) {
+    me.stop_delivered = true;
+    throw ProcessStopped{};
+  }
+}
+
+Rng& SimRuntime::rng() {
+  return procs_[checked(current_)].rng;
+}
+
+void SimRuntime::publish_hint(const Hint& hint) {
+  procs_[checked(current_)].view.hint = hint;
+}
+
+void SimRuntime::crash(ProcId p) {
+  Proc& proc = procs_[checked(p)];
+  if (proc.view.finished || proc.view.crashed) return;
+  proc.view.crashed = true;
+  proc.view.runnable = false;
+  proc.stop = true;
+}
+
+bool SimRuntime::any_runnable() const {
+  for (const auto& proc : procs_) {
+    if (proc.view.runnable) return true;
+  }
+  return false;
+}
+
+RunResult SimRuntime::run(std::uint64_t max_steps) {
+  BPRC_REQUIRE(!ran_, "run() may only be called once per SimRuntime");
+  ran_ = true;
+
+  RunResult result;
+  while (true) {
+    if (!any_runnable()) {
+      // kAllDone means every *non-crashed* process finished its body;
+      // crashed processes are expected casualties, not a failed run.
+      bool survivors_finished = true;
+      bool any_survivor = false;
+      for (const auto& proc : procs_) {
+        if (proc.view.crashed) continue;
+        any_survivor = true;
+        survivors_finished = survivors_finished && proc.view.finished;
+      }
+      result.reason = (any_survivor && survivors_finished)
+                          ? RunResult::Reason::kAllDone
+                          : RunResult::Reason::kNoRunnable;
+      break;
+    }
+    if (total_steps_ >= max_steps) {
+      result.reason = RunResult::Reason::kBudget;
+      break;
+    }
+    const ProcId p = adversary_->pick(*this);
+    if (p < 0) {
+      result.reason = RunResult::Reason::kNoRunnable;
+      break;
+    }
+    Proc& proc = procs_[checked(p)];
+    BPRC_REQUIRE(proc.view.runnable, "adversary picked unrunnable process");
+    current_ = p;
+    proc.fiber->resume();
+    current_ = -1;
+  }
+
+  unwind_survivors();
+  result.steps = total_steps_;
+  return result;
+}
+
+void SimRuntime::unwind_survivors() {
+  // Give every parked, unfinished fiber one final resume with the stop
+  // flag raised so it unwinds via ProcessStopped and its destructors run.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Proc& proc = procs_[i];
+    if (proc.fiber == nullptr || proc.fiber->finished()) continue;
+    proc.stop = true;
+    proc.view.runnable = false;
+    current_ = static_cast<ProcId>(i);
+    proc.fiber->resume();
+    current_ = -1;
+    BPRC_REQUIRE(proc.fiber->finished(),
+                 "process swallowed ProcessStopped; bodies must let it "
+                 "propagate");
+  }
+}
+
+}  // namespace bprc

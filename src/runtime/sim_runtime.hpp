@@ -1,0 +1,83 @@
+// Deterministic simulator: the strong-adversary execution model.
+//
+// One fiber per simulated process; at every shared-memory operation the
+// process parks and the Adversary chooses who moves next. Given the same
+// seed, adversary, and process bodies, a run is bit-for-bit reproducible —
+// every property-test counterexample is replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/adversary.hpp"
+#include "runtime/fiber.hpp"
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+
+class SimRuntime final : public Runtime, private SimCtl {
+ public:
+  /// `seed` derives every process's local coin; the adversary carries its
+  /// own seed.
+  SimRuntime(int nprocs, std::unique_ptr<Adversary> adversary,
+             std::uint64_t seed);
+  ~SimRuntime() override;
+
+  /// Registers the body of process p. Must be called before run(); the
+  /// body starts executing only when the adversary first schedules p.
+  void spawn(ProcId p, std::function<void()> body);
+
+  /// Drives the simulation until every non-crashed process finishes or
+  /// `max_steps` primitive operations have been executed. On return, all
+  /// unfinished fibers have been unwound (ProcessStopped) so RAII cleanup
+  /// ran; the shared-memory history up to that point is untouched.
+  RunResult run(std::uint64_t max_steps);
+
+  bool crashed(ProcId p) const { return procs_[checked(p)].view.crashed; }
+  bool finished(ProcId p) const { return procs_[checked(p)].view.finished; }
+  const Hint& hint(ProcId p) const { return procs_[checked(p)].view.hint; }
+
+  // --- Runtime interface (called from inside process bodies) ---
+  int nprocs() const override { return static_cast<int>(procs_.size()); }
+  ProcId self() const override { return current_; }
+  void checkpoint(const OpDesc& op) override;
+  std::uint64_t now() override { return ++now_; }
+  Rng& rng() override;
+  void publish_hint(const Hint& hint) override;
+  std::uint64_t steps(ProcId p) const override {
+    return procs_[checked(p)].view.steps;
+  }
+  std::uint64_t total_steps() const override { return total_steps_; }
+
+ private:
+  struct Proc {
+    std::unique_ptr<Fiber> fiber;
+    SimCtl::ProcView view;
+    Rng rng{0};
+    bool stop = false;            ///< next checkpoint must throw
+    bool stop_delivered = false;  ///< ProcessStopped already thrown once
+  };
+
+  // --- SimCtl interface (called by the adversary) ---
+  const SimCtl::ProcView& proc(ProcId p) const override {
+    return procs_[checked(p)].view;
+  }
+  std::uint64_t step() const override { return total_steps_; }
+  void crash(ProcId p) override;
+
+  std::size_t checked(ProcId p) const;
+  bool any_runnable() const;
+  void unwind_survivors();
+
+  std::vector<Proc> procs_;
+  std::unique_ptr<Adversary> adversary_;
+  ProcId current_ = -1;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t now_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace bprc

@@ -1,0 +1,97 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+namespace {
+thread_local ProcId tls_self = -1;
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(int nprocs, std::uint64_t seed,
+                             double yield_prob)
+    : procs_(static_cast<std::size_t>(nprocs)), yield_prob_(yield_prob) {
+  BPRC_REQUIRE(nprocs > 0, "runtime needs at least one process");
+  Rng master(seed);
+  for (auto& proc : procs_) {
+    proc.rng = master.split(static_cast<std::uint64_t>(&proc - &procs_[0]));
+  }
+}
+
+std::size_t ThreadRuntime::checked(ProcId p) const {
+  BPRC_REQUIRE(p >= 0 && p < nprocs(), "process id out of range");
+  return static_cast<std::size_t>(p);
+}
+
+void ThreadRuntime::spawn(ProcId p, std::function<void()> body) {
+  Proc& proc = procs_[checked(p)];
+  BPRC_REQUIRE(proc.body == nullptr, "process spawned twice");
+  BPRC_REQUIRE(!ran_, "spawn after run");
+  proc.body = std::move(body);
+}
+
+ProcId ThreadRuntime::self() const {
+  BPRC_REQUIRE(tls_self >= 0, "self() called outside a process body");
+  return tls_self;
+}
+
+void ThreadRuntime::checkpoint(const OpDesc& op) {
+  (void)op;  // no adversary to show it to; the kernel schedules blindly
+  if (stop_.load(std::memory_order_relaxed)) throw ProcessStopped{};
+  Proc& me = procs_[checked(self())];
+  me.steps.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t total =
+      total_steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (total >= max_steps_) {
+    stop_.store(true, std::memory_order_relaxed);
+    throw ProcessStopped{};
+  }
+  if (yield_prob_ > 0.0 && me.rng.bernoulli(yield_prob_)) {
+    std::this_thread::yield();
+  }
+}
+
+Rng& ThreadRuntime::rng() { return procs_[checked(self())].rng; }
+
+void ThreadRuntime::publish_hint(const Hint& hint) {
+  const std::scoped_lock lock(hint_mutex_);
+  procs_[checked(self())].hint = hint;
+}
+
+std::uint64_t ThreadRuntime::steps(ProcId p) const {
+  return procs_[checked(p)].steps.load(std::memory_order_relaxed);
+}
+
+RunResult ThreadRuntime::run(std::uint64_t max_steps) {
+  BPRC_REQUIRE(!ran_, "run() may only be called once per ThreadRuntime");
+  ran_ = true;
+  max_steps_ = max_steps;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(procs_.size());
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (procs_[i].body == nullptr) continue;
+      threads.emplace_back([this, i] {
+        tls_self = static_cast<ProcId>(i);
+        try {
+          procs_[i].body();
+        } catch (const ProcessStopped&) {
+          // Budget exhausted: unwind quietly.
+        }
+        tls_self = -1;
+      });
+    }
+  }  // jthreads join here
+
+  RunResult result;
+  result.steps = total_steps_.load();
+  result.reason = stop_.load() ? RunResult::Reason::kBudget
+                               : RunResult::Reason::kAllDone;
+  return result;
+}
+
+}  // namespace bprc

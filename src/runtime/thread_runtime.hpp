@@ -1,0 +1,65 @@
+// Preemptive runtime: real OS threads, the kernel scheduler as adversary.
+//
+// Complements the deterministic simulator with genuinely concurrent
+// execution: register implementations must be linearizable under real
+// data races, not just under the simulator's serialized steps. On the
+// single-core host, optional random yields at checkpoints coax the kernel
+// into diverse interleavings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+
+class ThreadRuntime final : public Runtime {
+ public:
+  /// `yield_prob` is the probability that a checkpoint calls
+  /// std::this_thread::yield() — interleaving jitter for a 1-core host.
+  ThreadRuntime(int nprocs, std::uint64_t seed, double yield_prob = 0.05);
+
+  /// Registers the body of process p. Must be called before run().
+  void spawn(ProcId p, std::function<void()> body);
+
+  /// Starts one jthread per spawned process and joins them all. When the
+  /// step budget is exhausted, checkpoints start throwing ProcessStopped
+  /// and remaining threads unwind.
+  RunResult run(std::uint64_t max_steps);
+
+  // --- Runtime interface ---
+  int nprocs() const override { return static_cast<int>(procs_.size()); }
+  ProcId self() const override;
+  void checkpoint(const OpDesc& op) override;
+  std::uint64_t now() override { return now_.fetch_add(1) + 1; }
+  Rng& rng() override;
+  void publish_hint(const Hint& hint) override;
+  std::uint64_t steps(ProcId p) const override;
+  std::uint64_t total_steps() const override { return total_steps_.load(); }
+
+ private:
+  struct Proc {
+    std::function<void()> body;
+    Rng rng{0};
+    std::atomic<std::uint64_t> steps{0};
+    Hint hint;  ///< guarded by hint_mutex_
+  };
+
+  std::size_t checked(ProcId p) const;
+
+  std::vector<Proc> procs_;
+  double yield_prob_;
+  std::atomic<std::uint64_t> total_steps_{0};
+  std::atomic<std::uint64_t> now_{0};
+  std::atomic<bool> stop_{false};
+  std::uint64_t max_steps_ = 0;
+  mutable std::mutex hint_mutex_;
+  bool ran_ = false;
+};
+
+}  // namespace bprc

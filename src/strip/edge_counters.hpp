@@ -1,0 +1,106 @@
+// Concurrent bounded encoding of the distance graph (§4.3).
+//
+// The signed capped difference s(i,j) ∈ [−K, K] between two processes is
+// represented by a pair of counters on a cycle of size 3K:
+//
+//     e_i[j], e_j[i] ∈ {0 .. 3K−1},
+//
+// where e_i[j] lives in process i's register (written only by i) and
+// e_j[i] in j's. Decoding: let d = (e_i[j] − e_j[i]) mod 3K;
+//
+//     d ∈ {0..K}        ⇒  i leads j by d      (s(i,j) = +d)
+//     3K−d ∈ {1..K}     ⇒  j leads i by 3K−d   (s(i,j) = −(3K−d))
+//     otherwise         ⇒  corrupt (protocol invariant violation).
+//
+// Because a process only ever increments its counter while trailing or
+// while leading by < K (inc_counters below), honest executions keep the
+// clockwise gap between the two pointers within {0..K} from the leader's
+// side; the cycle size 3K (not 2K+1) leaves the slack the concurrent
+// protocol needs when increments are computed from snapshot views.
+//
+// The counters are pure data (they travel inside the scannable-memory
+// record); the functions here are the pure encode/decode/transition logic
+// shared by the consensus protocol and the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "strip/distance_graph.hpp"
+#include "util/assert.hpp"
+
+namespace bprc {
+
+/// One process's row of edge counters: entry j is e_self[j] ∈ {0..3K−1}.
+/// Entry self is unused and stays 0.
+using EdgeCounters = std::vector<std::uint8_t>;
+
+/// The all-zero initial row (everyone tied).
+inline EdgeCounters initial_edge_counters(int n) {
+  return EdgeCounters(static_cast<std::size_t>(n), 0);
+}
+
+/// Decodes the capped signed difference r_i − r_j from the two counters.
+/// Returns nullopt if the pair is not a valid encoding (which honest
+/// executions never produce; the consensus protocol asserts on it).
+inline std::optional<int> decode_edge(std::uint8_t e_ij, std::uint8_t e_ji,
+                                      int K) {
+  const int cycle = 3 * K;
+  BPRC_REQUIRE(e_ij < cycle && e_ji < cycle, "edge counter out of cycle");
+  const int d = (static_cast<int>(e_ij) - static_cast<int>(e_ji) + cycle) %
+                cycle;
+  if (d <= K) return d;            // i leads (or tie at 0)
+  if (cycle - d <= K) return -(cycle - d);  // j leads
+  return std::nullopt;
+}
+
+/// Builds the distance graph from a snapshot view of every process's edge
+/// counters (§4.3 `make_graph`). `rows[i][j]` = e_i[j].
+inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows,
+                                int K) {
+  const int n = static_cast<int>(rows.size());
+  DistanceGraph g(n, K);
+  for (int i = 0; i < n; ++i) {
+    BPRC_REQUIRE(static_cast<int>(rows[static_cast<std::size_t>(i)].size()) ==
+                     n,
+                 "edge counter row has wrong width");
+    for (int j = i + 1; j < n; ++j) {
+      const auto s = decode_edge(
+          rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+          rows[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], K);
+      BPRC_REQUIRE(s.has_value(),
+                   "scanned edge counters decode to no valid difference");
+      g.set_signed_diff(i, j, *s);
+    }
+  }
+  return g;
+}
+
+/// §4.3 `inc_graph`, the counter-level transition for process i moving up
+/// one round: for each j, increment e_i[j] (mod 3K) iff
+///   * i leads j by < K (extend the lead), or
+///   * j leads i along a tight edge (close the gap).
+/// `g` must be the graph decoded from the same snapshot as `row` (process
+/// i's own row, which only i writes, so its local copy is current).
+inline void inc_counters(int i, const DistanceGraph& g, EdgeCounters& row) {
+  const int K = g.K();
+  const int cycle = 3 * K;
+  const int n = g.nprocs();
+  const std::vector<int> d = g.all_dists();  // one FW for all tight checks
+  for (int j = 0; j < n; ++j) {
+    if (j == i) continue;
+    const int s = g.signed_diff(i, j);
+    const bool extend = s >= 0 && s < K;
+    const bool catch_up =
+        s < 0 && -s == d[static_cast<std::size_t>(j) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(i)];
+    if (extend || catch_up) {
+      auto& e = row[static_cast<std::size_t>(j)];
+      e = static_cast<std::uint8_t>((e + 1) % cycle);
+    }
+  }
+}
+
+}  // namespace bprc

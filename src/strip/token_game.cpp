@@ -1,0 +1,58 @@
+#include "strip/token_game.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+TokenGame::TokenGame(int n, int K)
+    : n_(n), k_(K), pos_(static_cast<std::size_t>(n), 0) {
+  BPRC_REQUIRE(n >= 1, "token game needs at least one token");
+  BPRC_REQUIRE(K >= 1, "token game needs K >= 1");
+  pos_ = normalize(shrink(pos_, k_), k_);
+}
+
+std::vector<std::int64_t> TokenGame::shrink(std::vector<std::int64_t> s,
+                                            int K) {
+  const std::size_t n = s.size();
+  if (n <= 1) return s;
+  // Ordering permutation π: positions ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+  // r'_{π(1)} = r_{π(1)}; each following token keeps its gap, capped at K.
+  std::vector<std::int64_t> out(n);
+  out[order[0]] = s[order[0]];
+  for (std::size_t l = 1; l < n; ++l) {
+    const std::int64_t gap = s[order[l]] - s[order[l - 1]];
+    out[order[l]] =
+        out[order[l - 1]] + std::min<std::int64_t>(gap, K);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> TokenGame::normalize(std::vector<std::int64_t> s,
+                                               int K) {
+  if (s.empty()) return s;
+  const std::int64_t mx = *std::max_element(s.begin(), s.end());
+  const std::int64_t target =
+      static_cast<std::int64_t>(K) * static_cast<std::int64_t>(s.size());
+  for (auto& v : s) v += target - mx;
+  return s;
+}
+
+void TokenGame::move_token(int i) {
+  BPRC_REQUIRE(i >= 0 && i < n_, "token index out of range");
+  pos_[static_cast<std::size_t>(i)] += 1;
+  pos_ = normalize(shrink(pos_, k_), k_);
+  // Range invariant of the normalized shrunken game: positions in [0, Kn].
+  for (const auto v : pos_) {
+    BPRC_REQUIRE(v >= 0 && v <= static_cast<std::int64_t>(k_) * n_,
+                 "normalized shrunken position left [0, K*n]");
+  }
+}
+
+}  // namespace bprc

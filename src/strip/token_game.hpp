@@ -1,0 +1,53 @@
+// The token game — sequential specification of the rounds strip (§4.1).
+//
+// Round numbers grow without bound, but the algorithm only ever acts on
+// *distances* between round numbers, and only distances up to a constant K
+// matter (Observation 1). The paper therefore replaces the unbounded strip
+// with a compressed game state obtained by two transformations applied
+// after every token move:
+//
+//   shrink_K:    any gap between consecutive tokens (in sorted order)
+//                larger than K is contracted to exactly K;
+//   normalize_K: shift all tokens so the maximum sits at K·n.
+//
+// Every position of the normalized shrunken game lies in [0, K·n] — a
+// bounded domain. This class *is* the sequential game; it is the oracle
+// against which the distance graph (§4.2) and its concurrent edge-counter
+// encoding (§4.3) are property-tested (Claim 4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bprc {
+
+class TokenGame {
+ public:
+  /// n tokens, all at position 0 (everyone tied in round 0).
+  TokenGame(int n, int K);
+
+  int nprocs() const { return n_; }
+  int K() const { return k_; }
+
+  /// move_token_i followed by shrink_K and normalize_K (the normalized
+  /// shrunken game of §4.1).
+  void move_token(int i);
+
+  /// Current normalized shrunken positions, indexed by token/process.
+  const std::vector<std::int64_t>& positions() const { return pos_; }
+
+  /// The shrink_K transformation on an arbitrary multiset of positions
+  /// (exposed for direct unit testing).
+  static std::vector<std::int64_t> shrink(std::vector<std::int64_t> s, int K);
+
+  /// The normalize_K transformation: shift so max(s) == K * n.
+  static std::vector<std::int64_t> normalize(std::vector<std::int64_t> s,
+                                             int K);
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::int64_t> pos_;
+};
+
+}  // namespace bprc

@@ -1,0 +1,104 @@
+#include "timestamp/bounded_timestamps.hpp"
+
+#include <algorithm>
+
+namespace bprc {
+
+BoundedTimestampSystem::BoundedTimestampSystem(int max_live)
+    : depth_(std::max(max_live, 1)) {
+  BPRC_REQUIRE(max_live >= 1 && max_live <= 40,
+               "timestamp system sized for 1..40 live labels");
+}
+
+std::uint64_t BoundedTimestampSystem::domain_size() const {
+  std::uint64_t size = 1;
+  for (int i = 0; i < depth_; ++i) size *= 3;
+  return size;
+}
+
+bool BoundedTimestampSystem::precedes(const Label& a, const Label& b) const {
+  BPRC_REQUIRE(static_cast<int>(a.size()) == depth_ &&
+                   static_cast<int>(b.size()) == depth_,
+               "label depth mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    // b newer iff its digit dominates at the first difference.
+    return digit_dominates(b[i], a[i]);
+  }
+  BPRC_REQUIRE(false, "precedes() on equal labels");
+  return false;
+}
+
+BoundedTimestampSystem::Label BoundedTimestampSystem::new_label(
+    const std::vector<Label>& live) const {
+  BPRC_REQUIRE(static_cast<int>(live.size()) < depth_ + 1,
+               "more live labels than the system supports");
+  std::vector<const Label*> refs;
+  refs.reserve(live.size());
+  for (const auto& label : live) {
+    BPRC_REQUIRE(static_cast<int>(label.size()) == depth_,
+                 "label depth mismatch");
+    refs.push_back(&label);
+  }
+  return new_label_from(refs, 0);
+}
+
+BoundedTimestampSystem::Label BoundedTimestampSystem::new_label_from(
+    const std::vector<const Label*>& live, std::size_t level) const {
+  Label out(static_cast<std::size_t>(depth_), 0);
+  std::vector<const Label*> current = live;
+  bool placed = current.empty();  // empty system: zeros are fine
+  for (std::size_t l = level; l < static_cast<std::size_t>(depth_); ++l) {
+    if (current.empty()) {
+      // Nothing left to dominate below this level: zeros suffice.
+      placed = true;
+      break;
+    }
+    bool present[3] = {false, false, false};
+    for (const Label* label : current) present[(*label)[l]] = true;
+    const int occupied = present[0] + present[1] + present[2];
+    BPRC_REQUIRE(occupied <= 2,
+                 "live labels occupy all three classes — the sequential "
+                 "timestamp invariant is broken (too many live labels?)");
+
+    if (occupied == 1) {
+      // One class c occupied: take the class that dominates it; the
+      // fresh sub-label starts from zeros (nothing lives there).
+      std::uint8_t c = 0;
+      for (std::uint8_t d = 0; d < 3; ++d) {
+        if (present[d]) c = d;
+      }
+      out[l] = static_cast<std::uint8_t>((c + 1) % 3);
+      return out;  // rest already zero
+    }
+    // Two classes occupied: one dominates the other; join the dominant
+    // class and recurse among its inhabitants only (strictly fewer).
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    bool first = true;
+    for (std::uint8_t d = 0; d < 3; ++d) {
+      if (!present[d]) continue;
+      if (first) {
+        a = d;
+        first = false;
+      } else {
+        b = d;
+      }
+    }
+    const std::uint8_t target = digit_dominates(a, b) ? a : b;
+    out[l] = target;
+    std::vector<const Label*> next;
+    for (const Label* label : current) {
+      if ((*label)[l] == target) next.push_back(label);
+    }
+    BPRC_REQUIRE(next.size() < current.size(),
+                 "recursion failed to shrink the live set");
+    current = std::move(next);
+  }
+  // Reaching the last level with live labels still to dominate means the
+  // system was oversubscribed (more live labels than depth supports).
+  BPRC_REQUIRE(placed, "timestamp system depth exhausted");
+  return out;
+}
+
+}  // namespace bprc

@@ -1,0 +1,75 @@
+// Bounded sequential timestamp system — the Israeli–Li technique [IL88]
+// the paper's introduction leans on:
+//
+//   "Such unbounded locking mechanisms are based on time stamping
+//    concurrent lock setting events, a process that has been shown to be
+//    modularly replaceable using bounded concurrent time-stamp systems"
+//    (citing [DS89]; the sequential core is Israeli–Li, FOCS 1987).
+//
+// A timestamp system hands out labels such that (i) a fresh label orders
+// after every currently live label, and (ii) live labels are totally
+// ordered — with UNBOUNDED integers this is trivial (max+1); the point is
+// doing it with labels from a FIXED finite domain while old labels die
+// and their bit patterns get recycled.
+//
+// Construction (recursive 3-cycles): a label is `depth` digits over
+// {0,1,2} with the cyclic dominance relation  (d+1 mod 3) ≻ d  at every
+// level. The system maintains the invariant that live labels occupy at
+// most TWO of the three top-level classes; a fresh label goes to the
+// dominant side (opening the third class when a whole class must be
+// topped), recursing into the sub-system of the dominant class — which
+// strictly fewer live labels occupy, so depth n suffices for n live
+// labels. Order: first differing digit, by cyclic dominance.
+//
+// This file provides the sequential system (one label-taking at a time —
+// what the derived [ADS89] exponential-time bounded consensus needs under
+// a lock); making it concurrent is the [DS89] result the paper cites and
+// deliberately *avoids needing* for its own polynomial algorithm. The
+// property tests validate order-isomorphism with unbounded integer
+// timestamps over long random live/die histories.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+class BoundedTimestampSystem {
+ public:
+  /// A label: `depth()` digits, most significant first, each in {0,1,2}.
+  using Label = std::vector<std::uint8_t>;
+
+  /// Supports up to `max_live` simultaneously live labels.
+  explicit BoundedTimestampSystem(int max_live);
+
+  int depth() const { return depth_; }
+
+  /// The label the system starts from (oldest possible).
+  Label initial_label() const { return Label(static_cast<std::size_t>(depth_), 0); }
+
+  /// A fresh label ordering after every label in `live` (which must hold
+  /// at most max_live-1 entries, each of exactly depth() digits).
+  Label new_label(const std::vector<Label>& live) const;
+
+  /// True iff label `a` orders before (is older than) label `b`.
+  /// Requires a != b (equal labels are the same timestamp).
+  bool precedes(const Label& a, const Label& b) const;
+
+  /// Cyclic dominance at one level: x beats y iff x == y+1 (mod 3).
+  static bool digit_dominates(std::uint8_t x, std::uint8_t y) {
+    return x == (y + 1) % 3;
+  }
+
+  /// Total number of distinct labels = 3^depth — the bounded domain.
+  std::uint64_t domain_size() const;
+
+ private:
+  Label new_label_from(const std::vector<const Label*>& live,
+                       std::size_t level) const;
+
+  int depth_;
+};
+
+}  // namespace bprc

@@ -1,0 +1,35 @@
+// Invariant-checking macros for algorithm-level assertions.
+//
+// These guard *protocol invariants* (e.g. "an edge counter never leaves
+// {0..3K-1}", "no two processes decide differently"), not programmer
+// convenience checks, so they stay active in release builds. A violated
+// invariant means the reproduction diverged from the paper's claims and
+// must abort loudly rather than produce silently-wrong statistics.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bprc::detail {
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const char* msg) {
+  std::fprintf(stderr, "BPRC invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bprc::detail
+
+// Always-on invariant check with an explanatory message.
+#define BPRC_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::bprc::detail::invariant_failure(#expr, __FILE__, __LINE__,    \
+                                        (msg));                       \
+    }                                                                 \
+  } while (0)
+
+// Always-on invariant check without a message.
+#define BPRC_CHECK(expr) BPRC_REQUIRE(expr, nullptr)

@@ -1,0 +1,36 @@
+// Environment-variable knobs for the experiment harnesses.
+//
+// Every bench binary runs to completion with no arguments on a laptop-class
+// single core; BPRC_SCALE multiplies Monte-Carlo trial counts for
+// higher-fidelity runs (e.g. BPRC_SCALE=10 for publication-grade CIs).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bprc {
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable.
+inline std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+/// Global trial-count multiplier for experiment harnesses.
+inline double env_scale() {
+  const std::int64_t s = env_int("BPRC_SCALE", 1);
+  return s < 1 ? 1.0 : static_cast<double>(s);
+}
+
+/// Scales a base trial count by BPRC_SCALE.
+inline std::uint64_t scaled_trials(std::uint64_t base) {
+  return static_cast<std::uint64_t>(static_cast<double>(base) * env_scale());
+}
+
+}  // namespace bprc

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+void Table::add_row(std::vector<std::string> cells) {
+  BPRC_REQUIRE(cells.size() == headers_.size(),
+               "table row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+    return out;
+  };
+
+  std::string out = render_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string Table::prob_ci(double p, double lo, double hi) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.4f [%.4f, %.4f]", p, lo, hi);
+  return buf;
+}
+
+void print_banner(const std::string& id, const std::string& title) {
+  std::string line(72, '=');
+  std::printf("\n%s\n%s: %s\n%s\n", line.c_str(), id.c_str(), title.c_str(),
+              line.c_str());
+}
+
+}  // namespace bprc

@@ -1,0 +1,44 @@
+// Fixed-width text table printer.
+//
+// Every experiment harness in bench/ prints through this so the regenerated
+// "tables" of EXPERIMENTS.md share one format and can be diffed across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bprc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to a string with a header rule and column alignment.
+  std::string render() const;
+
+  /// Convenience: render to stdout.
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 3);
+  /// Formats an integer count.
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string num(int v) { return num(static_cast<std::int64_t>(v)); }
+  /// Formats "p [lo, hi]" for a probability with its confidence interval.
+  static std::string prob_ci(double p, double lo, double hi);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (experiment id + description) around tables.
+void print_banner(const std::string& id, const std::string& title);
+
+}  // namespace bprc

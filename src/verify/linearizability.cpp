@@ -1,0 +1,81 @@
+#include "verify/linearizability.hpp"
+
+#include <mutex>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+namespace {
+
+std::mutex g_recorder_mutex;
+
+struct Search {
+  const std::vector<RegOp>& ops;
+  std::unordered_set<std::uint64_t> failed;  // memo of dead (mask,value) states
+
+  static std::uint64_t key(std::uint64_t mask, std::uint64_t value) {
+    // Mix the register value into the mask; histories use small values so
+    // a multiplicative mix suffices for the memo.
+    return mask ^ (value * 0x9E3779B97F4A7C15ULL + 0x1234567);
+  }
+
+  bool dfs(std::uint64_t done_mask, std::uint64_t value) {
+    const std::uint64_t n = ops.size();
+    if (done_mask == (n == 64 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << n) - 1))) {
+      return true;
+    }
+    const std::uint64_t k = key(done_mask, value);
+    if (failed.contains(k)) return false;
+
+    // Frontier: op i may linearize next iff no other pending op responded
+    // before i was invoked.
+    std::uint64_t min_res = ~std::uint64_t{0};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!(done_mask & (std::uint64_t{1} << i))) {
+        min_res = std::min(min_res, ops[i].res);
+      }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      const RegOp& op = ops[i];
+      if (op.inv > min_res) continue;  // some pending op responded first
+      if (!op.is_write && op.value != value) continue;  // read must match
+      const std::uint64_t next_value = op.is_write ? op.value : value;
+      if (dfs(done_mask | (std::uint64_t{1} << i), next_value)) return true;
+    }
+    failed.insert(k);
+    return false;
+  }
+};
+
+}  // namespace
+
+LinResult check_register_linearizable(const std::vector<RegOp>& history,
+                                      std::uint64_t initial_value) {
+  BPRC_REQUIRE(history.size() <= 64,
+               "linearizability checker limited to 64 operations");
+  for (const RegOp& op : history) {
+    BPRC_REQUIRE(op.inv < op.res, "operation interval must be non-empty");
+  }
+  Search search{history, {}};
+  if (search.dfs(0, initial_value)) return {true, {}};
+
+  std::string witness = "no linearization exists; history:";
+  for (const RegOp& op : history) {
+    witness += "\n  p" + std::to_string(op.proc) +
+               (op.is_write ? " write(" : " read->") +
+               std::to_string(op.value) + (op.is_write ? ")" : "") + " [" +
+               std::to_string(op.inv) + "," + std::to_string(op.res) + "]";
+  }
+  return {false, witness};
+}
+
+void RegOpRecorder::append(const RegOp& op) {
+  const std::scoped_lock lock(g_recorder_mutex);
+  ops_.push_back(op);
+}
+
+}  // namespace bprc

@@ -1,0 +1,159 @@
+#include "verify/snapshot_props.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+namespace {
+
+/// Interval of an operation execution. Index 0 (initial value) gets the
+/// empty interval [0,0], which precedes every real operation.
+struct Interval {
+  std::uint64_t inv = 0;
+  std::uint64_t res = 0;
+};
+
+/// Per-writer table of write intervals keyed by ghost index.
+struct WriteTable {
+  // writes_by[j][a] = interval of the a-th write execution by process j.
+  std::vector<std::map<std::uint64_t, Interval>> writes_by;
+
+  explicit WriteTable(const SnapshotHistory& h)
+      : writes_by(static_cast<std::size_t>(h.nprocs)) {
+    for (auto& per : writes_by) per.emplace(0, Interval{0, 0});
+    for (const auto& w : h.writes) {
+      BPRC_REQUIRE(w.writer >= 0 && w.writer < h.nprocs,
+                   "write record with bad writer id");
+      writes_by[static_cast<std::size_t>(w.writer)].emplace(
+          w.index, Interval{w.inv, w.res});
+    }
+  }
+
+  const Interval* find(ProcId j, std::uint64_t index) const {
+    const auto& per = writes_by[static_cast<std::size_t>(j)];
+    const auto it = per.find(index);
+    return it == per.end() ? nullptr : &it->second;
+  }
+
+  /// Definition 2.1: write (j, a) potentially coexists with operation
+  /// interval `o` iff it can-affect o (inv before o's response) and no
+  /// later write by j responded before o was invoked.
+  bool potentially_coexists(ProcId j, std::uint64_t a, Interval o) const {
+    const Interval* w = find(j, a);
+    BPRC_REQUIRE(w != nullptr, "scan returned an unrecorded write index");
+    if (!(w->inv < o.res || a == 0)) return false;  // can-affect
+    const auto& per = writes_by[static_cast<std::size_t>(j)];
+    for (auto it = per.upper_bound(a); it != per.end(); ++it) {
+      if (it->second.res < o.inv) return false;  // later write fully before o
+    }
+    return true;
+  }
+};
+
+std::string describe_scan(const SnapScanRec& s) {
+  return "scan by p" + std::to_string(s.scanner) + " [" +
+         std::to_string(s.inv) + "," + std::to_string(s.res) + "]";
+}
+
+}  // namespace
+
+std::optional<std::string> check_p1_regularity(const SnapshotHistory& h) {
+  const WriteTable table(h);
+  for (const auto& s : h.scans) {
+    BPRC_REQUIRE(static_cast<int>(s.view.size()) == h.nprocs,
+                 "scan view width must equal process count");
+    for (ProcId j = 0; j < h.nprocs; ++j) {
+      const auto a = s.view[static_cast<std::size_t>(j)];
+      if (!table.potentially_coexists(j, a, Interval{s.inv, s.res})) {
+        return "P1 violated: " + describe_scan(s) + " returned write #" +
+               std::to_string(a) + " of p" + std::to_string(j) +
+               " which does not potentially coexist with the scan";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_p2_snapshot(const SnapshotHistory& h) {
+  const WriteTable table(h);
+  for (const auto& s : h.scans) {
+    for (ProcId i = 0; i < h.nprocs; ++i) {
+      for (ProcId j = i + 1; j < h.nprocs; ++j) {
+        const auto a = s.view[static_cast<std::size_t>(i)];
+        const auto b = s.view[static_cast<std::size_t>(j)];
+        const Interval* wi = table.find(i, a);
+        const Interval* wj = table.find(j, b);
+        BPRC_REQUIRE(wi != nullptr && wj != nullptr,
+                     "scan returned an unrecorded write index");
+        const bool ij = table.potentially_coexists(i, a, *wj);
+        const bool ji = table.potentially_coexists(j, b, *wi);
+        if (!ij && !ji) {
+          return "P2 violated: " + describe_scan(s) + " returned write #" +
+                 std::to_string(a) + " of p" + std::to_string(i) +
+                 " and write #" + std::to_string(b) + " of p" +
+                 std::to_string(j) +
+                 ", neither of which potentially coexists with the other";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_p3_serializability(const SnapshotHistory& h) {
+  for (std::size_t x = 0; x < h.scans.size(); ++x) {
+    for (std::size_t y = x + 1; y < h.scans.size(); ++y) {
+      const auto& sa = h.scans[x];
+      const auto& sb = h.scans[y];
+      bool a_le_b = true;
+      bool b_le_a = true;
+      for (ProcId i = 0; i < h.nprocs; ++i) {
+        const auto ai = sa.view[static_cast<std::size_t>(i)];
+        const auto bi = sb.view[static_cast<std::size_t>(i)];
+        a_le_b = a_le_b && (ai <= bi);
+        b_le_a = b_le_a && (bi <= ai);
+      }
+      if (!a_le_b && !b_le_a) {
+        return "P3 violated: views of " + describe_scan(sa) + " and " +
+               describe_scan(sb) + " are incomparable";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_realtime_scan_order(
+    const SnapshotHistory& h) {
+  for (std::size_t x = 0; x < h.scans.size(); ++x) {
+    for (std::size_t y = 0; y < h.scans.size(); ++y) {
+      const auto& sa = h.scans[x];
+      const auto& sb = h.scans[y];
+      if (!(sa.res < sb.inv)) continue;  // only real-time-ordered pairs
+      for (ProcId i = 0; i < h.nprocs; ++i) {
+        const auto ai = sa.view[static_cast<std::size_t>(i)];
+        const auto bi = sb.view[static_cast<std::size_t>(i)];
+        if (ai > bi) {
+          return "real-time order violated: " + describe_scan(sa) +
+                 " precedes " + describe_scan(sb) + " but returned write #" +
+                 std::to_string(ai) + " > #" + std::to_string(bi) + " of p" +
+                 std::to_string(i);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_snapshot_properties(
+    const SnapshotHistory& h) {
+  if (auto err = check_p1_regularity(h)) return err;
+  if (auto err = check_p2_snapshot(h)) return err;
+  if (auto err = check_p3_serializability(h)) return err;
+  if (auto err = check_realtime_scan_order(h)) return err;
+  return std::nullopt;
+}
+
+}  // namespace bprc

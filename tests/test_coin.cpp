@@ -1,0 +1,228 @@
+// Shared-coin tests (§3): deterministic unit tests of the decision logic,
+// then statistical validation of Lemmas 3.1–3.4 in the simulator under
+// benign and coin-attacking adversaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "coin/coin_logic.hpp"
+#include "coin/shared_coin.hpp"
+#include "coin/unbounded_coin.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "util/stats.hpp"
+
+namespace bprc {
+namespace {
+
+TEST(CoinLogic, StandardParamsShape) {
+  const CoinParams p = CoinParams::standard(5, 4);
+  EXPECT_EQ(p.n, 5);
+  EXPECT_EQ(p.b, 4);
+  EXPECT_EQ(p.m, std::int64_t{100} * 100);  // (4*(b+1)*n)^2 = (4*5*5)^2
+}
+
+TEST(CoinLogic, ThresholdsExactlyAtBarrier) {
+  const CoinParams p{3, 2, 1000};  // barrier = b*n = 6
+  std::vector<std::int64_t> c{2, 2, 2};  // walk = 6: NOT strictly above
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kUndecided);
+  c = {3, 2, 2};  // walk = 7 > 6
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kHeads);
+  c = {-3, -2, -2};  // walk = -7 < -6
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kTails);
+  c = {0, 0, 0};
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kUndecided);
+}
+
+TEST(CoinLogic, OwnOverflowForcesHeadsEvenAgainstTailsWalk) {
+  const CoinParams p{2, 2, 10};  // m = 10, barrier = 4
+  // Own counter at m+1: rule 1 fires before the walk rules.
+  std::vector<std::int64_t> c{11, -9};
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kHeads);
+  c = {-11, -9};  // walk = -20 < -4: tails territory...
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kHeads);  // ...but p0 overflowed
+  // The same view read by the OTHER process (own counter in range) is
+  // tails via rule 3.
+  EXPECT_EQ(coin_value(c, 1, p), CoinValue::kTails);
+}
+
+TEST(CoinLogic, OwnCounterAtExactlyMIsNotOverflow) {
+  const CoinParams p{2, 2, 10};
+  std::vector<std::int64_t> c{10, 0};  // walk = 10 > 4
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kHeads);  // via rule 2, fine
+  c = {10, -20};  // walk = -10 < -4, own counter still in range
+  EXPECT_EQ(coin_value(c, 0, p), CoinValue::kTails);
+}
+
+TEST(CoinLogic, WalkStepSaturatesAtMPlusOne) {
+  const CoinParams p{2, 2, 5};
+  EXPECT_EQ(walk_step(5, true, p), 6);
+  EXPECT_EQ(walk_step(6, true, p), 6);   // saturation
+  EXPECT_EQ(walk_step(-6, false, p), -6);
+  EXPECT_EQ(walk_step(0, false, p), -1);
+  EXPECT_EQ(walk_step(6, false, p), 5);  // can come back down
+}
+
+TEST(CoinLogic, ToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(CoinValue::kHeads), "heads");
+  EXPECT_STREQ(to_string(CoinValue::kTails), "tails");
+  EXPECT_STREQ(to_string(CoinValue::kUndecided), "undecided");
+}
+
+// ---------------------------------------------------------------------------
+// Statistical properties (Lemmas 3.1, 3.2)
+// ---------------------------------------------------------------------------
+
+struct TossOutcome {
+  int heads = 0;
+  int tails = 0;
+  std::uint64_t walk_steps = 0;
+  std::uint64_t overflows = 0;
+  bool done = false;
+};
+
+TossOutcome toss_once(int n, int b, std::unique_ptr<Adversary> adv,
+                      std::uint64_t seed) {
+  SimRuntime rt(n, std::move(adv), seed);
+  const CoinParams params = CoinParams::standard(n, b);
+  SharedCoin coin(rt, params);
+  std::vector<CoinValue> results(static_cast<std::size_t>(n),
+                                 CoinValue::kUndecided);
+  for (ProcId p = 0; p < n; ++p) {
+    rt.spawn(p, [&coin, &results, p] {
+      results[static_cast<std::size_t>(p)] = coin.toss();
+    });
+  }
+  const RunResult res = rt.run(50'000'000);
+  TossOutcome out;
+  out.done = res.reason == RunResult::Reason::kAllDone;
+  for (const auto v : results) {
+    out.heads += v == CoinValue::kHeads;
+    out.tails += v == CoinValue::kTails;
+  }
+  out.walk_steps = coin.walk_steps();
+  out.overflows = coin.overflows();
+  EXPECT_LE(coin.max_counter_magnitude(), params.m + 1)
+      << "bounded counter left its domain";
+  return out;
+}
+
+class CoinAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CoinAgreement, DisagreementStaysUnderLemma31Bound) {
+  const auto [n, advk] = GetParam();
+  const int b = 4;
+  Proportion disagree;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    auto advs = standard_adversaries(seed * 31 + 7);
+    const auto out =
+        toss_once(n, b, std::move(advs[static_cast<std::size_t>(advk)]), seed);
+    ASSERT_TRUE(out.done);
+    ASSERT_EQ(out.heads + out.tails, n);  // everyone decided something
+    disagree.add(out.heads != 0 && out.tails != 0);
+  }
+  // Lemma 3.1: disagreement probability ≤ 1/b = 0.25. With 60 trials the
+  // Wilson lower bound must not exceed the bound (one-sided check).
+  EXPECT_LT(disagree.wilson95().low, 1.0 / b)
+      << "measured " << disagree.estimate();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CoinAgreement,
+    ::testing::Combine(::testing::Values(2, 3, 5),
+                       ::testing::Values(0, 2, 4)));  // random, lockstep,
+                                                      // coin-bias
+
+TEST(CoinSteps, QuadraticInNUnderRandomSchedule) {
+  // Lemma 3.2: expected walk steps O((b+1)^2 n^2). Check that steps/n^2
+  // does not blow up across n (ratio between largest and smallest stays
+  // within a small factor).
+  const int b = 2;
+  std::vector<double> per_n2;
+  for (const int n : {2, 4, 8}) {
+    RunningStat steps;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      const auto out = toss_once(
+          n, b, std::make_unique<RandomAdversary>(seed ^ 0x99), seed);
+      ASSERT_TRUE(out.done);
+      steps.add(static_cast<double>(out.walk_steps));
+    }
+    per_n2.push_back(steps.mean() / (n * n));
+  }
+  const double lo = *std::min_element(per_n2.begin(), per_n2.end());
+  const double hi = *std::max_element(per_n2.begin(), per_n2.end());
+  EXPECT_LT(hi / lo, 8.0) << "walk steps not scaling ~n^2";
+  // And the absolute constant is in the right ballpark: ≤ 4·(b+1)²·n².
+  EXPECT_LT(hi, 4.0 * (b + 1) * (b + 1));
+}
+
+TEST(CoinOverflow, NeverFiresWithStandardM) {
+  // With m = (4(b+1)n)², an overflow would require a counter excursion of
+  // ~16x the walk barrier; across this whole matrix it must never happen
+  // (Lemma 3.4 puts it at well under 1e-3).
+  std::uint64_t total_overflows = 0;
+  for (const int n : {2, 4}) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      const auto out = toss_once(
+          n, 4, std::make_unique<CoinBiasAdversary>(seed), seed);
+      ASSERT_TRUE(out.done);
+      total_overflows += out.overflows;
+    }
+  }
+  EXPECT_EQ(total_overflows, 0u);
+}
+
+TEST(CoinOverflow, TinyMForcesOverflowHeads) {
+  // Degenerate m = 0: the first walk step overflows and the process must
+  // answer heads through rule 1.
+  SimRuntime rt(2, std::make_unique<RoundRobinAdversary>(), 3);
+  CoinParams params{2, 4, 0};
+  SharedCoin coin(rt, params);
+  std::vector<CoinValue> results(2, CoinValue::kUndecided);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&coin, &results, p] {
+      results[static_cast<std::size_t>(p)] = coin.toss();
+    });
+  }
+  ASSERT_EQ(rt.run(1'000'000).reason, RunResult::Reason::kAllDone);
+  EXPECT_GE(coin.overflows(), 1u);
+  for (const auto v : results) EXPECT_EQ(v, CoinValue::kHeads);
+}
+
+TEST(CoinDeterminism, SameSeedSameOutcome) {
+  auto once = [](std::uint64_t seed) {
+    const auto out = toss_once(3, 4, std::make_unique<RandomAdversary>(seed),
+                               seed);
+    return std::make_tuple(out.heads, out.tails, out.walk_steps);
+  };
+  EXPECT_EQ(once(12), once(12));
+}
+
+TEST(UnboundedCoin, AgreesAndTerminates) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SimRuntime rt(3, std::make_unique<RandomAdversary>(seed), seed);
+    UnboundedCoin coin(rt, CoinParams::standard(3, 4));
+    std::vector<CoinValue> results(3, CoinValue::kUndecided);
+    for (ProcId p = 0; p < 3; ++p) {
+      rt.spawn(p, [&coin, &results, p] {
+        results[static_cast<std::size_t>(p)] = coin.toss();
+      });
+    }
+    ASSERT_EQ(rt.run(50'000'000).reason, RunResult::Reason::kAllDone);
+    for (const auto v : results) EXPECT_NE(v, CoinValue::kUndecided);
+  }
+}
+
+TEST(CoinLogicDeath, ViewWidthMustMatchN) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const CoinParams p{3, 2, 10};
+  const std::vector<std::int64_t> short_view{0, 0};
+  EXPECT_DEATH((void)coin_value(short_view, 0, p), "width");
+}
+
+}  // namespace
+}  // namespace bprc

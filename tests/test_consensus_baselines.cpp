@@ -1,0 +1,177 @@
+// Baseline protocols (AH88, A88-style local coin, CIL87-style strong
+// coin): same correctness matrix as BPRC, plus the memory-growth
+// characteristics each baseline exists to demonstrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "consensus/abrahamson.hpp"
+#include "consensus/aspnes_herlihy.hpp"
+#include "consensus/driver.hpp"
+#include "consensus/strong_coin.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bprc {
+namespace {
+
+constexpr std::uint64_t kBudget = 80'000'000;
+
+ProtocolFactory ah_factory(int n) {
+  return [n](Runtime& rt) {
+    return std::make_unique<AspnesHerlihyConsensus>(rt,
+                                                    CoinParams::standard(n));
+  };
+}
+ProtocolFactory local_coin_factory() {
+  return [](Runtime& rt) { return std::make_unique<LocalCoinConsensus>(rt); };
+}
+ProtocolFactory strong_factory(std::uint64_t coin_seed) {
+  return [coin_seed](Runtime& rt) {
+    return std::make_unique<StrongCoinConsensus>(rt, coin_seed);
+  };
+}
+
+struct Arm {
+  const char* name;
+  ProtocolFactory factory;
+};
+
+std::vector<Arm> arms(int n, std::uint64_t seed) {
+  return {{"aspnes-herlihy", ah_factory(n)},
+          {"local-coin", local_coin_factory()},
+          {"strong-coin", strong_factory(seed ^ 0xC01)}};
+}
+
+class BaselineMatrix : public ::testing::TestWithParam<
+                           std::tuple<int, int, int, std::uint64_t>> {};
+
+TEST_P(BaselineMatrix, ConsistentValidTerminating) {
+  const auto [n, arm_idx, advk, seed] = GetParam();
+  // Local-coin at n >= 6 under hostile schedulers can take exponentially
+  // long; the matrix keeps it within reach (that growth is measured, not
+  // tested, in bench_baselines).
+  const auto patterns = standard_input_patterns(n, seed);
+  auto advs = standard_adversaries(seed * 271 + 3);
+  const Arm arm = arms(n, seed)[static_cast<std::size_t>(arm_idx)];
+  const auto res = run_consensus_sim(
+      arm.factory, patterns[2],  // half/half split
+      std::move(advs[static_cast<std::size_t>(advk)]), seed, kBudget);
+  EXPECT_TRUE(res.all_decided) << arm.name << ": termination failure";
+  EXPECT_TRUE(res.consistent) << arm.name << ": CONSISTENCY VIOLATION";
+  EXPECT_TRUE(res.valid) << arm.name << ": VALIDITY VIOLATION";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BaselineMatrix,
+    ::testing::Combine(::testing::Values(2, 3, 5),  // n
+                       ::testing::Range(0, 3),      // protocol arm
+                       ::testing::Range(0, 5),      // adversary
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+class BaselineUnanimity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BaselineUnanimity, UnanimousInputsDecideThatValue) {
+  const auto [arm_idx, input] = GetParam();
+  const int n = 4;
+  const Arm arm = arms(n, 5)[static_cast<std::size_t>(arm_idx)];
+  const auto res = run_consensus_sim(
+      arm.factory, std::vector<int>(n, input),
+      std::make_unique<RandomAdversary>(5), 5, kBudget);
+  ASSERT_TRUE(res.ok()) << arm.name;
+  for (const int d : res.decisions) EXPECT_EQ(d, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, BaselineUnanimity,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Values(0, 1)));
+
+TEST(AspnesHerlihy, MemoryGrowsWithExecution) {
+  // The point of the comparison: AH88 stores round numbers and an
+  // ever-growing coin strip in shared registers.
+  const auto res = run_consensus_sim(
+      ah_factory(4), {0, 1, 0, 1},
+      std::make_unique<CoinBiasAdversary>(3), 3, kBudget);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.footprint.bounded);
+  EXPECT_GE(res.footprint.max_round_stored, 2);
+  // If any coin was flipped, locations were allocated and never freed.
+  if (res.footprint.coin_locations > 0) {
+    EXPECT_GE(res.footprint.max_counter, 1);
+  }
+}
+
+TEST(AspnesHerlihy, CrashToleranceMatchesBPRC) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::vector<CrashPlanAdversary::Crash> plan{
+        {seed * 20 + 50, 0}, {seed * 20 + 300, 1}};
+    auto adv = std::make_unique<CrashPlanAdversary>(
+        std::make_unique<RandomAdversary>(seed), plan);
+    const auto res = run_consensus_sim(ah_factory(4), {0, 1, 1, 0},
+                                       std::move(adv), seed, kBudget);
+    EXPECT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.consistent) << seed;
+  }
+}
+
+TEST(LocalCoin, ExpectedPhasesGrowWithN) {
+  // The exponential trend (E7's shape): median re-randomization count
+  // grows sharply from n=2 to n=6 under the lockstep schedule.
+  auto median_version = [](int n) {
+    std::vector<std::int64_t> versions;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      std::vector<int> inputs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) inputs[static_cast<std::size_t>(i)] = i % 2;
+      const auto res = run_consensus_sim(
+          local_coin_factory(), inputs,
+          std::make_unique<LockstepAdversary>(seed), seed, kBudget);
+      EXPECT_TRUE(res.ok());
+      versions.push_back(res.max_round);
+    }
+    std::sort(versions.begin(), versions.end());
+    return versions[versions.size() / 2];
+  };
+  const auto m2 = median_version(2);
+  const auto m6 = median_version(6);
+  EXPECT_GT(m6, m2 * 2) << "m2=" << m2 << " m6=" << m6;
+}
+
+TEST(StrongCoin, DecidesInVeryFewRounds) {
+  // The perfect shared coin settles each contested round with probability
+  // 1/2 for each side but with zero disagreement; rounds stay tiny.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto res = run_consensus_sim(
+        strong_factory(seed), {0, 1, 0, 1},
+        std::make_unique<LeaderSuppressAdversary>(seed), seed, kBudget);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res.max_round, 25);
+  }
+}
+
+TEST(AtomicCoinFlip, SamePhaseSameBitForAllCallers) {
+  SimRuntime rt(4, std::make_unique<RandomAdversary>(2), 2);
+  AtomicCoinFlip coin(rt, 99);
+  std::vector<std::vector<bool>> bits(4);
+  for (ProcId p = 0; p < 4; ++p) {
+    rt.spawn(p, [&coin, &bits, p] {
+      for (std::int64_t phase = 0; phase < 20; ++phase) {
+        bits[static_cast<std::size_t>(p)].push_back(coin.flip(phase));
+      }
+    });
+  }
+  ASSERT_EQ(rt.run(1'000'000).reason, RunResult::Reason::kAllDone);
+  for (ProcId p = 1; p < 4; ++p) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(p)], bits[0]);
+  }
+  // And the bits are not constant (20 fair flips all equal: p = 2^-19).
+  bool all_same = true;
+  for (const bool b : bits[0]) all_same = all_same && (b == bits[0][0]);
+  EXPECT_FALSE(all_same);
+  EXPECT_EQ(coin.phases_used(), 20u);
+}
+
+}  // namespace
+}  // namespace bprc

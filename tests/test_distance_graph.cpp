@@ -1,0 +1,210 @@
+// Distance graph tests (§4.2), including the Claim 4.1 property test: the
+// abstract inc(i,G) transformation tracks the sequential normalized
+// shrunken token game exactly — exhaustively for small n, randomized for
+// larger n.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "strip/distance_graph.hpp"
+#include "strip/token_game.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+namespace {
+
+TEST(DistanceGraph, InitialStateAllTied) {
+  const DistanceGraph g(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_TRUE(g.has_edge(i, j));  // property 1: ties have both edges
+      EXPECT_EQ(g.signed_diff(i, j), 0);
+    }
+    EXPECT_TRUE(g.is_leader(i));
+  }
+}
+
+TEST(DistanceGraph, FromPositionsCapsAtK) {
+  const DistanceGraph g = DistanceGraph::from_positions({0, 10, 3}, 2);
+  EXPECT_EQ(g.signed_diff(1, 0), 2);   // capped
+  EXPECT_EQ(g.signed_diff(0, 1), -2);  // antisymmetric
+  EXPECT_EQ(g.signed_diff(1, 2), 2);
+  EXPECT_EQ(g.signed_diff(2, 0), 2);   // 3-0 = 3, capped to 2
+}
+
+TEST(DistanceGraph, EdgeDirectionFollowsOrder) {
+  const DistanceGraph g = DistanceGraph::from_positions({5, 3}, 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.weight(0, 1), 2);
+}
+
+TEST(DistanceGraph, LeaderIsMaximalToken) {
+  const DistanceGraph g = DistanceGraph::from_positions({4, 7, 7, 2}, 3);
+  EXPECT_FALSE(g.is_leader(0));
+  EXPECT_TRUE(g.is_leader(1));
+  EXPECT_TRUE(g.is_leader(2));  // co-leaders both maximal
+  EXPECT_FALSE(g.is_leader(3));
+}
+
+TEST(DistanceGraph, DistRecoversExactShrunkDifferenceThroughChain) {
+  // Positions from a shrunken game: consecutive gaps ≤ K, so dist()
+  // reconstructs the true difference even where the direct edge is capped.
+  const DistanceGraph g = DistanceGraph::from_positions({0, 2, 4}, 2);
+  EXPECT_EQ(g.dist(2, 0), 4);           // via the chain 2 -> 1 -> 0
+  EXPECT_EQ(g.signed_diff(2, 0), 2);    // the direct edge is capped
+  EXPECT_EQ(g.dist(2, 1), 2);
+  EXPECT_EQ(g.dist(1, 0), 2);
+  EXPECT_EQ(g.dist(0, 2), -1);          // no path uphill
+}
+
+TEST(DistanceGraph, DistOfSelfIsZero) {
+  const DistanceGraph g = DistanceGraph::from_positions({1, 5}, 2);
+  EXPECT_EQ(g.dist(0, 0), 0);
+  EXPECT_EQ(g.dist(1, 1), 0);
+}
+
+TEST(DistanceGraph, TightnessSeparatesRealFromSlackEdges) {
+  const DistanceGraph g = DistanceGraph::from_positions({0, 2, 4}, 2);
+  EXPECT_TRUE(g.edge_is_tight(1, 0));    // 2-0 = 2 = weight
+  EXPECT_TRUE(g.edge_is_tight(2, 1));
+  EXPECT_FALSE(g.edge_is_tight(2, 0));   // real gap 4 > stored 2: slack
+  EXPECT_FALSE(g.edge_is_tight(0, 2));   // not even an edge
+}
+
+TEST(DistanceGraph, DistAgainstBruteForceEnumeration) {
+  // Cross-check Floyd–Warshall max-plus against explicit enumeration of
+  // all simple paths, on random graphs derived from game positions.
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5;
+    const int K = 2;
+    TokenGame game(n, K);
+    for (int m = 0; m < 40; ++m) {
+      game.move_token(static_cast<int>(rng.below(n)));
+    }
+    const DistanceGraph g = DistanceGraph::from_positions(game.positions(), K);
+
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        // Brute force: DFS over simple paths maximizing weight.
+        int best = -1;
+        std::vector<bool> used(static_cast<std::size_t>(n), false);
+        std::function<void(int, int)> dfs = [&](int at, int acc) {
+          if (at == j) {
+            best = std::max(best, acc);
+            return;
+          }
+          used[static_cast<std::size_t>(at)] = true;
+          for (int k = 0; k < n; ++k) {
+            if (used[static_cast<std::size_t>(k)] || !g.has_edge(at, k) ||
+                k == at) {
+              continue;
+            }
+            dfs(k, acc + g.weight(at, k));
+          }
+          used[static_cast<std::size_t>(at)] = false;
+        };
+        dfs(i, 0);
+        ASSERT_EQ(g.dist(i, j), best) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Claim 4.1: G(move_token_i(S)) == inc(i, G(S))
+// ---------------------------------------------------------------------------
+
+void check_claim41(int n, int K, int moves, std::uint64_t seed) {
+  Rng rng(seed);
+  TokenGame game(n, K);
+  DistanceGraph g = DistanceGraph::from_positions(game.positions(), K);
+  for (int step = 0; step < moves; ++step) {
+    const int mover = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    game.move_token(mover);
+    g.inc(mover);
+    const DistanceGraph expect =
+        DistanceGraph::from_positions(game.positions(), K);
+    ASSERT_EQ(expect, g) << "diverged at step " << step << " (mover "
+                         << mover << ", n=" << n << ", K=" << K << ")";
+  }
+}
+
+TEST(Claim41, ExhaustiveAllMoveSequences_N3K2) {
+  // Every move sequence of length 7 for n=3 (3^7 = 2187 sequences),
+  // each move checked against the game.
+  const int n = 3;
+  const int K = 2;
+  std::function<void(TokenGame&, DistanceGraph&, int)> rec =
+      [&](TokenGame& game, DistanceGraph& g, int depth) {
+        if (depth == 0) return;
+        for (int mover = 0; mover < n; ++mover) {
+          TokenGame game2 = game;
+          DistanceGraph g2 = g;
+          game2.move_token(mover);
+          g2.inc(mover);
+          const DistanceGraph expect =
+              DistanceGraph::from_positions(game2.positions(), K);
+          ASSERT_EQ(expect, g2) << "mover " << mover;
+          rec(game2, g2, depth - 1);
+        }
+      };
+  TokenGame game(n, K);
+  DistanceGraph g = DistanceGraph::from_positions(game.positions(), K);
+  rec(game, g, 7);
+}
+
+TEST(Claim41, ExhaustiveAllMoveSequences_N2K1) {
+  const int n = 2;
+  const int K = 1;
+  std::function<void(TokenGame&, DistanceGraph&, int)> rec =
+      [&](TokenGame& game, DistanceGraph& g, int depth) {
+        if (depth == 0) return;
+        for (int mover = 0; mover < n; ++mover) {
+          TokenGame game2 = game;
+          DistanceGraph g2 = g;
+          game2.move_token(mover);
+          g2.inc(mover);
+          const DistanceGraph expect =
+              DistanceGraph::from_positions(game2.positions(), K);
+          ASSERT_EQ(expect, g2);
+          rec(game2, g2, depth - 1);
+        }
+      };
+  TokenGame game(n, K);
+  DistanceGraph g = DistanceGraph::from_positions(game.positions(), K);
+  rec(game, g, 12);
+}
+
+class Claim41Random
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(Claim41Random, GraphTracksGame) {
+  const auto [n, K, seed] = GetParam();
+  check_claim41(n, K, /*moves=*/400, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Claim41Random,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8, 12),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(DistanceGraphDeath, WeightOnMissingEdgeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const DistanceGraph g = DistanceGraph::from_positions({0, 5}, 2);
+  EXPECT_DEATH((void)g.weight(0, 1), "edge");
+}
+
+TEST(DistanceGraphDeath, OutOfRangeNodeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const DistanceGraph g(2, 2);
+  EXPECT_DEATH((void)g.signed_diff(0, 5), "out of range");
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,198 @@
+// Edge-counter encoding tests (§4.3): decode rules, mod-3K wraparound,
+// and the counter-level Claim 4.1 — inc_counters/make_graph track the
+// sequential token game through the bounded cyclic encoding.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "strip/distance_graph.hpp"
+#include "strip/edge_counters.hpp"
+#include "strip/token_game.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+namespace {
+
+TEST(DecodeEdge, TieAtZero) {
+  EXPECT_EQ(decode_edge(0, 0, 2), 0);
+  EXPECT_EQ(decode_edge(4, 4, 2), 0);
+}
+
+TEST(DecodeEdge, LeadWithinK) {
+  const int K = 2;
+  EXPECT_EQ(decode_edge(1, 0, K), 1);
+  EXPECT_EQ(decode_edge(2, 0, K), 2);
+  EXPECT_EQ(decode_edge(0, 1, K), -1);
+  EXPECT_EQ(decode_edge(0, 2, K), -2);
+}
+
+TEST(DecodeEdge, WrapsAroundTheCycle) {
+  const int K = 2;  // cycle = 6
+  EXPECT_EQ(decode_edge(0, 5, K), 1);   // (0-5) mod 6 = 1
+  EXPECT_EQ(decode_edge(5, 0, K), -1);
+  EXPECT_EQ(decode_edge(1, 5, K), 2);
+  EXPECT_EQ(decode_edge(4, 0, K), -2);  // (4-0)=4, 6-4=2 => j leads 2
+}
+
+TEST(DecodeEdge, MiddleOfCycleIsInvalid) {
+  const int K = 2;  // cycle = 6; difference 3 decodes to nothing
+  EXPECT_FALSE(decode_edge(3, 0, K).has_value());
+  EXPECT_FALSE(decode_edge(0, 3, K).has_value());
+}
+
+TEST(DecodeEdge, ExhaustiveValidityPartition) {
+  // For every counter pair on the cycle, decode is defined iff the
+  // clockwise distance from either side is ≤ K, and the two directions
+  // are consistent (antisymmetric).
+  for (int K = 1; K <= 4; ++K) {
+    const int cycle = 3 * K;
+    for (int a = 0; a < cycle; ++a) {
+      for (int b = 0; b < cycle; ++b) {
+        const auto ab = decode_edge(static_cast<std::uint8_t>(a),
+                                    static_cast<std::uint8_t>(b), K);
+        const auto ba = decode_edge(static_cast<std::uint8_t>(b),
+                                    static_cast<std::uint8_t>(a), K);
+        const int d = ((a - b) % cycle + cycle) % cycle;
+        const bool valid = d <= K || cycle - d <= K;
+        ASSERT_EQ(ab.has_value(), valid);
+        ASSERT_EQ(ba.has_value(), valid);
+        if (valid) {
+          ASSERT_EQ(*ab, -*ba);
+          ASSERT_LE(*ab, K);
+          ASSERT_GE(*ab, -K);
+        }
+      }
+    }
+  }
+}
+
+TEST(MakeGraph, InitialCountersGiveTiedGraph) {
+  std::vector<EdgeCounters> rows(3, initial_edge_counters(3));
+  const DistanceGraph g = make_graph(rows, 2);
+  EXPECT_EQ(g, DistanceGraph(3, 2));
+}
+
+TEST(IncCounters, SingleMoverPullsAhead) {
+  const int n = 3;
+  const int K = 2;
+  std::vector<EdgeCounters> rows(static_cast<std::size_t>(n),
+                                 initial_edge_counters(n));
+  DistanceGraph g = make_graph(rows, K);
+  inc_counters(0, g, rows[0]);
+  g = make_graph(rows, K);
+  EXPECT_EQ(g.signed_diff(0, 1), 1);
+  EXPECT_EQ(g.signed_diff(0, 2), 1);
+  EXPECT_EQ(g.signed_diff(1, 2), 0);
+}
+
+TEST(IncCounters, LeadSaturatesAtK) {
+  const int n = 2;
+  const int K = 2;
+  std::vector<EdgeCounters> rows(static_cast<std::size_t>(n),
+                                 initial_edge_counters(n));
+  for (int m = 0; m < 10; ++m) {
+    const DistanceGraph g = make_graph(rows, K);
+    inc_counters(0, g, rows[0]);
+  }
+  const DistanceGraph g = make_graph(rows, K);
+  EXPECT_EQ(g.signed_diff(0, 1), K);
+  // The counter itself stayed on the cycle.
+  EXPECT_LT(rows[0][1], 3 * K);
+}
+
+TEST(IncCounters, CatchUpClosesTightGap) {
+  const int n = 2;
+  const int K = 3;
+  std::vector<EdgeCounters> rows(static_cast<std::size_t>(n),
+                                 initial_edge_counters(n));
+  {
+    const DistanceGraph g = make_graph(rows, K);
+    inc_counters(0, g, rows[0]);
+  }
+  {
+    const DistanceGraph g = make_graph(rows, K);
+    inc_counters(0, g, rows[0]);
+  }
+  {
+    const DistanceGraph g = make_graph(rows, K);
+    EXPECT_EQ(g.signed_diff(0, 1), 2);
+    inc_counters(1, g, rows[1]);
+  }
+  const DistanceGraph g = make_graph(rows, K);
+  EXPECT_EQ(g.signed_diff(0, 1), 1);
+}
+
+/// Counter-level Claim 4.1: maintaining the rows through
+/// make_graph+inc_counters matches the graph built from the sequential
+/// game, for the full length of a long random run (this exercises many
+/// cycle wraparounds: each round increments counters by 1 on a 3K cycle).
+void check_counter_claim41(int n, int K, int moves, std::uint64_t seed) {
+  Rng rng(seed);
+  TokenGame game(n, K);
+  std::vector<EdgeCounters> rows(static_cast<std::size_t>(n),
+                                 initial_edge_counters(n));
+  for (int step = 0; step < moves; ++step) {
+    const int mover = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const DistanceGraph g = make_graph(rows, K);
+    inc_counters(mover, g, rows[static_cast<std::size_t>(mover)]);
+    game.move_token(mover);
+    const DistanceGraph expect =
+        DistanceGraph::from_positions(game.positions(), K);
+    const DistanceGraph got = make_graph(rows, K);
+    ASSERT_EQ(expect, got) << "diverged at step " << step << " (mover "
+                           << mover << ", n=" << n << ", K=" << K << ")";
+    // Counters never leave the cycle.
+    for (const auto& row : rows) {
+      for (const auto e : row) ASSERT_LT(e, 3 * K);
+    }
+  }
+}
+
+class CounterClaim41
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(CounterClaim41, CountersTrackGame) {
+  const auto [n, K, seed] = GetParam();
+  check_counter_claim41(n, K, /*moves=*/600, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CounterClaim41,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(CounterClaim41Exhaustive, AllMoveSequences_N2K2) {
+  const int n = 2;
+  const int K = 2;
+  std::function<void(TokenGame&, std::vector<EdgeCounters>&, int)> rec =
+      [&](TokenGame& game, std::vector<EdgeCounters>& rows, int depth) {
+        if (depth == 0) return;
+        for (int mover = 0; mover < n; ++mover) {
+          TokenGame game2 = game;
+          auto rows2 = rows;
+          const DistanceGraph g = make_graph(rows2, K);
+          inc_counters(mover, g, rows2[static_cast<std::size_t>(mover)]);
+          game2.move_token(mover);
+          const DistanceGraph expect =
+              DistanceGraph::from_positions(game2.positions(), K);
+          ASSERT_EQ(expect, make_graph(rows2, K));
+          rec(game2, rows2, depth - 1);
+        }
+      };
+  TokenGame game(n, K);
+  std::vector<EdgeCounters> rows(2, initial_edge_counters(2));
+  rec(game, rows, 13);  // 2^13 = 8192 sequences, every prefix checked
+}
+
+TEST(MakeGraphDeath, CorruptCountersAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<EdgeCounters> rows(2, initial_edge_counters(2));
+  rows[0][1] = 3;  // K=2: difference 3 is the invalid middle of the cycle
+  EXPECT_DEATH(make_graph(rows, 2), "decode");
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,126 @@
+// Tests for the Wing–Gong register linearizability checker itself —
+// handcrafted histories with known verdicts, so that the checker can be
+// trusted when it judges the register constructions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "verify/linearizability.hpp"
+
+namespace bprc {
+namespace {
+
+RegOp W(std::uint64_t v, std::uint64_t inv, std::uint64_t res, ProcId p = 0) {
+  return RegOp{true, v, inv, res, p};
+}
+RegOp R(std::uint64_t v, std::uint64_t inv, std::uint64_t res, ProcId p = 1) {
+  return RegOp{false, v, inv, res, p};
+}
+
+TEST(LinCheck, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_register_linearizable({}, 0).ok);
+}
+
+TEST(LinCheck, SequentialReadOfInitialValue) {
+  EXPECT_TRUE(check_register_linearizable({R(7, 1, 2)}, 7).ok);
+  EXPECT_FALSE(check_register_linearizable({R(8, 1, 2)}, 7).ok);
+}
+
+TEST(LinCheck, SequentialWriteThenRead) {
+  EXPECT_TRUE(check_register_linearizable({W(1, 1, 2), R(1, 3, 4)}, 0).ok);
+  EXPECT_FALSE(check_register_linearizable({W(1, 1, 2), R(0, 3, 4)}, 0).ok);
+}
+
+TEST(LinCheck, ConcurrentReadMayReturnEitherValue) {
+  // Read overlaps the write: both old and new are linearizable.
+  EXPECT_TRUE(check_register_linearizable({W(1, 2, 6), R(0, 3, 5)}, 0).ok);
+  EXPECT_TRUE(check_register_linearizable({W(1, 2, 6), R(1, 3, 5)}, 0).ok);
+  EXPECT_FALSE(check_register_linearizable({W(1, 2, 6), R(9, 3, 5)}, 0).ok);
+}
+
+TEST(LinCheck, NewOldInversionIsRejected) {
+  // Two sequential reads around a finished write: the second read cannot
+  // return the older value once the first returned the newer one.
+  const std::vector<RegOp> bad{
+      W(1, 1, 10, 0),
+      R(1, 2, 3, 1),   // sees the new value...
+      R(0, 11, 12, 1)  // ...then the old one, strictly later: inversion
+  };
+  EXPECT_FALSE(check_register_linearizable(bad, 0).ok);
+
+  // Reversed returns are fine (old then new).
+  const std::vector<RegOp> good{W(1, 1, 10, 0), R(0, 2, 3, 1),
+                                R(1, 11, 12, 1)};
+  EXPECT_TRUE(check_register_linearizable(good, 0).ok);
+}
+
+TEST(LinCheck, RealTimeOrderBetweenWritesRespected) {
+  // w(1) completes before w(2) begins; a read strictly after both must
+  // return 2.
+  EXPECT_TRUE(check_register_linearizable(
+                  {W(1, 1, 2), W(2, 3, 4), R(2, 5, 6)}, 0)
+                  .ok);
+  EXPECT_FALSE(check_register_linearizable(
+                   {W(1, 1, 2), W(2, 3, 4), R(1, 5, 6)}, 0)
+                   .ok);
+}
+
+TEST(LinCheck, ConcurrentWritesAllowEitherOrder) {
+  // Two overlapping writes; a later read may see either.
+  EXPECT_TRUE(check_register_linearizable(
+                  {W(1, 1, 10, 0), W(2, 2, 9, 2), R(1, 11, 12)}, 0)
+                  .ok);
+  EXPECT_TRUE(check_register_linearizable(
+                  {W(1, 1, 10, 0), W(2, 2, 9, 2), R(2, 11, 12)}, 0)
+                  .ok);
+  EXPECT_FALSE(check_register_linearizable(
+                   {W(1, 1, 10, 0), W(2, 2, 9, 2), R(0, 11, 12)}, 0)
+                   .ok);
+}
+
+TEST(LinCheck, TwoReadersMustAgreeOnWriteOrder) {
+  // Classic violation: overlapping writes w(1), w(2); reader A sees 1 then
+  // 2, reader B sees 2 then 1 — no single order serves both.
+  const std::vector<RegOp> bad{
+      W(1, 1, 20, 0), W(2, 1, 20, 2),
+      R(1, 21, 22, 1), R(2, 23, 24, 1),   // A: 1 then 2
+      R(2, 21, 22, 3), R(1, 23, 24, 3),   // B: 2 then 1
+  };
+  EXPECT_FALSE(check_register_linearizable(bad, 0).ok);
+}
+
+TEST(LinCheck, LongInterleavedLinearizableHistory) {
+  // A valid serialized execution sliced into overlapping intervals.
+  std::vector<RegOp> h;
+  std::uint64_t t = 1;
+  std::uint64_t value = 0;
+  for (int k = 1; k <= 12; ++k) {
+    h.push_back(W(static_cast<std::uint64_t>(k), t, t + 3, 0));
+    value = static_cast<std::uint64_t>(k);
+    h.push_back(R(value, t + 4, t + 5, 1));
+    t += 6;
+  }
+  EXPECT_TRUE(check_register_linearizable(h, 0).ok);
+}
+
+TEST(LinCheck, WitnessNamesTheHistory) {
+  const auto res = check_register_linearizable({R(9, 1, 2)}, 0);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.witness.find("read->9"), std::string::npos);
+}
+
+TEST(LinCheck, ReadOfNeverWrittenValueRejected) {
+  EXPECT_FALSE(check_register_linearizable(
+                   {W(1, 1, 2), W(2, 3, 4), R(3, 5, 6)}, 0)
+                   .ok);
+}
+
+TEST(LinCheckDeath, RejectsEmptyIntervals) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      check_register_linearizable({RegOp{false, 0, 5, 5, 0}}, 0),
+      "interval");
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,195 @@
+// Multi-valued consensus (the paper's §5 extension): agreement, validity
+// ("decision is some process's input"), termination — across value
+// domains, adversaries, underlying binary protocols, and crash patterns.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "consensus/abrahamson.hpp"
+#include "consensus/bprc.hpp"
+#include "consensus/multivalue.hpp"
+#include "consensus/strong_coin.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+namespace {
+
+ProtocolFactory bprc_bits(int n) {
+  return [n](Runtime& rt) {
+    return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
+  };
+}
+
+struct MVResult {
+  bool done = false;
+  std::vector<std::uint64_t> decisions;
+};
+
+MVResult run_mv(const std::vector<std::uint64_t>& inputs, int value_bits,
+                std::unique_ptr<Adversary> adv, std::uint64_t seed,
+                const ProtocolFactory& factory) {
+  const int n = static_cast<int>(inputs.size());
+  SimRuntime rt(n, std::move(adv), seed);
+  MultiValueConsensus mv(rt, value_bits, factory);
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(n),
+                                 ~std::uint64_t{0});
+  for (ProcId p = 0; p < n; ++p) {
+    const std::uint64_t input = inputs[static_cast<std::size_t>(p)];
+    rt.spawn(p, [&mv, &out, p, input] {
+      out[static_cast<std::size_t>(p)] = mv.propose(input);
+    });
+  }
+  const RunResult res = rt.run(500'000'000ull);
+  return {res.reason == RunResult::Reason::kAllDone, out};
+}
+
+void expect_agreement_and_validity(const std::vector<std::uint64_t>& inputs,
+                                   const MVResult& res) {
+  ASSERT_TRUE(res.done);
+  for (const auto d : res.decisions) {
+    EXPECT_EQ(d, res.decisions[0]) << "multi-value agreement violated";
+  }
+  const std::set<std::uint64_t> input_set(inputs.begin(), inputs.end());
+  EXPECT_TRUE(input_set.contains(res.decisions[0]))
+      << "decision " << res.decisions[0] << " is nobody's input";
+}
+
+TEST(MultiValue, SingleProcess) {
+  const auto res = run_mv({0xBEEF}, 16, std::make_unique<RandomAdversary>(1),
+                          1, bprc_bits(1));
+  ASSERT_TRUE(res.done);
+  EXPECT_EQ(res.decisions[0], 0xBEEFu);
+}
+
+TEST(MultiValue, UnanimousInputsDecideThatValue) {
+  const std::vector<std::uint64_t> inputs(4, 0x2A);
+  const auto res = run_mv(inputs, 8, std::make_unique<RandomAdversary>(2), 2,
+                          bprc_bits(4));
+  ASSERT_TRUE(res.done);
+  for (const auto d : res.decisions) EXPECT_EQ(d, 0x2Au);
+}
+
+TEST(MultiValue, DistinctInputsStillAgree) {
+  const std::vector<std::uint64_t> inputs{10, 20, 30, 40};
+  const auto res = run_mv(inputs, 8, std::make_unique<RandomAdversary>(3), 3,
+                          bprc_bits(4));
+  expect_agreement_and_validity(inputs, res);
+}
+
+TEST(MultiValue, ExtremeValuesOfTheDomain) {
+  const std::vector<std::uint64_t> inputs{0, 255, 0, 255};
+  const auto res = run_mv(inputs, 8, std::make_unique<LockstepAdversary>(4),
+                          4, bprc_bits(4));
+  expect_agreement_and_validity(inputs, res);
+}
+
+class MultiValueMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(MultiValueMatrix, AgreementValidityTermination) {
+  const auto [n, advk, seed] = GetParam();
+  Rng rng(seed * 101 + 17);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (auto& v : inputs) v = rng.below(1 << 12);
+  auto advs = standard_adversaries(seed * 55 + 2);
+  const auto res = run_mv(inputs, 12,
+                          std::move(advs[static_cast<std::size_t>(advk)]),
+                          seed, bprc_bits(n));
+  expect_agreement_and_validity(inputs, res);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MultiValueMatrix,
+    ::testing::Combine(::testing::Values(2, 3, 5), ::testing::Range(0, 5),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(MultiValue, WorksOverOtherBinaryProtocols) {
+  const std::vector<std::uint64_t> inputs{7, 7, 9};
+  // Local-coin underneath.
+  const auto lc = run_mv(inputs, 4, std::make_unique<RandomAdversary>(5), 5,
+                         [](Runtime& rt) {
+                           return std::make_unique<LocalCoinConsensus>(rt);
+                         });
+  expect_agreement_and_validity(inputs, lc);
+  // Strong-coin underneath.
+  const auto sc = run_mv(inputs, 4, std::make_unique<RandomAdversary>(6), 6,
+                         [](Runtime& rt) {
+                           return std::make_unique<StrongCoinConsensus>(rt,
+                                                                        77);
+                         });
+  expect_agreement_and_validity(inputs, sc);
+}
+
+TEST(MultiValue, SurvivesCrashes) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::vector<std::uint64_t> inputs{11, 22, 33, 44};
+    auto adv = std::make_unique<CrashPlanAdversary>(
+        std::make_unique<RandomAdversary>(seed),
+        std::vector<CrashPlanAdversary::Crash>{{seed * 30 + 100, 0},
+                                               {seed * 30 + 900, 1}});
+    const int n = 4;
+    SimRuntime rt(n, std::move(adv), seed);
+    MultiValueConsensus mv(rt, 8, bprc_bits(n));
+    std::vector<std::uint64_t> out(4, ~std::uint64_t{0});
+    for (ProcId p = 0; p < n; ++p) {
+      const std::uint64_t input = inputs[static_cast<std::size_t>(p)];
+      rt.spawn(p, [&mv, &out, p, input] {
+        out[static_cast<std::size_t>(p)] = mv.propose(input);
+      });
+    }
+    ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+    // Survivors (2, 3) agree on someone's input.
+    EXPECT_EQ(out[2], out[3]);
+    EXPECT_TRUE(out[2] == 11 || out[2] == 22 || out[2] == 33 || out[2] == 44);
+  }
+}
+
+TEST(MultiValue, SixtyThreeBitDomain) {
+  const std::uint64_t big = (std::uint64_t{1} << 62) | 0x12345678ULL;
+  const std::vector<std::uint64_t> inputs{big, 1, big};
+  const auto res = run_mv(inputs, 63, std::make_unique<RandomAdversary>(7),
+                          7, bprc_bits(3));
+  expect_agreement_and_validity(inputs, res);
+}
+
+TEST(MultiValue, ThreadRuntimeEndToEnd) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const int n = 4;
+    ThreadRuntime rt(n, seed, /*yield_prob=*/0.1);
+    MultiValueConsensus mv(rt, 10, bprc_bits(n));
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(n),
+                                   ~std::uint64_t{0});
+    const std::uint64_t inputs[4] = {100, 200, 300, 400};
+    for (ProcId p = 0; p < n; ++p) {
+      const std::uint64_t input = inputs[p];
+      rt.spawn(p, [&mv, &out, p, input] {
+        out[static_cast<std::size_t>(p)] = mv.propose(input);
+      });
+    }
+    ASSERT_EQ(rt.run(2'000'000'000ull).reason, RunResult::Reason::kAllDone);
+    for (const auto d : out) EXPECT_EQ(d, out[0]);
+    EXPECT_TRUE(out[0] == 100 || out[0] == 200 || out[0] == 300 ||
+                out[0] == 400);
+  }
+}
+
+TEST(MultiValueDeath, InputOutsideDomainAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SimRuntime rt(1, std::make_unique<RoundRobinAdversary>(), 1);
+        MultiValueConsensus mv(rt, 4, bprc_bits(1));
+        rt.spawn(0, [&mv] { mv.propose(16); });  // 4-bit domain: max 15
+        rt.run(100000);
+      },
+      "domain");
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,149 @@
+// Tests for the snapshot property checkers themselves: synthetic histories
+// with known verdicts, so the checkers can be trusted when they judge the
+// scannable memory.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "verify/snapshot_props.hpp"
+
+namespace bprc {
+namespace {
+
+SnapWriteRec W(ProcId j, std::uint64_t idx, std::uint64_t inv,
+               std::uint64_t res) {
+  return {j, idx, inv, res};
+}
+SnapScanRec S(ProcId p, std::uint64_t inv, std::uint64_t res,
+              std::vector<std::uint64_t> view) {
+  return {p, inv, res, std::move(view)};
+}
+
+TEST(SnapChecker, EmptyHistoryPasses) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  EXPECT_FALSE(check_snapshot_properties(h).has_value());
+}
+
+TEST(SnapChecker, ScanOfInitialValuesPasses) {
+  SnapshotHistory h;
+  h.nprocs = 3;
+  h.add_scan(S(0, 1, 2, {0, 0, 0}));
+  EXPECT_FALSE(check_snapshot_properties(h).has_value());
+}
+
+TEST(SnapChecker, P1AcceptsCompletedAndConcurrentWrites) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(0, 1, 1, 2));    // completed before the scan
+  h.add_write(W(1, 1, 4, 9));    // concurrent with the scan
+  h.add_scan(S(0, 5, 8, {1, 1}));
+  EXPECT_FALSE(check_p1_regularity(h).has_value());
+}
+
+TEST(SnapChecker, P1RejectsFutureWrite) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(1, 1, 10, 11));  // invoked after the scan responded
+  h.add_scan(S(0, 1, 5, {0, 1}));
+  const auto err = check_p1_regularity(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("P1"), std::string::npos);
+}
+
+TEST(SnapChecker, P1RejectsOverwrittenValue) {
+  // A later write by the same process completed before the scan began;
+  // the scan may not return the superseded value.
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(1, 1, 1, 2));
+  h.add_write(W(1, 2, 3, 4));
+  h.add_scan(S(0, 5, 6, {0, 1}));  // returns stale write #1
+  EXPECT_TRUE(check_p1_regularity(h).has_value());
+
+  // Returning the fresh one passes.
+  h.scans[0].view = {0, 2};
+  EXPECT_FALSE(check_p1_regularity(h).has_value());
+}
+
+TEST(SnapChecker, P2RejectsValuesThatNeverCoexisted) {
+  // Write #1 of p0 was overwritten (by write #2) before write #1 of p1
+  // began, and vice versa cannot hold either: the pair can't be in one
+  // snapshot.
+  SnapshotHistory h;
+  h.nprocs = 3;
+  h.add_write(W(0, 1, 1, 2));
+  h.add_write(W(0, 2, 3, 4));    // overwrites p0#1 before p1#1 starts
+  h.add_write(W(1, 1, 5, 6));
+  h.add_scan(S(2, 7, 8, {1, 1, 0}));  // p0#1 with p1#1: impossible pair
+  // (P1 would also flag p0#1; P2 must flag the pair irrespective.)
+  const auto err = check_p2_snapshot(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("P2"), std::string::npos);
+}
+
+TEST(SnapChecker, P2AcceptsOneDirectionOfCoexistence) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(0, 1, 1, 2));   // p0#1 done early, never overwritten
+  h.add_write(W(1, 1, 5, 6));   // p1#1 later; p0#1 still current => coexist
+  h.add_scan(S(0, 7, 8, {1, 1}));
+  EXPECT_FALSE(check_p2_snapshot(h).has_value());
+}
+
+TEST(SnapChecker, P3RejectsIncomparableViews) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(0, 1, 1, 2));
+  h.add_write(W(1, 1, 1, 2));
+  h.add_scan(S(0, 3, 4, {1, 0}));  // saw p0's write, not p1's
+  h.add_scan(S(1, 3, 4, {0, 1}));  // saw p1's write, not p0's
+  const auto err = check_p3_serializability(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("P3"), std::string::npos);
+}
+
+TEST(SnapChecker, P3AcceptsComparableViews) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(0, 1, 1, 2));
+  h.add_write(W(1, 1, 1, 2));
+  h.add_scan(S(0, 3, 4, {1, 0}));
+  h.add_scan(S(1, 5, 6, {1, 1}));  // componentwise newer: fine
+  EXPECT_FALSE(check_p3_serializability(h).has_value());
+}
+
+TEST(SnapChecker, RealTimeOrderRejectsRegression) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(1, 1, 1, 2));
+  h.add_scan(S(0, 3, 4, {0, 1}));
+  h.add_scan(S(0, 5, 6, {0, 0}));  // strictly later scan, older view
+  const auto err = check_realtime_scan_order(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("real-time"), std::string::npos);
+}
+
+TEST(SnapChecker, RealTimeOrderIgnoresConcurrentScans) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(1, 1, 1, 2));
+  h.add_scan(S(0, 3, 9, {0, 1}));  // overlapping scans may disagree in
+  h.add_scan(S(1, 4, 8, {0, 0}));  // either direction... but wait: P3!
+  EXPECT_FALSE(check_realtime_scan_order(h).has_value());
+  // (P3 still constrains them to be comparable, which these are.)
+  EXPECT_FALSE(check_p3_serializability(h).has_value());
+}
+
+TEST(SnapChecker, AggregateReportsFirstFailure) {
+  SnapshotHistory h;
+  h.nprocs = 2;
+  h.add_write(W(1, 1, 10, 11));
+  h.add_scan(S(0, 1, 5, {0, 1}));  // P1 violation
+  const auto err = check_snapshot_properties(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("P1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bprc

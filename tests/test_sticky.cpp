@@ -1,0 +1,134 @@
+// Sticky bits / sticky registers ([P89], the paper's §1 motivation):
+// write-once semantics, first-jam-wins agreement, reader visibility.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/bprc.hpp"
+#include "consensus/strong_coin.hpp"
+#include "core/sticky.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bprc {
+namespace {
+
+ProtocolFactory bprc_bits(int n) {
+  return [n](Runtime& rt) {
+    return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
+  };
+}
+
+TEST(StickyBit, SoloJamSticksOwnValue) {
+  SimRuntime rt(1, std::make_unique<RoundRobinAdversary>(), 1);
+  StickyBit bit(rt, bprc_bits(1));
+  int stuck = -1;
+  std::optional<int> after;
+  rt.spawn(0, [&] {
+    stuck = bit.jam(1);
+    after = bit.read();
+  });
+  ASSERT_EQ(rt.run(1'000'000).reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(stuck, 1);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, 1);
+}
+
+TEST(StickyBit, ReadBeforeAnyJamIsBottom) {
+  SimRuntime rt(2, std::make_unique<RoundRobinAdversary>(), 1);
+  StickyBit bit(rt, bprc_bits(2));
+  std::optional<int> seen = 99;
+  rt.spawn(0, [&] { seen = bit.read(); });
+  rt.run(1'000'000);
+  EXPECT_FALSE(seen.has_value());
+}
+
+TEST(StickyBit, ConflictingJamsAgree) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    SimRuntime rt(4, std::make_unique<RandomAdversary>(seed), seed);
+    StickyBit bit(rt, bprc_bits(4));
+    std::vector<int> got(4, -1);
+    for (ProcId p = 0; p < 4; ++p) {
+      rt.spawn(p, [&bit, &got, p] {
+        got[static_cast<std::size_t>(p)] = bit.jam(static_cast<int>(p) % 2);
+      });
+    }
+    ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+    for (const int v : got) EXPECT_EQ(v, got[0]) << "seed " << seed;
+    EXPECT_TRUE(got[0] == 0 || got[0] == 1);
+  }
+}
+
+TEST(StickyBit, JamIsIdempotentPerProcess) {
+  SimRuntime rt(2, std::make_unique<RandomAdversary>(3), 3);
+  StickyBit bit(rt, bprc_bits(2));
+  std::vector<int> first(2), second(2);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&, p] {
+      first[static_cast<std::size_t>(p)] = bit.jam(static_cast<int>(p));
+      // Jamming the OPPOSITE value afterwards must not change anything.
+      second[static_cast<std::size_t>(p)] =
+          bit.jam(1 - static_cast<int>(p));
+    });
+  }
+  ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first[0], first[1]);
+}
+
+TEST(StickyBit, ReaderSeesValueAfterJammerPublishes) {
+  // Sequential: jam completes, then a pure reader scans — must see it.
+  SimRuntime rt(2, std::make_unique<ScriptedAdversary>(std::vector<ProcId>(
+                       200, 0)),
+                1);
+  StickyBit bit(rt, bprc_bits(2));
+  std::optional<int> seen;
+  rt.spawn(0, [&] { bit.jam(1); });
+  rt.spawn(1, [&] { seen = bit.read(); });
+  ASSERT_EQ(rt.run(1'000'000).reason, RunResult::Reason::kAllDone);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, 1);
+}
+
+TEST(StickyRegister, FirstOfManyWordsSticks) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SimRuntime rt(3, std::make_unique<LockstepAdversary>(seed), seed);
+    StickyRegister reg(rt, 16, bprc_bits(3));
+    std::vector<std::uint64_t> got(3, ~0ull);
+    const std::uint64_t proposals[3] = {0xAAAA, 0x1234, 0x0F0F};
+    for (ProcId p = 0; p < 3; ++p) {
+      rt.spawn(p, [&reg, &got, &proposals, p] {
+        got[static_cast<std::size_t>(p)] =
+            reg.jam(proposals[static_cast<std::size_t>(p)]);
+      });
+    }
+    ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+    EXPECT_EQ(got[0], got[1]);
+    EXPECT_EQ(got[1], got[2]);
+    const std::set<std::uint64_t> valid{0xAAAA, 0x1234, 0x0F0F};
+    EXPECT_TRUE(valid.contains(got[0]));
+  }
+}
+
+TEST(StickyRegister, WorksOverStrongCoinToo) {
+  SimRuntime rt(2, std::make_unique<RandomAdversary>(4), 4);
+  StickyRegister reg(rt, 8, [](Runtime& inner) {
+    return std::make_unique<StrongCoinConsensus>(inner, 5);
+  });
+  std::vector<std::uint64_t> got(2, ~0ull);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&reg, &got, p] {
+      got[static_cast<std::size_t>(p)] =
+          reg.jam(static_cast<std::uint64_t>(p) + 40);
+    });
+  }
+  ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(got[0], got[1]);
+  EXPECT_TRUE(got[0] == 40 || got[0] == 41);
+}
+
+}  // namespace
+}  // namespace bprc

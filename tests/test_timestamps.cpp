@@ -1,0 +1,152 @@
+// Bounded sequential timestamp system tests: order isomorphism with
+// unbounded integer timestamps over long random live/die histories — the
+// property that makes the bounded domain usable at all.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "timestamp/bounded_timestamps.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+namespace {
+
+using Label = BoundedTimestampSystem::Label;
+
+TEST(BoundedTS, DigitDominanceIsACycle) {
+  EXPECT_TRUE(BoundedTimestampSystem::digit_dominates(1, 0));
+  EXPECT_TRUE(BoundedTimestampSystem::digit_dominates(2, 1));
+  EXPECT_TRUE(BoundedTimestampSystem::digit_dominates(0, 2));
+  EXPECT_FALSE(BoundedTimestampSystem::digit_dominates(0, 1));
+  EXPECT_FALSE(BoundedTimestampSystem::digit_dominates(1, 2));
+  EXPECT_FALSE(BoundedTimestampSystem::digit_dominates(2, 0));
+  EXPECT_FALSE(BoundedTimestampSystem::digit_dominates(1, 1));
+}
+
+TEST(BoundedTS, PrecedesComparesFirstDifference) {
+  BoundedTimestampSystem ts(3);
+  EXPECT_TRUE(ts.precedes({0, 0, 0}, {1, 0, 0}));
+  EXPECT_FALSE(ts.precedes({1, 0, 0}, {0, 0, 0}));
+  EXPECT_TRUE(ts.precedes({2, 0, 0}, {0, 0, 0}));  // 0 dominates 2
+  EXPECT_TRUE(ts.precedes({1, 1, 0}, {1, 2, 0}));  // tie at top, recurse
+  EXPECT_TRUE(ts.precedes({1, 2, 2}, {1, 2, 0}));
+}
+
+TEST(BoundedTS, FreshLabelDominatesSingleton) {
+  BoundedTimestampSystem ts(2);
+  const Label zero = ts.initial_label();
+  const Label fresh = ts.new_label({zero});
+  EXPECT_TRUE(ts.precedes(zero, fresh));
+}
+
+TEST(BoundedTS, DomainIsBounded) {
+  BoundedTimestampSystem ts(4);
+  EXPECT_EQ(ts.domain_size(), 81u);  // 3^4 — fixed, n-only
+  EXPECT_EQ(ts.depth(), 4);
+}
+
+TEST(BoundedTS, SingleHolderCyclesForever) {
+  // One live label refreshed 1000 times: every fresh label must dominate
+  // its predecessor, with only 3 label values ever used (depth 1).
+  BoundedTimestampSystem ts(1);
+  Label current = ts.initial_label();
+  std::set<Label> used;
+  for (int i = 0; i < 1000; ++i) {
+    const Label fresh = ts.new_label({current});
+    ASSERT_TRUE(ts.precedes(current, fresh)) << "iteration " << i;
+    used.insert(fresh);
+    current = fresh;
+  }
+  EXPECT_LE(used.size(), 3u);
+}
+
+/// The main property: run a long history of label refreshes for n
+/// holders; at every step the fresh label must dominate all live labels,
+/// and the bounded order must match ground-truth integer timestamps.
+void run_history(int n, std::uint64_t seed, int steps,
+                 bool rotate_deterministically) {
+  BoundedTimestampSystem ts(n);
+  Rng rng(seed);
+  std::vector<Label> labels(static_cast<std::size_t>(n),
+                            ts.initial_label());
+  std::vector<std::int64_t> ghost(static_cast<std::size_t>(n), 0);
+  for (int step = 1; step <= steps; ++step) {
+    const int p = rotate_deterministically
+                      ? step % n
+                      : static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const Label fresh = ts.new_label(labels);
+    for (int q = 0; q < n; ++q) {
+      const auto& old = labels[static_cast<std::size_t>(q)];
+      ASSERT_NE(old, fresh) << "fresh label collided at step " << step;
+      ASSERT_TRUE(ts.precedes(old, fresh))
+          << "fresh label failed to dominate holder " << q << " at step "
+          << step << " (n=" << n << ", seed=" << seed << ")";
+    }
+    labels[static_cast<std::size_t>(p)] = fresh;
+    ghost[static_cast<std::size_t>(p)] = step;
+    // Bounded order == ghost integer order, for every distinct pair.
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) {
+        if (labels[static_cast<std::size_t>(x)] ==
+            labels[static_cast<std::size_t>(y)]) {
+          continue;
+        }
+        ASSERT_EQ(ts.precedes(labels[static_cast<std::size_t>(x)],
+                              labels[static_cast<std::size_t>(y)]),
+                  ghost[static_cast<std::size_t>(x)] <
+                      ghost[static_cast<std::size_t>(y)])
+            << "order mismatch at step " << step;
+      }
+    }
+  }
+}
+
+class BoundedTSHistory
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BoundedTSHistory, RandomRefreshOrderMatchesIntegers) {
+  const auto [n, seed] = GetParam();
+  run_history(n, seed, /*steps=*/1500, /*rotate=*/false);
+}
+
+TEST_P(BoundedTSHistory, RoundRobinRefreshOrderMatchesIntegers) {
+  const auto [n, seed] = GetParam();
+  run_history(n, seed, /*steps=*/1500, /*rotate=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BoundedTSHistory,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(BoundedTS, SkewedRefreshPattern) {
+  // One hot holder refreshing 10x as often as the rest — exercises deep
+  // recursion inside one dominance class.
+  const int n = 5;
+  BoundedTimestampSystem ts(n);
+  Rng rng(99);
+  std::vector<Label> labels(n, ts.initial_label());
+  std::vector<std::int64_t> ghost(n, 0);
+  for (int step = 1; step <= 3000; ++step) {
+    const int p = rng.below(10) < 9 ? 0 : static_cast<int>(rng.below(n));
+    const Label fresh = ts.new_label(labels);
+    for (int q = 0; q < n; ++q) {
+      if (labels[static_cast<std::size_t>(q)] == fresh) continue;
+      ASSERT_TRUE(ts.precedes(labels[static_cast<std::size_t>(q)], fresh));
+    }
+    labels[static_cast<std::size_t>(p)] = fresh;
+    ghost[static_cast<std::size_t>(p)] = step;
+  }
+}
+
+TEST(BoundedTSDeath, OversubscriptionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BoundedTimestampSystem ts(2);
+  const std::vector<Label> too_many(5, ts.initial_label());
+  EXPECT_DEATH((void)ts.new_label(too_many), "live labels");
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,158 @@
+// Tests for the sequential token game (§4.1): shrink, normalize, the
+// normalized shrunken game invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "strip/token_game.hpp"
+#include "util/rng.hpp"
+
+namespace bprc {
+namespace {
+
+using V = std::vector<std::int64_t>;
+
+TEST(Shrink, IdentityWhenGapsSmall) {
+  EXPECT_EQ(TokenGame::shrink({0, 1, 2}, 2), (V{0, 1, 2}));
+  EXPECT_EQ(TokenGame::shrink({5, 5, 5}, 2), (V{5, 5, 5}));
+  EXPECT_EQ(TokenGame::shrink({3, 1, 2}, 1), (V{3, 1, 2}));
+}
+
+TEST(Shrink, CapsLargeGapToExactlyK) {
+  // Gap of 10 between 0 and 10 becomes exactly K.
+  EXPECT_EQ(TokenGame::shrink({0, 10}, 2), (V{0, 2}));
+  EXPECT_EQ(TokenGame::shrink({0, 10}, 3), (V{0, 3}));
+}
+
+TEST(Shrink, MinimumStaysPut) {
+  const V out = TokenGame::shrink({7, 100, 50}, 2);
+  EXPECT_EQ(*std::min_element(out.begin(), out.end()), 7);
+}
+
+TEST(Shrink, PreservesOrderAndSmallGaps) {
+  // positions 0, 1, 9, 10: the 1->9 gap shrinks to K=3, others kept.
+  EXPECT_EQ(TokenGame::shrink({0, 1, 9, 10}, 3), (V{0, 1, 4, 5}));
+}
+
+TEST(Shrink, UnsortedInputHandledByPermutation) {
+  // Same multiset, scrambled order: per-token results must follow the
+  // token, not the slot.
+  EXPECT_EQ(TokenGame::shrink({10, 0, 9, 1}, 3), (V{5, 0, 4, 1}));
+}
+
+TEST(Shrink, TiesSurviveShrinking) {
+  EXPECT_EQ(TokenGame::shrink({0, 50, 50}, 2), (V{0, 2, 2}));
+}
+
+TEST(Shrink, SingleTokenUnchanged) {
+  EXPECT_EQ(TokenGame::shrink({123}, 2), (V{123}));
+}
+
+TEST(Normalize, MaxMovesToKn) {
+  EXPECT_EQ(TokenGame::normalize({0, 1, 2}, 2), (V{4, 5, 6}));  // K*n = 6
+  EXPECT_EQ(TokenGame::normalize({10, 10}, 3), (V{6, 6}));      // K*n = 6
+}
+
+TEST(Normalize, PreservesDifferences) {
+  const V in{3, 8, 5};
+  const V out = TokenGame::normalize(in, 4);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      EXPECT_EQ(out[i] - out[j], in[i] - in[j]);
+    }
+  }
+}
+
+TEST(TokenGame, InitialPositionsAllEqual) {
+  TokenGame g(4, 2);
+  const V pos = g.positions();
+  for (const auto p : pos) EXPECT_EQ(p, pos[0]);
+}
+
+TEST(TokenGame, MoveAdvancesRelativeOrder) {
+  TokenGame g(3, 2);
+  g.move_token(1);
+  const V& pos = g.positions();
+  EXPECT_EQ(pos[1] - pos[0], 1);
+  EXPECT_EQ(pos[1] - pos[2], 1);
+}
+
+TEST(TokenGame, RunawayTokenIsShrunkToK) {
+  TokenGame g(2, 2);
+  for (int k = 0; k < 100; ++k) g.move_token(0);
+  const V& pos = g.positions();
+  EXPECT_EQ(pos[0] - pos[1], 2);  // gap capped at K
+}
+
+TEST(TokenGame, TrailingTokenCatchesUpThroughRealGap) {
+  TokenGame g(2, 3);
+  g.move_token(0);
+  g.move_token(0);  // gap 2, under K: real
+  g.move_token(1);
+  const V& pos = g.positions();
+  EXPECT_EQ(pos[0] - pos[1], 1);
+}
+
+class TokenGameInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(TokenGameInvariants, PositionsStayInBoundedRange) {
+  const auto [n, K, seed] = GetParam();
+  TokenGame g(n, K);
+  Rng rng(seed);
+  const std::int64_t hi = static_cast<std::int64_t>(K) * n;
+  for (int step = 0; step < 500; ++step) {
+    g.move_token(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+    std::int64_t mx = 0;
+    for (const auto p : g.positions()) {
+      ASSERT_GE(p, 0);
+      ASSERT_LE(p, hi);
+      mx = std::max(mx, p);
+    }
+    ASSERT_EQ(mx, hi) << "normalize must pin the max at K*n";
+    // Consecutive sorted gaps stay within K (shrunken invariant).
+    V sorted = g.positions();
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      ASSERT_LE(sorted[i] - sorted[i - 1], K);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TokenGameInvariants,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(TokenGame, NonPassiveShrinking) {
+  // §4.1: a pairwise distance changes only across a move_token — two
+  // successive states differ in at most the moved token's relations.
+  TokenGame g(4, 2);
+  Rng rng(5);
+  V before = g.positions();
+  for (int step = 0; step < 200; ++step) {
+    const int mover = static_cast<int>(rng.below(4));
+    g.move_token(mover);
+    const V after = g.positions();
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (i == mover || j == mover) continue;
+        const std::int64_t db = before[static_cast<std::size_t>(i)] -
+                                before[static_cast<std::size_t>(j)];
+        const std::int64_t da = after[static_cast<std::size_t>(i)] -
+                                after[static_cast<std::size_t>(j)];
+        // Distances between bystanders change only when the mover's
+        // passage re-shrinks a gap between them; they may shrink by at
+        // most 1 and never grow.
+        ASSERT_LE(std::abs(da - db), 1);
+      }
+    }
+    before = after;
+  }
+}
+
+}  // namespace
+}  // namespace bprc

@@ -1,0 +1,261 @@
+// Universal construction tests: the wait-free replicated log (fetch&cons)
+// built on multi-valued consensus — total order, dedup, helping,
+// replicated-object materialization.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "consensus/bprc.hpp"
+#include "consensus/strong_coin.hpp"
+#include "core/universal.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace bprc {
+namespace {
+
+ProtocolFactory bprc_bits(int n) {
+  return [n](Runtime& rt) {
+    return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
+  };
+}
+
+// Cheap binary arm for the heavier sweeps (the log's logic is identical).
+ProtocolFactory strong_bits() {
+  return [](Runtime& rt) {
+    return std::make_unique<StrongCoinConsensus>(rt, 424242);
+  };
+}
+
+TEST(UniversalLog, SingleProcessAppendsInOrder) {
+  SimRuntime rt(1, std::make_unique<RoundRobinAdversary>(), 1);
+  UniversalLog log(rt, 4, bprc_bits(1));
+  std::vector<int> slots;
+  rt.spawn(0, [&] {
+    slots.push_back(log.append(100));
+    slots.push_back(log.append(200));
+    slots.push_back(log.append(300));
+  });
+  ASSERT_EQ(rt.run(500'000'000ull).reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(slots, (std::vector<int>{0, 1, 2}));
+  const auto entries = log.log();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].payload, 100u);
+  EXPECT_EQ(entries[1].payload, 200u);
+  EXPECT_EQ(entries[2].payload, 300u);
+}
+
+struct LogRun {
+  std::vector<UniversalLog::Entry> entries;
+  bool done = false;
+};
+
+LogRun run_log(int n, int appends_each, std::unique_ptr<Adversary> adv,
+               std::uint64_t seed, const ProtocolFactory& bits) {
+  SimRuntime rt(n, std::move(adv), seed);
+  UniversalLog log(rt, n * appends_each + n, bits);
+  for (ProcId p = 0; p < n; ++p) {
+    rt.spawn(p, [&log, &rt, p, appends_each] {
+      for (int k = 0; k < appends_each; ++k) {
+        const auto payload = static_cast<std::uint32_t>(
+            (p + 1) * 1000 + k);
+        const int slot = log.append(payload);
+        BPRC_REQUIRE(slot >= 0, "append failed");
+        (void)rt;
+      }
+    });
+  }
+  LogRun out;
+  out.done = rt.run(4'000'000'000ull).reason == RunResult::Reason::kAllDone;
+  out.entries = log.log();
+  return out;
+}
+
+void expect_complete_log(const LogRun& run, int n, int appends_each) {
+  ASSERT_TRUE(run.done);
+  // Every command appears exactly once (dedup by owner/seq), and each
+  // owner's commands appear in its program order.
+  std::set<std::pair<ProcId, std::uint32_t>> seen;
+  std::map<ProcId, std::uint32_t> last_seq;
+  for (const auto& e : run.entries) {
+    EXPECT_TRUE(seen.insert({e.owner, e.seq}).second)
+        << "duplicate command in materialized log";
+    auto [it, fresh] = last_seq.try_emplace(e.owner, e.seq);
+    if (!fresh) {
+      EXPECT_LT(it->second, e.seq)
+          << "owner " << e.owner << "'s commands out of program order";
+      it->second = e.seq;
+    }
+  }
+  EXPECT_EQ(run.entries.size(),
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(appends_each));
+}
+
+TEST(UniversalLog, TwoProcessesInterleaved) {
+  const auto run =
+      run_log(2, 3, std::make_unique<RandomAdversary>(5), 5, bprc_bits(2));
+  expect_complete_log(run, 2, 3);
+}
+
+class UniversalMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(UniversalMatrix, CompleteOrderedDedupedLog) {
+  const auto [n, advk, seed] = GetParam();
+  auto advs = standard_adversaries(seed * 97 + 13);
+  const auto run = run_log(n, 3,
+                           std::move(advs[static_cast<std::size_t>(advk)]),
+                           seed, strong_bits());
+  expect_complete_log(run, n, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, UniversalMatrix,
+    ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Range(0, 5),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(UniversalLog, BPRCBackedFullStack) {
+  // The complete tower: BPRC binary -> multi-valued -> universal log.
+  const auto run =
+      run_log(3, 2, std::make_unique<LeaderSuppressAdversary>(8), 8,
+              bprc_bits(3));
+  expect_complete_log(run, 3, 2);
+}
+
+TEST(UniversalLog, HelpingPlacesEveryCommandWithinNSlots) {
+  // Each append must consume at most n slots beyond the process's known
+  // prefix: with n=3 and 2 appends each, 6 commands fit in <= 12 slots
+  // even under hostile scheduling (round-robin helping guarantee).
+  const int n = 3;
+  SimRuntime rt(n, std::make_unique<LeaderSuppressAdversary>(11), 11);
+  UniversalLog log(rt, 4 * n, strong_bits());
+  std::vector<int> worst_slot(static_cast<std::size_t>(n), -1);
+  for (ProcId p = 0; p < n; ++p) {
+    rt.spawn(p, [&log, &worst_slot, p] {
+      for (int k = 0; k < 2; ++k) {
+        worst_slot[static_cast<std::size_t>(p)] =
+            log.append(static_cast<std::uint32_t>(p * 10 + k));
+      }
+    });
+  }
+  ASSERT_EQ(rt.run(4'000'000'000ull).reason, RunResult::Reason::kAllDone);
+  for (const int slot : worst_slot) {
+    EXPECT_LE(slot, 4 * n - 1);
+  }
+  EXPECT_EQ(log.log().size(), 6u);
+}
+
+TEST(Replicated, CounterMaterializesDeterministically) {
+  // A replicated add-counter: every payload is an increment amount.
+  const int n = 3;
+  SimRuntime rt(n, std::make_unique<RandomAdversary>(21), 21);
+  Replicated<std::int64_t> counter(
+      rt, /*capacity=*/12, strong_bits(), /*initial=*/0,
+      [](std::int64_t& state, const UniversalLog::Entry& e) {
+        state += e.payload;
+      });
+  for (ProcId p = 0; p < n; ++p) {
+    rt.spawn(p, [&counter, p] {
+      counter.update(static_cast<std::uint32_t>(p + 1));
+      counter.update(static_cast<std::uint32_t>(10 * (p + 1)));
+    });
+  }
+  ASSERT_EQ(rt.run(4'000'000'000ull).reason, RunResult::Reason::kAllDone);
+  // 1+2+3 + 10+20+30 regardless of order.
+  EXPECT_EQ(counter.materialize(), 66);
+}
+
+TEST(Replicated, QueueSeesOneTotalOrder) {
+  // fetch&cons, literally: the log IS the cons-list; every replica
+  // materializes the same list.
+  const int n = 4;
+  SimRuntime rt(n, std::make_unique<LockstepAdversary>(31), 31);
+  Replicated<std::vector<std::uint32_t>> list(
+      rt, /*capacity=*/16, strong_bits(),
+      /*initial=*/{},
+      [](std::vector<std::uint32_t>& state, const UniversalLog::Entry& e) {
+        state.push_back(e.payload);
+      });
+  for (ProcId p = 0; p < n; ++p) {
+    rt.spawn(p, [&list, p] {
+      list.update(static_cast<std::uint32_t>(100 + p));
+      list.update(static_cast<std::uint32_t>(200 + p));
+    });
+  }
+  ASSERT_EQ(rt.run(4'000'000'000ull).reason, RunResult::Reason::kAllDone);
+  const auto value = list.materialize();
+  EXPECT_EQ(value.size(), 8u);
+  const std::set<std::uint32_t> unique(value.begin(), value.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(UniversalLog, CrashAfterAnnounceStillLeavesConsistentLog) {
+  // A process announces its command, then crashes. Helpers may or may not
+  // carry the orphaned command into the log; either way survivors must
+  // end with one consistent, deduplicated log containing all of THEIR
+  // commands.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const int n = 3;
+    auto adv = std::make_unique<CrashPlanAdversary>(
+        std::make_unique<RandomAdversary>(seed),
+        std::vector<CrashPlanAdversary::Crash>{{seed * 11 + 6, 0}});
+    SimRuntime rt(n, std::move(adv), seed);
+    UniversalLog log(rt, 12, strong_bits());
+    for (ProcId p = 0; p < n; ++p) {
+      rt.spawn(p, [&log, p] {
+        log.append(static_cast<std::uint32_t>(500 + p));
+        log.append(static_cast<std::uint32_t>(600 + p));
+      });
+    }
+    const RunResult res = rt.run(4'000'000'000ull);
+    ASSERT_EQ(res.reason, RunResult::Reason::kAllDone);
+    const auto entries = log.log();
+    // Survivors' four commands must all be present, each exactly once.
+    std::set<std::uint32_t> payloads;
+    for (const auto& e : entries) {
+      EXPECT_TRUE(payloads.insert(e.payload).second)
+          << "payload duplicated in materialized log";
+    }
+    for (const std::uint32_t want : {501u, 502u, 601u, 602u}) {
+      EXPECT_TRUE(payloads.contains(want))
+          << "survivor command " << want << " missing (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(UniversalLog, ThreadRuntimeEndToEnd) {
+  ThreadRuntime rt(3, 77, /*yield_prob=*/0.1);
+  UniversalLog log(rt, 12, strong_bits());
+  for (ProcId p = 0; p < 3; ++p) {
+    rt.spawn(p, [&log, p] {
+      log.append(static_cast<std::uint32_t>(p + 1));
+      log.append(static_cast<std::uint32_t>(p + 100));
+    });
+  }
+  const RunResult res = rt.run(4'000'000'000ull);
+  ASSERT_EQ(res.reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(log.log().size(), 6u);
+}
+
+TEST(UniversalLogDeath, CapacityExhaustionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SimRuntime rt(1, std::make_unique<RoundRobinAdversary>(), 1);
+        UniversalLog log(rt, 1, bprc_bits(1));
+        rt.spawn(0, [&log] {
+          log.append(1);
+          log.append(2);  // no slot left
+        });
+        rt.run(500'000'000ull);
+      },
+      "capacity");
+}
+
+}  // namespace
+}  // namespace bprc
