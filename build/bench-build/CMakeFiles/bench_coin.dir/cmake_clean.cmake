@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_coin"
+  "../bench/bench_coin.pdb"
+  "CMakeFiles/bench_coin.dir/bench_coin.cpp.o"
+  "CMakeFiles/bench_coin.dir/bench_coin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coin_visualizer.dir/coin_visualizer.cpp.o"
+  "CMakeFiles/coin_visualizer.dir/coin_visualizer.cpp.o.d"
+  "coin_visualizer"
+  "coin_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coin_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_and_cons.dir/fetch_and_cons.cpp.o"
+  "CMakeFiles/fetch_and_cons.dir/fetch_and_cons.cpp.o.d"
+  "fetch_and_cons"
+  "fetch_and_cons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_and_cons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

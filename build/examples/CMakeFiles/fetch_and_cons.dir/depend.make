@@ -1,0 +1,2 @@
+# Empty dependencies file for fetch_and_cons.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_log.dir/replicated_log.cpp.o"
+  "CMakeFiles/replicated_log.dir/replicated_log.cpp.o.d"
+  "replicated_log"
+  "replicated_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sticky_election.dir/sticky_election.cpp.o"
+  "CMakeFiles/sticky_election.dir/sticky_election.cpp.o.d"
+  "sticky_election"
+  "sticky_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sticky_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/abrahamson.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/abrahamson.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/abrahamson.cpp.o.d"
+  "/root/repo/src/consensus/aspnes_herlihy.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/aspnes_herlihy.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/aspnes_herlihy.cpp.o.d"
+  "/root/repo/src/consensus/bprc.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/bprc.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/bprc.cpp.o.d"
+  "/root/repo/src/consensus/driver.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/driver.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/driver.cpp.o.d"
+  "/root/repo/src/consensus/multivalue.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/multivalue.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/multivalue.cpp.o.d"
+  "/root/repo/src/consensus/strong_coin.cpp" "src/consensus/CMakeFiles/bprc_consensus.dir/strong_coin.cpp.o" "gcc" "src/consensus/CMakeFiles/bprc_consensus.dir/strong_coin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strip/CMakeFiles/bprc_strip.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bprc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bprc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bprc_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_consensus.dir/abrahamson.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/abrahamson.cpp.o.d"
+  "CMakeFiles/bprc_consensus.dir/aspnes_herlihy.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/aspnes_herlihy.cpp.o.d"
+  "CMakeFiles/bprc_consensus.dir/bprc.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/bprc.cpp.o.d"
+  "CMakeFiles/bprc_consensus.dir/driver.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/driver.cpp.o.d"
+  "CMakeFiles/bprc_consensus.dir/multivalue.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/multivalue.cpp.o.d"
+  "CMakeFiles/bprc_consensus.dir/strong_coin.cpp.o"
+  "CMakeFiles/bprc_consensus.dir/strong_coin.cpp.o.d"
+  "libbprc_consensus.a"
+  "libbprc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbprc_consensus.a"
+)

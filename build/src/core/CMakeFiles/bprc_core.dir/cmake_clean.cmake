@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_core.dir/universal.cpp.o"
+  "CMakeFiles/bprc_core.dir/universal.cpp.o.d"
+  "libbprc_core.a"
+  "libbprc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

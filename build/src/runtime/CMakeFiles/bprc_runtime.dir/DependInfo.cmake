@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/runtime/ctx_switch.S" "/root/repo/build/src/runtime/CMakeFiles/bprc_runtime.dir/ctx_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/adversary.cpp" "src/runtime/CMakeFiles/bprc_runtime.dir/adversary.cpp.o" "gcc" "src/runtime/CMakeFiles/bprc_runtime.dir/adversary.cpp.o.d"
+  "/root/repo/src/runtime/fiber.cpp" "src/runtime/CMakeFiles/bprc_runtime.dir/fiber.cpp.o" "gcc" "src/runtime/CMakeFiles/bprc_runtime.dir/fiber.cpp.o.d"
+  "/root/repo/src/runtime/sim_runtime.cpp" "src/runtime/CMakeFiles/bprc_runtime.dir/sim_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/bprc_runtime.dir/sim_runtime.cpp.o.d"
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/runtime/CMakeFiles/bprc_runtime.dir/thread_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/bprc_runtime.dir/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bprc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

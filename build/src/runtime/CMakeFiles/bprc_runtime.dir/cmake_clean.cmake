@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_runtime.dir/adversary.cpp.o"
+  "CMakeFiles/bprc_runtime.dir/adversary.cpp.o.d"
+  "CMakeFiles/bprc_runtime.dir/ctx_switch.S.o"
+  "CMakeFiles/bprc_runtime.dir/fiber.cpp.o"
+  "CMakeFiles/bprc_runtime.dir/fiber.cpp.o.d"
+  "CMakeFiles/bprc_runtime.dir/sim_runtime.cpp.o"
+  "CMakeFiles/bprc_runtime.dir/sim_runtime.cpp.o.d"
+  "CMakeFiles/bprc_runtime.dir/thread_runtime.cpp.o"
+  "CMakeFiles/bprc_runtime.dir/thread_runtime.cpp.o.d"
+  "libbprc_runtime.a"
+  "libbprc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/bprc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_strip.dir/distance_graph.cpp.o"
+  "CMakeFiles/bprc_strip.dir/distance_graph.cpp.o.d"
+  "CMakeFiles/bprc_strip.dir/token_game.cpp.o"
+  "CMakeFiles/bprc_strip.dir/token_game.cpp.o.d"
+  "libbprc_strip.a"
+  "libbprc_strip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_strip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

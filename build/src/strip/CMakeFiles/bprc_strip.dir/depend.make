@@ -1,0 +1,2 @@
+# Empty dependencies file for bprc_strip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_timestamp.dir/bounded_timestamps.cpp.o"
+  "CMakeFiles/bprc_timestamp.dir/bounded_timestamps.cpp.o.d"
+  "libbprc_timestamp.a"
+  "libbprc_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

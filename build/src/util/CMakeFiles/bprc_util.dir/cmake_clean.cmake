@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_util.dir/table.cpp.o"
+  "CMakeFiles/bprc_util.dir/table.cpp.o.d"
+  "libbprc_util.a"
+  "libbprc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

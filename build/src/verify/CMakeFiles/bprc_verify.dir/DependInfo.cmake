@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/linearizability.cpp" "src/verify/CMakeFiles/bprc_verify.dir/linearizability.cpp.o" "gcc" "src/verify/CMakeFiles/bprc_verify.dir/linearizability.cpp.o.d"
+  "/root/repo/src/verify/snapshot_linearizability.cpp" "src/verify/CMakeFiles/bprc_verify.dir/snapshot_linearizability.cpp.o" "gcc" "src/verify/CMakeFiles/bprc_verify.dir/snapshot_linearizability.cpp.o.d"
+  "/root/repo/src/verify/snapshot_props.cpp" "src/verify/CMakeFiles/bprc_verify.dir/snapshot_props.cpp.o" "gcc" "src/verify/CMakeFiles/bprc_verify.dir/snapshot_props.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/bprc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bprc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bprc_verify.dir/linearizability.cpp.o"
+  "CMakeFiles/bprc_verify.dir/linearizability.cpp.o.d"
+  "CMakeFiles/bprc_verify.dir/snapshot_linearizability.cpp.o"
+  "CMakeFiles/bprc_verify.dir/snapshot_linearizability.cpp.o.d"
+  "CMakeFiles/bprc_verify.dir/snapshot_props.cpp.o"
+  "CMakeFiles/bprc_verify.dir/snapshot_props.cpp.o.d"
+  "libbprc_verify.a"
+  "libbprc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bprc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

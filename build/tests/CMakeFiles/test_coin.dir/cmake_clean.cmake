@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coin.dir/test_coin.cpp.o"
+  "CMakeFiles/test_coin.dir/test_coin.cpp.o.d"
+  "test_coin"
+  "test_coin.pdb"
+  "test_coin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

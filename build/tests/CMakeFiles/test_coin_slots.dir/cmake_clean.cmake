@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coin_slots.dir/test_coin_slots.cpp.o"
+  "CMakeFiles/test_coin_slots.dir/test_coin_slots.cpp.o.d"
+  "test_coin_slots"
+  "test_coin_slots.pdb"
+  "test_coin_slots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coin_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

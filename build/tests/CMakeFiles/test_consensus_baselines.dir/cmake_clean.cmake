@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_baselines.dir/test_consensus_baselines.cpp.o"
+  "CMakeFiles/test_consensus_baselines.dir/test_consensus_baselines.cpp.o.d"
+  "test_consensus_baselines"
+  "test_consensus_baselines.pdb"
+  "test_consensus_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

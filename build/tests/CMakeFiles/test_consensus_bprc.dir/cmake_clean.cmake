@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_bprc.dir/test_consensus_bprc.cpp.o"
+  "CMakeFiles/test_consensus_bprc.dir/test_consensus_bprc.cpp.o.d"
+  "test_consensus_bprc"
+  "test_consensus_bprc.pdb"
+  "test_consensus_bprc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_bprc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_threads.dir/test_consensus_threads.cpp.o"
+  "CMakeFiles/test_consensus_threads.dir/test_consensus_threads.cpp.o.d"
+  "test_consensus_threads"
+  "test_consensus_threads.pdb"
+  "test_consensus_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

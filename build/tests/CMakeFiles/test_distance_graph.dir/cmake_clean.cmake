@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_graph.dir/test_distance_graph.cpp.o"
+  "CMakeFiles/test_distance_graph.dir/test_distance_graph.cpp.o.d"
+  "test_distance_graph"
+  "test_distance_graph.pdb"
+  "test_distance_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_counters.dir/test_edge_counters.cpp.o"
+  "CMakeFiles/test_edge_counters.dir/test_edge_counters.cpp.o.d"
+  "test_edge_counters"
+  "test_edge_counters.pdb"
+  "test_edge_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

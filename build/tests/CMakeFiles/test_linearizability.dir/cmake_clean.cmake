@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linearizability.dir/test_linearizability.cpp.o"
+  "CMakeFiles/test_linearizability.dir/test_linearizability.cpp.o.d"
+  "test_linearizability"
+  "test_linearizability.pdb"
+  "test_linearizability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linearizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

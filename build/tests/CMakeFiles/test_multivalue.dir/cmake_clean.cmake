@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multivalue.dir/test_multivalue.cpp.o"
+  "CMakeFiles/test_multivalue.dir/test_multivalue.cpp.o.d"
+  "test_multivalue"
+  "test_multivalue.pdb"
+  "test_multivalue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multivalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

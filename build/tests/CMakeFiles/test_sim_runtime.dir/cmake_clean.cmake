@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_runtime.dir/test_sim_runtime.cpp.o"
+  "CMakeFiles/test_sim_runtime.dir/test_sim_runtime.cpp.o.d"
+  "test_sim_runtime"
+  "test_sim_runtime.pdb"
+  "test_sim_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

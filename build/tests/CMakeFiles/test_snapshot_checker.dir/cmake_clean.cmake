@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_checker.dir/test_snapshot_checker.cpp.o"
+  "CMakeFiles/test_snapshot_checker.dir/test_snapshot_checker.cpp.o.d"
+  "test_snapshot_checker"
+  "test_snapshot_checker.pdb"
+  "test_snapshot_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_snapshot_linearizability.cpp" "tests/CMakeFiles/test_snapshot_linearizability.dir/test_snapshot_linearizability.cpp.o" "gcc" "tests/CMakeFiles/test_snapshot_linearizability.dir/test_snapshot_linearizability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bprc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bprc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/strip/CMakeFiles/bprc_strip.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/bprc_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bprc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bprc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bprc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_linearizability.dir/test_snapshot_linearizability.cpp.o"
+  "CMakeFiles/test_snapshot_linearizability.dir/test_snapshot_linearizability.cpp.o.d"
+  "test_snapshot_linearizability"
+  "test_snapshot_linearizability.pdb"
+  "test_snapshot_linearizability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_linearizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

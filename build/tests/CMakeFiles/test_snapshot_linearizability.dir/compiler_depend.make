@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_snapshot_linearizability.
+# This may be replaced when dependencies are built.

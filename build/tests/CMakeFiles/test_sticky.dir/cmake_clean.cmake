@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sticky.dir/test_sticky.cpp.o"
+  "CMakeFiles/test_sticky.dir/test_sticky.cpp.o.d"
+  "test_sticky"
+  "test_sticky.pdb"
+  "test_sticky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

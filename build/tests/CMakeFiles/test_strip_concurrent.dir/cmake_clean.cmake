@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strip_concurrent.dir/test_strip_concurrent.cpp.o"
+  "CMakeFiles/test_strip_concurrent.dir/test_strip_concurrent.cpp.o.d"
+  "test_strip_concurrent"
+  "test_strip_concurrent.pdb"
+  "test_strip_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strip_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_coin[1]_include.cmake")
+include("/root/repo/build/tests/test_token_game[1]_include.cmake")
+include("/root/repo/build/tests/test_distance_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_coin_slots[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus_bprc[1]_include.cmake")
+include("/root/repo/build/tests/test_multivalue[1]_include.cmake")
+include("/root/repo/build/tests/test_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_sticky[1]_include.cmake")
+include("/root/repo/build/tests/test_timestamps[1]_include.cmake")
+include("/root/repo/build/tests/test_strip_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_waitfree_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus_threads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
