@@ -61,16 +61,42 @@ ConsensusRunResult evaluate(const ConsensusProtocol& protocol,
       out.valid = false;
     }
   }
+
+  // Bounded memory: a protocol claiming boundedness must keep its largest
+  // stored counter within the static bound it declares for itself.
+  out.bounded_ok = !(out.footprint.bounded && out.footprint.static_bound > 0 &&
+                     out.footprint.max_counter > out.footprint.static_bound);
   return out;
 }
 
 }  // namespace
 
+const char* to_string(FailureClass f) {
+  switch (f) {
+    case FailureClass::kNone:          return "none";
+    case FailureClass::kConsistency:   return "consistency";
+    case FailureClass::kValidity:      return "validity";
+    case FailureClass::kBoundedMemory: return "bounded-memory";
+    case FailureClass::kTermination:   return "termination";
+  }
+  return "?";
+}
+
+FailureClass failure_class_from_string(const std::string& name) {
+  for (const FailureClass f :
+       {FailureClass::kConsistency, FailureClass::kValidity,
+        FailureClass::kBoundedMemory, FailureClass::kTermination}) {
+    if (name == to_string(f)) return f;
+  }
+  return FailureClass::kNone;
+}
+
 ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
                                      const std::vector<int>& inputs,
                                      std::unique_ptr<Adversary> adversary,
                                      std::uint64_t seed,
-                                     std::uint64_t max_steps) {
+                                     std::uint64_t max_steps,
+                                     std::chrono::nanoseconds deadline) {
   const int n = static_cast<int>(inputs.size());
   SimRuntime rt(n, std::move(adversary), seed);
   const std::unique_ptr<ConsensusProtocol> protocol = factory(rt);
@@ -78,7 +104,7 @@ ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
     const int input = inputs[static_cast<std::size_t>(p)];
     rt.spawn(p, [&protocol, input] { protocol->propose(input); });
   }
-  const RunResult run = rt.run(max_steps);
+  const RunResult run = rt.run(max_steps, deadline);
   std::vector<bool> crashed(static_cast<std::size_t>(n), false);
   for (ProcId p = 0; p < n; ++p) crashed[static_cast<std::size_t>(p)] = rt.crashed(p);
   return evaluate(*protocol, inputs, rt, run, crashed);
@@ -88,7 +114,8 @@ ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
                                          const std::vector<int>& inputs,
                                          std::uint64_t seed,
                                          std::uint64_t max_steps,
-                                         double yield_prob) {
+                                         double yield_prob,
+                                         std::chrono::nanoseconds deadline) {
   const int n = static_cast<int>(inputs.size());
   ThreadRuntime rt(n, seed, yield_prob);
   const std::unique_ptr<ConsensusProtocol> protocol = factory(rt);
@@ -96,7 +123,7 @@ ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
     const int input = inputs[static_cast<std::size_t>(p)];
     rt.spawn(p, [&protocol, input] { protocol->propose(input); });
   }
-  const RunResult run = rt.run(max_steps);
+  const RunResult run = rt.run(max_steps, deadline);
   const std::vector<bool> crashed(static_cast<std::size_t>(n), false);
   return evaluate(*protocol, inputs, rt, run, crashed);
 }

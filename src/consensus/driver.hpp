@@ -12,6 +12,7 @@
 // seed, step budget) and is bit-for-bit reproducible in the simulator.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,10 +29,33 @@ namespace bprc {
 using ProtocolFactory =
     std::function<std::unique_ptr<ConsensusProtocol>(Runtime&)>;
 
+/// Which correctness property a run violated, in decreasing severity.
+/// Distinct from RunResult::Reason on purpose: the reason says how the
+/// run *ended* (all done / step budget / watchdog), the failure class
+/// says which *claim of the paper* broke. A budget-exhausted run is a
+/// kTermination failure with reason kBudget; a watchdog abort is
+/// kTermination with reason kDeadline; a consistency violation is
+/// kConsistency whatever the reason.
+enum class FailureClass : std::uint8_t {
+  kNone = 0,
+  kConsistency,    ///< two processes decided different values
+  kValidity,       ///< decision outside the inputs / non-unanimous echo
+  kBoundedMemory,  ///< a bounded protocol exceeded its static bound
+  kTermination,    ///< a correct process failed to decide
+};
+
+const char* to_string(FailureClass f);
+
+/// Parses the names produced by to_string(FailureClass); kNone on mismatch.
+FailureClass failure_class_from_string(const std::string& name);
+
 struct ConsensusRunResult {
   bool all_decided = false;   ///< every non-crashed process decided
   bool consistent = false;    ///< no two decisions differ
   bool valid = false;         ///< unanimous input => that decision
+  bool bounded_ok = true;     ///< footprint respects the protocol's own
+                              ///< static bound (trivially true when the
+                              ///< protocol claims no bound)
   std::vector<int> decisions; ///< per process; -1 = none (crashed/budget)
   std::vector<std::int64_t> decision_rounds;
   std::uint64_t total_steps = 0;
@@ -42,22 +66,32 @@ struct ConsensusRunResult {
 
   /// True iff every correctness property holds (termination of crashed
   /// processes excepted, naturally).
-  bool ok() const { return all_decided && consistent && valid; }
+  bool ok() const { return all_decided && consistent && valid && bounded_ok; }
+
+  /// The most severe violated property, kNone when ok().
+  FailureClass failure() const {
+    if (!consistent) return FailureClass::kConsistency;
+    if (!valid) return FailureClass::kValidity;
+    if (!bounded_ok) return FailureClass::kBoundedMemory;
+    if (!all_decided) return FailureClass::kTermination;
+    return FailureClass::kNone;
+  }
 };
 
-/// Runs one instance in the deterministic simulator.
-ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
-                                     const std::vector<int>& inputs,
-                                     std::unique_ptr<Adversary> adversary,
-                                     std::uint64_t seed,
-                                     std::uint64_t max_steps);
+/// Runs one instance in the deterministic simulator. `deadline` (zero =
+/// off) arms the simulator's wall-clock watchdog; see SimRuntime::run.
+ConsensusRunResult run_consensus_sim(
+    const ProtocolFactory& factory, const std::vector<int>& inputs,
+    std::unique_ptr<Adversary> adversary, std::uint64_t seed,
+    std::uint64_t max_steps,
+    std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
 /// Runs one instance on real threads (kernel scheduler as adversary).
-ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
-                                         const std::vector<int>& inputs,
-                                         std::uint64_t seed,
-                                         std::uint64_t max_steps,
-                                         double yield_prob = 0.05);
+/// `deadline` (zero = off) arms the watchdog; see ThreadRuntime::run.
+ConsensusRunResult run_consensus_threads(
+    const ProtocolFactory& factory, const std::vector<int>& inputs,
+    std::uint64_t seed, std::uint64_t max_steps, double yield_prob = 0.05,
+    std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
 /// Input patterns the test matrix sweeps.
 std::vector<std::vector<int>> standard_input_patterns(int n,

@@ -1,0 +1,27 @@
+#include "fault/broken.hpp"
+
+#include "util/assert.hpp"
+
+namespace bprc::fault {
+
+int RacyConsensus::propose(int input) {
+  BPRC_REQUIRE(input == 0 || input == 1, "proposals must be bits");
+  const ProcId me = rt_.self();
+  BPRC_REQUIRE(decisions_[static_cast<std::size_t>(me)] == -1,
+               "process proposed twice");
+  // The bug: check-then-act over two separate atomic operations. The
+  // window between the read and the write is exactly one adversary
+  // scheduling point.
+  const int seen = reg_.read();
+  int decided;
+  if (seen == -1) {
+    reg_.write(input, input);
+    decided = input;
+  } else {
+    decided = seen;
+  }
+  decisions_[static_cast<std::size_t>(me)] = decided;
+  return decided;
+}
+
+}  // namespace bprc::fault

@@ -1,0 +1,54 @@
+// Deliberately broken consensus protocols — test hooks for the torture
+// harness itself.
+//
+// A fault-injection pipeline that has never caught a bug proves nothing:
+// the harness's own acceptance test seeds a protocol with a known,
+// schedule-dependent agreement bug and requires the campaign to catch it,
+// the shrinker to minimize it, and the repro artifact to replay it. These
+// protocols are registered behind a `broken` flag in the protocol
+// registry and never enter the default campaign matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/protocol.hpp"
+#include "registers/register.hpp"
+#include "runtime/runtime.hpp"
+
+namespace bprc::fault {
+
+/// Binary "consensus" with a textbook read-then-write race: each process
+/// reads a shared decision register, and if it observes ⊥ writes its own
+/// input and decides it; otherwise it adopts what it read. Any schedule
+/// that lets two processes with different inputs both read ⊥ before
+/// either write lands produces a consistency violation — and the minimal
+/// such schedule is a handful of steps, which makes this the canonical
+/// shrinker benchmark.
+class RacyConsensus final : public ConsensusProtocol {
+ public:
+  explicit RacyConsensus(Runtime& rt)
+      : rt_(rt),
+        reg_(rt, /*initial=*/-1),
+        decisions_(static_cast<std::size_t>(rt.nprocs()), -1) {}
+
+  int propose(int input) override;
+  std::string name() const override { return "broken-racy"; }
+  int decision(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+  std::int64_t decision_round(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)] == -1 ? 0 : 1;
+  }
+  MemoryFootprint footprint() const override {
+    // One bounded register; the bug is agreement, not space.
+    return MemoryFootprint{true, 0, 0, 0, 0};
+  }
+
+ private:
+  Runtime& rt_;
+  MRMWRegister<int> reg_;
+  std::vector<int> decisions_;  ///< per-process slots, disjoint writers
+};
+
+}  // namespace bprc::fault

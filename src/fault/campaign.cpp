@@ -1,0 +1,188 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/protocols.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace bprc::fault {
+
+const std::vector<std::string>& torture_adversary_names() {
+  static const std::vector<std::string> names = {
+      "random",    "round-robin", "lockstep",    "leader-suppress",
+      "coin-bias", "crash-storm", "split-brain",
+  };
+  return names;
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "random") return std::make_unique<RandomAdversary>(seed);
+  if (name == "round-robin") return std::make_unique<RoundRobinAdversary>();
+  if (name == "lockstep") return std::make_unique<LockstepAdversary>(seed);
+  if (name == "leader-suppress") {
+    return std::make_unique<LeaderSuppressAdversary>(seed);
+  }
+  if (name == "coin-bias") return std::make_unique<CoinBiasAdversary>(seed);
+  if (name == "crash-storm") return std::make_unique<CrashStormAdversary>(seed);
+  if (name == "split-brain") return std::make_unique<SplitBrainAdversary>(seed);
+  BPRC_REQUIRE(false, "unknown adversary name");
+  __builtin_unreachable();
+}
+
+bool adversary_injects_crashes(const std::string& name) {
+  return name == "crash-storm";
+}
+
+namespace {
+
+/// Non-owning forwarder: lets execute_run keep the RecordingAdversary
+/// alive past run_consensus_sim (the SimRuntime destroys the adversary it
+/// owns before returning the result).
+class BorrowedAdversary final : public Adversary {
+ public:
+  explicit BorrowedAdversary(Adversary& inner) : inner_(inner) {}
+  ProcId pick(SimCtl& ctl) override { return inner_.pick(ctl); }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  Adversary& inner_;
+};
+
+}  // namespace
+
+ConsensusRunResult execute_run(
+    const TortureRun& run, std::chrono::nanoseconds deadline,
+    std::vector<ProcId>* schedule,
+    std::vector<CrashPlanAdversary::Crash>* crashes) {
+  std::unique_ptr<Adversary> adv = make_adversary(run.adversary, run.seed);
+  if (!run.crash_plan.empty()) {
+    adv = std::make_unique<CrashPlanAdversary>(std::move(adv), run.crash_plan);
+  }
+  RecordingAdversary recording(std::move(adv));
+
+  const ConsensusRunResult result = run_consensus_sim(
+      make_protocol(run.protocol, run.n(), run.seed), run.inputs,
+      std::make_unique<BorrowedAdversary>(recording), run.seed, run.max_steps,
+      deadline);
+
+  if (schedule != nullptr) *schedule = recording.script();
+  if (crashes != nullptr) *crashes = recording.crashes();
+  return result;
+}
+
+ConsensusRunResult replay_run(
+    const TortureRun& run, const std::vector<ProcId>& schedule,
+    const std::vector<CrashPlanAdversary::Crash>& crashes) {
+  std::unique_ptr<Adversary> adv = std::make_unique<ScriptedAdversary>(schedule);
+  if (!crashes.empty()) {
+    adv = std::make_unique<CrashPlanAdversary>(std::move(adv), crashes);
+  }
+  return run_consensus_sim(make_protocol(run.protocol, run.n(), run.seed),
+                           run.inputs, std::move(adv), run.seed,
+                           run.max_steps);
+}
+
+namespace {
+
+/// Seeded crash plan: 1..n-1 distinct victims at early-run steps, sorted.
+/// Early triggers matter more than late ones — the protocols' vulnerable
+/// window is while preferences are still contested.
+std::vector<CrashPlanAdversary::Crash> seeded_crash_plan(Rng& rng, int n) {
+  const int max_kills = n - 1;
+  if (max_kills <= 0) return {};
+  const int kills = 1 + static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(max_kills)));
+  std::vector<ProcId> victims;
+  for (ProcId p = 0; p < n; ++p) victims.push_back(p);
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    std::swap(victims[i - 1], victims[rng.below(i)]);
+  }
+  std::vector<CrashPlanAdversary::Crash> plan;
+  for (int k = 0; k < kills; ++k) {
+    plan.push_back({rng.below(4000), victims[static_cast<std::size_t>(k)]});
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const auto& a, const auto& b) { return a.at_step < b.at_step; });
+  return plan;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const RunObserver& observer) {
+  const std::vector<std::string> protocols =
+      config.protocols.empty() ? protocol_names() : config.protocols;
+  const std::vector<std::string> adversaries = config.adversaries.empty()
+                                                   ? torture_adversary_names()
+                                                   : config.adversaries;
+  const std::chrono::nanoseconds deadline = config.run_deadline;
+
+  CampaignReport report;
+  Rng sweep_rng(config.seed0 ^ 0x70727475ULL);  // independent plan stream
+
+  for (const std::string& protocol : protocols) {
+    const bool crash_tolerant = protocol_spec(protocol).crash_tolerant;
+    for (const int n : config.ns) {
+      for (std::uint64_t k = 0; k < config.seeds_per_cell; ++k) {
+        // One seed covers every (adversary × pattern × plan) combination
+        // of the cell: identical schedules across protocols at the same
+        // coordinates, so cross-protocol comparisons stay meaningful.
+        const std::uint64_t seed = config.seed0 + k * 7919;
+        const auto patterns = standard_input_patterns(n, seed);
+        for (const std::string& adversary : adversaries) {
+          for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+            for (const bool with_plan : {false, true}) {
+              if (with_plan && !config.crash_plans) continue;
+              if (!crash_tolerant &&
+                  (with_plan || adversary_injects_crashes(adversary))) {
+                // Skip once per (adversary, plan) pair, not silently: the
+                // report carries the count so nobody mistakes a skipped
+                // cell for a covered one.
+                ++report.skipped_crash_cells;
+                continue;
+              }
+              TortureRun run;
+              run.protocol = protocol;
+              run.inputs = patterns[pi];
+              run.adversary = adversary;
+              run.seed = seed ^ (pi * 0x9E37ULL);
+              run.max_steps = config.max_steps;
+              if (with_plan) {
+                run.crash_plan = seeded_crash_plan(sweep_rng, n);
+                if (run.crash_plan.empty()) continue;  // n == 1
+              }
+
+              TortureFailure candidate;
+              const ConsensusRunResult result = execute_run(
+                  run, deadline, &candidate.schedule, &candidate.crashes);
+              ++report.runs;
+              if (result.reason == RunResult::Reason::kDeadline) {
+                ++report.deadline_aborts;
+              } else if (result.reason == RunResult::Reason::kBudget) {
+                ++report.budget_aborts;
+              }
+              if (observer) observer(run, result);
+
+              if (!result.ok()) {
+                candidate.run = std::move(run);
+                candidate.failure = result.failure();
+                candidate.reason = result.reason;
+                candidate.result = result;
+                report.failures.push_back(std::move(candidate));
+                if (report.failures.size() >= config.max_failures) {
+                  return report;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bprc::fault

@@ -1,0 +1,110 @@
+// Fault-injection campaign driver.
+//
+// A campaign sweeps (protocol × n × adversary × crash plan × input
+// pattern × seed) over the deterministic simulator and checks every
+// ConsensusRunResult invariant after each run: consistency, validity,
+// termination of non-crashed processes, and the protocol's own
+// bounded-memory claim. Each run carries a step budget and a wall-clock
+// watchdog, so a livelocked run aborts that *run* (Reason::kDeadline),
+// never the campaign.
+//
+// Every run executes under a RecordingAdversary, so a failure is captured
+// as a concrete (schedule, crash events) trace the shrinker
+// (fault/shrink.hpp) can delta-debug into a minimal ScriptedAdversary
+// script and the repro layer (fault/repro.hpp) can persist.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/driver.hpp"
+#include "runtime/adversary.hpp"
+
+namespace bprc::fault {
+
+/// One cell of the sweep: everything needed to re-execute the run. With
+/// the adversary's adaptivity removed by recording, (protocol, inputs,
+/// seed, schedule, crashes) replays bit-for-bit.
+struct TortureRun {
+  std::string protocol;
+  std::vector<int> inputs;  ///< size = number of processes
+  std::string adversary;    ///< name in the adversary registry
+  std::vector<CrashPlanAdversary::Crash> crash_plan;  ///< pre-planned kills
+  std::uint64_t seed = 0;       ///< process local-coin seed AND adversary seed
+  std::uint64_t max_steps = 0;  ///< per-run step budget
+
+  int n() const { return static_cast<int>(inputs.size()); }
+};
+
+/// A failed (or aborted) run, with its recorded trace.
+struct TortureFailure {
+  TortureRun run;
+  FailureClass failure = FailureClass::kNone;
+  RunResult::Reason reason = RunResult::Reason::kAllDone;
+  std::vector<ProcId> schedule;  ///< full recorded pick sequence
+  std::vector<CrashPlanAdversary::Crash> crashes;  ///< recorded crash events
+  ConsensusRunResult result;
+};
+
+struct CampaignConfig {
+  std::vector<std::string> protocols;   ///< empty = all real protocols
+  std::vector<int> ns{2, 3, 5};
+  std::vector<std::string> adversaries; ///< empty = full torture matrix
+  std::uint64_t seeds_per_cell = 3;
+  std::uint64_t seed0 = 1;              ///< base seed for the whole sweep
+  std::uint64_t max_steps = 40'000'000;
+  std::chrono::milliseconds run_deadline{5000};  ///< 0 = watchdog off
+  bool crash_plans = true;   ///< additionally sweep seeded crash plans
+  std::size_t max_failures = 8;  ///< stop the sweep once collected
+};
+
+struct CampaignReport {
+  std::uint64_t runs = 0;
+  std::uint64_t deadline_aborts = 0;  ///< runs ended by the watchdog
+  std::uint64_t budget_aborts = 0;    ///< runs ended by the step budget
+  std::uint64_t skipped_crash_cells = 0;  ///< crash cells skipped because
+                                          ///< the protocol is registered
+                                          ///< as not crash-tolerant
+  std::vector<TortureFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Names the campaign's adversary registry understands: the standard
+/// matrix (random, round-robin, lockstep, leader-suppress, coin-bias)
+/// plus the fault-injection pair (crash-storm, split-brain).
+const std::vector<std::string>& torture_adversary_names();
+
+/// Instantiates a registered adversary; BPRC_REQUIRE on unknown names.
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed);
+
+/// True for adversaries that inject crash failures on their own (these
+/// are skipped for protocols registered as not crash-tolerant).
+bool adversary_injects_crashes(const std::string& name);
+
+/// Executes one cell under recording. When non-null, `schedule`/`crashes`
+/// receive the full recorded trace (pre-planned crashes included — the
+/// recorded crash list alone replays the run).
+ConsensusRunResult execute_run(const TortureRun& run,
+                               std::chrono::nanoseconds deadline,
+                               std::vector<ProcId>* schedule,
+                               std::vector<CrashPlanAdversary::Crash>* crashes);
+
+/// Replays a cell under a fixed schedule + crash list (the run's own
+/// crash_plan is NOT applied again; recorded crashes subsume it).
+ConsensusRunResult replay_run(
+    const TortureRun& run, const std::vector<ProcId>& schedule,
+    const std::vector<CrashPlanAdversary::Crash>& crashes);
+
+/// Called after every run (progress reporting, logging).
+using RunObserver =
+    std::function<void(const TortureRun&, const ConsensusRunResult&)>;
+
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const RunObserver& observer = nullptr);
+
+}  // namespace bprc::fault

@@ -1,0 +1,74 @@
+#include "fault/protocols.hpp"
+
+#include <memory>
+
+#include "consensus/abrahamson.hpp"
+#include "consensus/aspnes_herlihy.hpp"
+#include "consensus/bprc.hpp"
+#include "consensus/strong_coin.hpp"
+#include "fault/broken.hpp"
+#include "util/assert.hpp"
+
+namespace bprc::fault {
+
+const std::vector<ProtocolSpec>& protocol_registry() {
+  static const std::vector<ProtocolSpec> registry = {
+      {"bprc", false, true,
+       [](int n, std::uint64_t) -> ProtocolFactory {
+         return [n](Runtime& rt) {
+           return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
+         };
+       }},
+      {"aspnes-herlihy", false, true,
+       [](int n, std::uint64_t) -> ProtocolFactory {
+         return [n](Runtime& rt) {
+           return std::make_unique<AspnesHerlihyConsensus>(
+               rt, CoinParams::standard(n));
+         };
+       }},
+      // crash_tolerant=false: this simplified A88 baseline omits the
+      // paper's timestamp machinery and livelocks when crashed processes
+      // freeze conflicting preferences (torture-campaign finding).
+      {"local-coin", false, false,
+       [](int, std::uint64_t) -> ProtocolFactory {
+         return [](Runtime& rt) {
+           return std::make_unique<LocalCoinConsensus>(rt);
+         };
+       }},
+      {"strong-coin", false, true,
+       [](int, std::uint64_t seed) -> ProtocolFactory {
+         return [seed](Runtime& rt) {
+           return std::make_unique<StrongCoinConsensus>(rt, seed ^ 0xC01);
+         };
+       }},
+      {"broken-racy", true, true,
+       [](int, std::uint64_t) -> ProtocolFactory {
+         return [](Runtime& rt) { return std::make_unique<RacyConsensus>(rt); };
+       }},
+  };
+  return registry;
+}
+
+std::vector<std::string> protocol_names(bool include_broken) {
+  std::vector<std::string> out;
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    if (spec.broken && !include_broken) continue;
+    out.push_back(spec.name);
+  }
+  return out;
+}
+
+const ProtocolSpec& protocol_spec(const std::string& name) {
+  for (const ProtocolSpec& spec : protocol_registry()) {
+    if (spec.name == name) return spec;
+  }
+  BPRC_REQUIRE(false, "unknown protocol name");
+  __builtin_unreachable();
+}
+
+ProtocolFactory make_protocol(const std::string& name, int n,
+                              std::uint64_t seed) {
+  return protocol_spec(name).make(n, seed);
+}
+
+}  // namespace bprc::fault

@@ -1,0 +1,48 @@
+// Name-keyed protocol registry for the torture harness.
+//
+// Campaigns, repro artifacts, and the CLI all refer to protocols by
+// stable string names, so a `.bprc-repro` file written today replays
+// against the same protocol tomorrow. The registry covers the four
+// protocols of the library (BPRC plus the three baselines) and, behind a
+// `broken` flag, the deliberately-buggy test hooks of fault/broken.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consensus/driver.hpp"
+
+namespace bprc::fault {
+
+struct ProtocolSpec {
+  std::string name;
+  bool broken = false;  ///< test-hook protocol with a seeded bug
+  /// Whether the protocol tolerates crash failures (wait-freedom). The
+  /// simplified local-coin baseline does NOT: it decides on unanimity
+  /// over every written preference, so crashed processes that froze
+  /// conflicting preferences livelock all survivors — the very first
+  /// torture campaign caught this (see docs/TESTING.md), and the flag
+  /// keeps crash-injecting cells out of its matrix.
+  bool crash_tolerant = true;
+  /// Builds a factory for an n-process instance; `seed` feeds protocol
+  /// internals that want independent randomness (e.g. the strong coin).
+  std::function<ProtocolFactory(int n, std::uint64_t seed)> make;
+};
+
+/// Every protocol the harness can drive; real protocols first.
+const std::vector<ProtocolSpec>& protocol_registry();
+
+/// Names only, in registry order.
+std::vector<std::string> protocol_names(bool include_broken = false);
+
+/// Looks up `name`; BPRC_REQUIRE on unknown names (campaign configs are
+/// programmer input, not user input — the CLI validates before calling).
+const ProtocolSpec& protocol_spec(const std::string& name);
+
+/// Shorthand: factory for `name` at the given size and seed.
+ProtocolFactory make_protocol(const std::string& name, int n,
+                              std::uint64_t seed);
+
+}  // namespace bprc::fault

@@ -1,0 +1,175 @@
+#include "fault/repro.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace bprc::fault {
+
+namespace {
+
+std::string join_ints(const std::vector<int>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+bool fail_with(std::string* err, const std::string& message) {
+  if (err != nullptr) *err = message;
+  return false;
+}
+
+}  // namespace
+
+std::string serialize_repro(const Repro& repro) {
+  std::ostringstream out;
+  out << "bprc-repro v" << repro.version << "\n";
+  out << "protocol " << repro.run.protocol << "\n";
+  out << "inputs " << join_ints(repro.run.inputs) << "\n";
+  out << "adversary " << repro.run.adversary << "\n";
+  out << "seed " << repro.run.seed << "\n";
+  out << "max-steps " << repro.run.max_steps << "\n";
+  out << "failure " << to_string(repro.failure) << "\n";
+  if (!repro.note.empty()) out << "note " << repro.note << "\n";
+  for (const auto& crash : repro.run.crash_plan) {
+    out << "plan-crash " << crash.at_step << " " << crash.victim << "\n";
+  }
+  for (const auto& crash : repro.crashes) {
+    out << "crash " << crash.at_step << " " << crash.victim << "\n";
+  }
+  out << "schedule";
+  for (const ProcId p : repro.schedule) out << " " << p;
+  out << "\nend\n";
+  return out.str();
+}
+
+std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
+  std::istringstream in(text);
+  std::string line;
+  Repro repro;
+  std::string dummy;
+  if (err == nullptr) err = &dummy;
+
+  if (!std::getline(in, line) || line.rfind("bprc-repro v", 0) != 0) {
+    fail_with(err, "not a bprc-repro file (missing header)");
+    return std::nullopt;
+  }
+  repro.version = std::atoi(line.c_str() + 12);
+  if (repro.version != 1) {
+    fail_with(err, "unsupported bprc-repro version");
+    return std::nullopt;
+  }
+
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "protocol") {
+      fields >> repro.run.protocol;
+    } else if (key == "inputs") {
+      int v = 0;
+      repro.run.inputs.clear();
+      while (fields >> v) repro.run.inputs.push_back(v);
+    } else if (key == "adversary") {
+      fields >> repro.run.adversary;
+    } else if (key == "seed") {
+      fields >> repro.run.seed;
+    } else if (key == "max-steps") {
+      fields >> repro.run.max_steps;
+    } else if (key == "failure") {
+      std::string name;
+      fields >> name;
+      repro.failure = failure_class_from_string(name);
+    } else if (key == "note") {
+      std::getline(fields, repro.note);
+      if (!repro.note.empty() && repro.note.front() == ' ') {
+        repro.note.erase(repro.note.begin());
+      }
+    } else if (key == "plan-crash" || key == "crash") {
+      CrashPlanAdversary::Crash crash{};
+      if (!(fields >> crash.at_step >> crash.victim)) {
+        fail_with(err, "malformed crash line: " + line);
+        return std::nullopt;
+      }
+      (key == "crash" ? repro.crashes : repro.run.crash_plan).push_back(crash);
+    } else if (key == "schedule") {
+      ProcId p = -1;
+      repro.schedule.clear();
+      while (fields >> p) repro.schedule.push_back(p);
+    }
+    // Unknown keys: skipped for forward compatibility.
+  }
+
+  if (!saw_end) {
+    fail_with(err, "truncated bprc-repro file (missing 'end')");
+    return std::nullopt;
+  }
+  if (repro.run.protocol.empty() || repro.run.inputs.empty()) {
+    fail_with(err, "bprc-repro file missing protocol or inputs");
+    return std::nullopt;
+  }
+  if (repro.run.max_steps == 0) {
+    fail_with(err, "bprc-repro file missing max-steps");
+    return std::nullopt;
+  }
+  for (const ProcId p : repro.schedule) {
+    if (p < 0 || p >= repro.run.n()) {
+      fail_with(err, "schedule entry out of range");
+      return std::nullopt;
+    }
+  }
+  for (const auto& crash : repro.crashes) {
+    if (crash.victim < 0 || crash.victim >= repro.run.n()) {
+      fail_with(err, "crash victim out of range");
+      return std::nullopt;
+    }
+  }
+  return repro;
+}
+
+bool save_repro(const std::string& path, const Repro& repro) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << serialize_repro(repro);
+  return static_cast<bool>(out);
+}
+
+std::optional<Repro> load_repro(const std::string& path, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_repro(buffer.str(), err);
+}
+
+ConsensusRunResult replay_repro(const Repro& repro) {
+  return replay_run(repro.run, repro.schedule, repro.crashes);
+}
+
+Repro make_repro(const TortureFailure& fail,
+                 const std::vector<ProcId>& schedule,
+                 const std::vector<CrashPlanAdversary::Crash>& crashes) {
+  Repro repro;
+  repro.run = fail.run;
+  repro.failure = fail.failure;
+  repro.schedule = schedule;
+  repro.crashes = crashes;
+  std::string note = "reason=";
+  note += to_string(fail.reason);
+  note += " decisions=";
+  note += join_ints(fail.result.decisions);
+  repro.note = note;
+  return repro;
+}
+
+}  // namespace bprc::fault

@@ -1,0 +1,60 @@
+// Self-contained, replayable failure artifacts (`.bprc-repro` files).
+//
+// An artifact freezes everything a failing torture run needs to be
+// re-executed bit-for-bit in the deterministic simulator: protocol name,
+// process inputs, seed, step budget, the (minimized) schedule, and the
+// crash events. The format is a line-oriented text file — diffable,
+// hand-editable for manual bisection (see docs/TESTING.md), and stable
+// across versions via a leading version tag:
+//
+//   bprc-repro v1
+//   protocol broken-racy
+//   inputs 0 1
+//   adversary round-robin        # provenance: the strategy that found it
+//   seed 7
+//   max-steps 2000000
+//   failure consistency
+//   note decisions=0,1
+//   crash 37 0                   # zero or more: at_step victim
+//   schedule 0 1 0 1 1 0
+//   end
+//
+// Unknown keys are skipped (forward compatibility); `end` guards against
+// truncated files.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fault/campaign.hpp"
+
+namespace bprc::fault {
+
+struct Repro {
+  int version = 1;
+  TortureRun run;  ///< crash_plan holds provenance only; replay uses `crashes`
+  FailureClass failure = FailureClass::kNone;
+  std::vector<CrashPlanAdversary::Crash> crashes;
+  std::vector<ProcId> schedule;
+  std::string note;  ///< free-form one-liner about the observed violation
+};
+
+std::string serialize_repro(const Repro& repro);
+
+/// Parses serialize_repro output; nullopt + `err` message on malformed
+/// input (user-supplied files must not abort the process).
+std::optional<Repro> parse_repro(const std::string& text, std::string* err);
+
+/// File convenience wrappers. save returns false on I/O failure.
+bool save_repro(const std::string& path, const Repro& repro);
+std::optional<Repro> load_repro(const std::string& path, std::string* err);
+
+/// Re-executes the artifact in the simulator.
+ConsensusRunResult replay_repro(const Repro& repro);
+
+/// Builds the artifact for a (possibly shrunk) failure.
+Repro make_repro(const TortureFailure& fail,
+                 const std::vector<ProcId>& schedule,
+                 const std::vector<CrashPlanAdversary::Crash>& crashes);
+
+}  // namespace bprc::fault

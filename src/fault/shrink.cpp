@@ -1,0 +1,152 @@
+#include "fault/shrink.hpp"
+
+#include <algorithm>
+
+namespace bprc::fault {
+
+namespace {
+
+using Crash = CrashPlanAdversary::Crash;
+
+/// Bundles the fixed run parameters and the probe budget.
+class Shrinker {
+ public:
+  Shrinker(const TortureRun& run, FailureClass target, int max_probes)
+      : run_(run), target_(target), max_probes_(max_probes) {}
+
+  bool budget_left() const { return probes_ < max_probes_; }
+  int probes() const { return probes_; }
+
+  /// Does this candidate still produce the target failure class?
+  bool fails(const std::vector<ProcId>& schedule,
+             const std::vector<Crash>& crashes) {
+    ++probes_;
+    return replay_run(run_, schedule, crashes).failure() == target_;
+  }
+
+ private:
+  const TortureRun& run_;
+  FailureClass target_;
+  int max_probes_;
+  int probes_ = 0;
+};
+
+std::vector<ProcId> prefix(const std::vector<ProcId>& s, std::size_t len) {
+  return {s.begin(), s.begin() + static_cast<std::ptrdiff_t>(len)};
+}
+
+/// Phase 2: shortest failing prefix. Failure need not be monotone in the
+/// prefix length (the round-robin completion changes the tail), so every
+/// candidate is verified and only verified prefixes are committed.
+void truncate_prefix(Shrinker& sh, std::vector<ProcId>& schedule,
+                     const std::vector<Crash>& crashes) {
+  std::size_t lo = 0, hi = schedule.size();
+  while (lo < hi && sh.budget_left()) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (sh.fails(prefix(schedule, mid), crashes)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (hi < schedule.size() && sh.fails(prefix(schedule, hi), crashes)) {
+    schedule = prefix(schedule, hi);
+  }
+}
+
+/// Phase 3: drop crash events (latest first — later crashes are least
+/// likely to be load-bearing), then pull the survivors' trigger steps
+/// toward zero.
+void minimize_crashes(Shrinker& sh, const std::vector<ProcId>& schedule,
+                      std::vector<Crash>& crashes) {
+  for (std::size_t i = crashes.size(); i-- > 0 && sh.budget_left();) {
+    std::vector<Crash> without = crashes;
+    without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+    if (sh.fails(schedule, without)) crashes = std::move(without);
+  }
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    while (crashes[i].at_step > 0 && sh.budget_left()) {
+      std::vector<Crash> earlier = crashes;
+      earlier[i].at_step /= 2;
+      if (!sh.fails(schedule, earlier)) break;
+      crashes = std::move(earlier);
+    }
+  }
+  // Halving can leave the plan unsorted; CrashPlanAdversary applies a
+  // plan in list order, so restore trigger order if that still fails.
+  std::vector<Crash> sorted = crashes;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Crash& a,
+                                                    const Crash& b) {
+    return a.at_step < b.at_step;
+  });
+  if (sh.budget_left() && sh.fails(schedule, sorted)) {
+    crashes = std::move(sorted);
+  }
+}
+
+/// Phase 4: ddmin chunk removal (Zeller–Hildebrandt). Granularity starts
+/// at 2 chunks and doubles whenever no chunk can be removed; any
+/// successful removal restarts the scan at the same granularity.
+void ddmin(Shrinker& sh, std::vector<ProcId>& schedule,
+           const std::vector<Crash>& crashes) {
+  std::size_t chunks = 2;
+  while (schedule.size() >= 2 && chunks <= schedule.size() &&
+         sh.budget_left()) {
+    const std::size_t chunk_len =
+        (schedule.size() + chunks - 1) / chunks;  // ceil
+    bool removed = false;
+    for (std::size_t start = 0; start < schedule.size() && sh.budget_left();
+         start += chunk_len) {
+      std::vector<ProcId> candidate;
+      candidate.reserve(schedule.size());
+      for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (i < start || i >= start + chunk_len) candidate.push_back(schedule[i]);
+      }
+      if (candidate.size() < schedule.size() && sh.fails(candidate, crashes)) {
+        schedule = std::move(candidate);
+        removed = true;
+        break;  // rescan at the same granularity on the shorter schedule
+      }
+    }
+    if (!removed) {
+      if (chunks >= schedule.size()) break;  // singleton granularity done
+      chunks = std::min(chunks * 2, schedule.size());
+    } else {
+      chunks = std::max<std::size_t>(2, std::min(chunks, schedule.size()));
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_failure(const TortureFailure& fail, int max_probes) {
+  ShrinkOutcome out;
+  out.failure = fail.failure;
+  out.schedule = fail.schedule;
+  out.crashes = fail.crashes;
+  out.original_len = fail.schedule.size();
+
+  Shrinker sh(fail.run, fail.failure, max_probes);
+
+  // Phase 1: the recorded trace must reproduce its own failure. Watchdog
+  // aborts (wall-clock) are inherently non-replayable; everything else in
+  // the simulator is deterministic.
+  if (fail.failure == FailureClass::kNone ||
+      fail.reason == RunResult::Reason::kDeadline ||
+      !sh.fails(fail.schedule, fail.crashes)) {
+    out.probes = sh.probes();
+    return out;
+  }
+  out.reproduced = true;
+
+  truncate_prefix(sh, out.schedule, out.crashes);
+  minimize_crashes(sh, out.schedule, out.crashes);
+  ddmin(sh, out.schedule, out.crashes);
+  // A shorter schedule may have made more crashes redundant.
+  minimize_crashes(sh, out.schedule, out.crashes);
+
+  out.probes = sh.probes();
+  return out;
+}
+
+}  // namespace bprc::fault

@@ -1,0 +1,41 @@
+// Schedule shrinker: delta-debugs a recorded failing trace to a minimal
+// replayable counterexample.
+//
+// Given a TortureFailure (full recorded schedule + crash events), the
+// shrinker searches for the smallest ScriptedAdversary script — plus the
+// smallest crash subset — that still produces the *same failure class*
+// (consistency / validity / bounded-memory / termination). The phases:
+//
+//   1. faithfulness probe — replay the full trace; a failure that does
+//      not reproduce deterministically (e.g. a wall-clock watchdog abort)
+//      is reported as non-reproducible rather than "shrunk" to nonsense;
+//   2. prefix truncation — binary-search the shortest schedule prefix
+//      that still fails (ScriptedAdversary completes the run round-robin
+//      after the script ends, so every prefix is a complete run);
+//   3. crash minimization — greedily drop crash events, then halve their
+//      trigger steps while the failure persists;
+//   4. ddmin chunk removal — classic delta debugging over the remaining
+//      schedule at doubling granularity.
+//
+// Each phase only commits a candidate after replaying it, so the output
+// is always a verified counterexample.
+#pragma once
+
+#include "fault/campaign.hpp"
+
+namespace bprc::fault {
+
+struct ShrinkOutcome {
+  bool reproduced = false;  ///< full recorded trace reproduced the failure
+  FailureClass failure = FailureClass::kNone;
+  std::vector<ProcId> schedule;  ///< minimized (or original if !reproduced)
+  std::vector<CrashPlanAdversary::Crash> crashes;  ///< minimized crash set
+  std::size_t original_len = 0;  ///< recorded schedule length
+  int probes = 0;                ///< replays spent shrinking
+};
+
+/// Shrinks `fail`'s trace; replays at most `max_probes` candidates.
+ShrinkOutcome shrink_failure(const TortureFailure& fail,
+                             int max_probes = 4000);
+
+}  // namespace bprc::fault

@@ -112,6 +112,118 @@ ProcId CrashPlanAdversary::pick(SimCtl& ctl) {
   return inner_->pick(ctl);
 }
 
+namespace {
+
+/// SimCtl interposer used by RecordingAdversary: forwards everything and
+/// logs effective crash() calls with the step counter at injection time.
+class CrashTap final : public SimCtl {
+ public:
+  CrashTap(SimCtl& base, std::vector<CrashPlanAdversary::Crash>& log)
+      : base_(base), log_(log) {}
+
+  int nprocs() const override { return base_.nprocs(); }
+  const ProcView& proc(ProcId p) const override { return base_.proc(p); }
+  std::uint64_t step() const override { return base_.step(); }
+  void crash(ProcId p) override {
+    const ProcView& view = base_.proc(p);
+    if (!view.crashed && !view.finished) log_.push_back({base_.step(), p});
+    base_.crash(p);
+  }
+
+ private:
+  SimCtl& base_;
+  std::vector<CrashPlanAdversary::Crash>& log_;
+};
+
+}  // namespace
+
+ProcId RecordingAdversary::pick(SimCtl& ctl) {
+  CrashTap tap(ctl, crashes_);
+  const ProcId p = inner_->pick(tap);
+  if (p >= 0) script_.push_back(p);
+  return p;
+}
+
+ProcId CrashStormAdversary::pick(SimCtl& ctl) {
+  const int n = ctl.nprocs();
+  const int limit = max_crashes_ < 0 ? n - 1 : std::min(max_crashes_, n - 1);
+  // Count every crashed process, not just our own victims: composed with a
+  // CrashPlanAdversary, the combined kill count must stay within the
+  // paper's n-1 wait-freedom bound.
+  int crashed_total = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.proc(p).crashed) ++crashed_total;
+  }
+
+  if (crashed_total < limit && rng_.bernoulli(crash_prob_)) {
+    // Sensitivity score of a candidate victim, from the information the
+    // strong adversary legitimately holds (Hint + pending OpDesc).
+    std::int32_t max_round = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      if (ctl.proc(p).runnable) {
+        max_round = std::max(max_round, ctl.proc(p).hint.round);
+      }
+    }
+    auto score = [&](ProcId p) {
+      const SimCtl::ProcView& v = ctl.proc(p);
+      int s = 0;
+      // Observed local coin flip whose counter write is still pending:
+      // crashing here makes the flip vanish from the shared walk.
+      if (v.pending.kind == OpDesc::Kind::kWrite && v.hint.walk_delta != 0) {
+        s += 2;
+      }
+      // Front-running leader with a live preference: crash pre-decision.
+      const bool live_pref = v.hint.pref == 0 || v.hint.pref == 1;
+      if (!v.hint.decided && live_pref && v.hint.round >= max_round) s += 2;
+      // Mid-scan reader carrying a preference: orphans a partial view.
+      if (v.pending.kind == OpDesc::Kind::kRead && live_pref) s += 1;
+      return s;
+    };
+    std::vector<ProcId> victims;
+    int best = 1;  // only crash at genuinely sensitive points
+    for (ProcId p = 0; p < n; ++p) {
+      if (!ctl.proc(p).runnable) continue;
+      const int s = score(p);
+      if (s < best) continue;
+      if (s > best) victims.clear();
+      best = s;
+      victims.push_back(p);
+    }
+    const ProcId victim = pick_uniform(victims, rng_);
+    if (victim >= 0) ctl.crash(victim);
+  }
+  return pick_uniform(runnable_set(ctl), rng_);
+}
+
+ProcId SplitBrainAdversary::pick(SimCtl& ctl) {
+  const int n = ctl.nprocs();
+  const int half = std::max(1, n / 2);
+  auto group_runnable = [&](int g) {
+    std::vector<ProcId> out;
+    for (ProcId p = 0; p < n; ++p) {
+      if (ctl.proc(p).runnable && ((p < half) ? 0 : 1) == g) out.push_back(p);
+    }
+    return out;
+  };
+
+  auto current = group_runnable(group_);
+  if (remaining_ == 0 || current.empty()) {
+    group_ = 1 - group_;
+    // Burst length in [mean/2, 2*mean): long enough that a burst spans
+    // many protocol rounds of the solo group.
+    remaining_ = mean_burst_ / 2 +
+                 rng_.below(mean_burst_ + std::max<std::uint64_t>(mean_burst_ / 2, 1));
+    current = group_runnable(group_);
+    if (current.empty()) {
+      // Other group is dead too — fall back to whoever is left.
+      current = runnable_set(ctl);
+      if (current.empty()) return -1;
+    }
+  }
+  if (remaining_ > 0) --remaining_;
+  return pick_uniform(current, rng_);
+}
+
 std::vector<std::unique_ptr<Adversary>> standard_adversaries(
     std::uint64_t seed) {
   std::vector<std::unique_ptr<Adversary>> out;
@@ -120,6 +232,14 @@ std::vector<std::unique_ptr<Adversary>> standard_adversaries(
   out.push_back(std::make_unique<LockstepAdversary>(seed ^ 0x1));
   out.push_back(std::make_unique<LeaderSuppressAdversary>(seed ^ 0x2));
   out.push_back(std::make_unique<CoinBiasAdversary>(seed ^ 0x3));
+  return out;
+}
+
+std::vector<std::unique_ptr<Adversary>> hostile_adversaries(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<Adversary>> out;
+  out.push_back(std::make_unique<CrashStormAdversary>(seed ^ 0x4));
+  out.push_back(std::make_unique<SplitBrainAdversary>(seed ^ 0x5));
   return out;
 }
 

@@ -131,29 +131,6 @@ class ScriptedAdversary final : public Adversary {
   RoundRobinAdversary fallback_;
 };
 
-/// Decorator: records the inner strategy's pick sequence. Feed the
-/// recorded script to a ScriptedAdversary to replay any run exactly —
-/// the debugging loop for failures found by randomized testing:
-/// reproduce via the seed, record, then replay/bisect the schedule.
-class RecordingAdversary final : public Adversary {
- public:
-  explicit RecordingAdversary(std::unique_ptr<Adversary> inner)
-      : inner_(std::move(inner)) {}
-  ProcId pick(SimCtl& ctl) override {
-    const ProcId p = inner_->pick(ctl);
-    if (p >= 0) script_.push_back(p);
-    return p;
-  }
-  std::string name() const override { return inner_->name() + "+rec"; }
-
-  /// The schedule so far; pass to ScriptedAdversary to replay.
-  const std::vector<ProcId>& script() const { return script_; }
-
- private:
-  std::unique_ptr<Adversary> inner_;
-  std::vector<ProcId> script_;
-};
-
 /// Decorator: crashes given processes once the global step counter passes
 /// their trigger, otherwise delegates scheduling to the inner strategy.
 class CrashPlanAdversary final : public Adversary {
@@ -176,8 +153,84 @@ class CrashPlanAdversary final : public Adversary {
   std::size_t next_ = 0;
 };
 
+/// Decorator: records the inner strategy's pick sequence AND its crash
+/// injections (it interposes on the SimCtl handed to the inner strategy).
+/// A recorded run replays exactly as
+///
+///   CrashPlanAdversary(ScriptedAdversary(script()), crashes())
+///
+/// under the same seed — the debugging loop for failures found by
+/// randomized testing: reproduce via the seed, record, then replay/shrink
+/// the schedule (src/fault/ automates the shrinking).
+class RecordingAdversary final : public Adversary {
+ public:
+  explicit RecordingAdversary(std::unique_ptr<Adversary> inner)
+      : inner_(std::move(inner)) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return inner_->name() + "+rec"; }
+
+  /// The schedule so far; pass to ScriptedAdversary to replay.
+  const std::vector<ProcId>& script() const { return script_; }
+
+  /// Crashes the inner strategy performed, in chronological order; pass
+  /// to CrashPlanAdversary to replay.
+  const std::vector<CrashPlanAdversary::Crash>& crashes() const {
+    return crashes_;
+  }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  std::vector<ProcId> script_;
+  std::vector<CrashPlanAdversary::Crash> crashes_;
+};
+
+/// Adaptive crash injector: kills up to `max_crashes` processes (default
+/// n-1, the paper's wait-freedom bound) at protocol-sensitive points read
+/// off the published Hint / pending OpDesc — a leader about to decide, a
+/// process whose observed coin flip has not yet hit shared memory
+/// (walk_delta pending), or a mid-scan reader holding a live preference.
+/// Scheduling between crashes is uniformly random.
+class CrashStormAdversary final : public Adversary {
+ public:
+  explicit CrashStormAdversary(std::uint64_t seed, int max_crashes = -1,
+                               double crash_prob = 0.02)
+      : rng_(seed), max_crashes_(max_crashes), crash_prob_(crash_prob) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "crash-storm"; }
+
+ private:
+  Rng rng_;
+  int max_crashes_;  ///< -1 = nprocs()-1
+  double crash_prob_;
+};
+
+/// Alternates long solo bursts between two halves of the process set (ids
+/// below n/2 vs the rest) — each group runs as if the other were dead,
+/// then is starved while the other catches up. The schedule that punishes
+/// protocols relying on round freshness: every burst boundary is a
+/// maximal information shear.
+class SplitBrainAdversary final : public Adversary {
+ public:
+  explicit SplitBrainAdversary(std::uint64_t seed,
+                               std::uint64_t mean_burst = 200)
+      : rng_(seed), mean_burst_(mean_burst) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "split-brain"; }
+
+ private:
+  Rng rng_;
+  std::uint64_t mean_burst_;
+  int group_ = 0;              ///< group currently being run solo
+  std::uint64_t remaining_ = 0; ///< picks left in the current burst
+};
+
 /// All adversaries used by the integration test matrix, freshly seeded.
 std::vector<std::unique_ptr<Adversary>> standard_adversaries(
+    std::uint64_t seed);
+
+/// The torture-harness extension of the standard matrix: the two
+/// fault-injection adversaries (crash-storm, split-brain).
+std::vector<std::unique_ptr<Adversary>> hostile_adversaries(
     std::uint64_t seed);
 
 }  // namespace bprc

@@ -62,11 +62,22 @@ struct RunResult {
   enum class Reason {
     kAllDone,   ///< every non-crashed process finished its body
     kBudget,    ///< the step budget was exhausted first
-    kNoRunnable ///< every unfinished process was crashed
+    kNoRunnable,///< every unfinished process was crashed
+    kDeadline   ///< the wall-clock watchdog fired (livelock guard)
   };
   Reason reason = Reason::kAllDone;
   std::uint64_t steps = 0;  ///< total primitive operations executed
 };
+
+inline const char* to_string(RunResult::Reason r) {
+  switch (r) {
+    case RunResult::Reason::kAllDone:    return "all-done";
+    case RunResult::Reason::kBudget:     return "budget";
+    case RunResult::Reason::kNoRunnable: return "no-runnable";
+    case RunResult::Reason::kDeadline:   return "deadline";
+  }
+  return "?";
+}
 
 class Runtime {
  public:

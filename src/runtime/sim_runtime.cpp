@@ -89,9 +89,16 @@ bool SimRuntime::any_runnable() const {
   return false;
 }
 
-RunResult SimRuntime::run(std::uint64_t max_steps) {
+RunResult SimRuntime::run(std::uint64_t max_steps,
+                          std::chrono::nanoseconds deadline) {
   BPRC_REQUIRE(!ran_, "run() may only be called once per SimRuntime");
   ran_ = true;
+
+  // The wall-clock watchdog is checked every kWatchdogStride steps: a
+  // steady_clock read per primitive operation would dominate small runs.
+  constexpr std::uint64_t kWatchdogStride = 4096;
+  const bool watched = deadline > std::chrono::nanoseconds::zero();
+  const auto deadline_at = std::chrono::steady_clock::now() + deadline;
 
   RunResult result;
   while (true) {
@@ -112,6 +119,11 @@ RunResult SimRuntime::run(std::uint64_t max_steps) {
     }
     if (total_steps_ >= max_steps) {
       result.reason = RunResult::Reason::kBudget;
+      break;
+    }
+    if (watched && (total_steps_ % kWatchdogStride == 0) &&
+        std::chrono::steady_clock::now() >= deadline_at) {
+      result.reason = RunResult::Reason::kDeadline;
       break;
     }
     const ProcId p = adversary_->pick(*this);

@@ -6,6 +6,7 @@
 // every property-test counterexample is replayable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,7 +35,14 @@ class SimRuntime final : public Runtime, private SimCtl {
   /// `max_steps` primitive operations have been executed. On return, all
   /// unfinished fibers have been unwound (ProcessStopped) so RAII cleanup
   /// ran; the shared-memory history up to that point is untouched.
-  RunResult run(std::uint64_t max_steps);
+  ///
+  /// `deadline` is a wall-clock watchdog for torture campaigns: a run
+  /// that is still going after that much real time aborts with
+  /// Reason::kDeadline (checked every few thousand steps, so overshoot is
+  /// bounded). Zero disables the watchdog. Deadline aborts are the only
+  /// non-deterministic exit — replay tooling must not rely on them.
+  RunResult run(std::uint64_t max_steps,
+                std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
   bool crashed(ProcId p) const { return procs_[checked(p)].view.crashed; }
   bool finished(ProcId p) const { return procs_[checked(p)].view.finished; }

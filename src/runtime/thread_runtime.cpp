@@ -1,5 +1,6 @@
 #include "runtime/thread_runtime.hpp"
 
+#include <condition_variable>
 #include <thread>
 #include <utility>
 
@@ -65,32 +66,56 @@ std::uint64_t ThreadRuntime::steps(ProcId p) const {
   return procs_[checked(p)].steps.load(std::memory_order_relaxed);
 }
 
-RunResult ThreadRuntime::run(std::uint64_t max_steps) {
+RunResult ThreadRuntime::run(std::uint64_t max_steps,
+                             std::chrono::nanoseconds deadline) {
   BPRC_REQUIRE(!ran_, "run() may only be called once per ThreadRuntime");
   ran_ = true;
   max_steps_ = max_steps;
 
   {
-    std::vector<std::jthread> threads;
-    threads.reserve(procs_.size());
-    for (std::size_t i = 0; i < procs_.size(); ++i) {
-      if (procs_[i].body == nullptr) continue;
-      threads.emplace_back([this, i] {
-        tls_self = static_cast<ProcId>(i);
-        try {
-          procs_[i].body();
-        } catch (const ProcessStopped&) {
-          // Budget exhausted: unwind quietly.
+    // The watchdog sleeps until the deadline (or until the workers are
+    // done and its stop is requested), then raises the global stop flag so
+    // every worker unwinds at its next checkpoint.
+    std::jthread watchdog;
+    if (deadline > std::chrono::nanoseconds::zero()) {
+      watchdog = std::jthread([this, deadline](std::stop_token st) {
+        std::mutex m;
+        std::condition_variable_any cv;
+        std::unique_lock lock(m);
+        const bool stopped = cv.wait_for(
+            lock, st, deadline, [&st] { return st.stop_requested(); });
+        if (!stopped) {
+          deadline_hit_.store(true, std::memory_order_relaxed);
+          stop_.store(true, std::memory_order_relaxed);
         }
-        tls_self = -1;
       });
     }
-  }  // jthreads join here
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(procs_.size());
+      for (std::size_t i = 0; i < procs_.size(); ++i) {
+        if (procs_[i].body == nullptr) continue;
+        threads.emplace_back([this, i] {
+          tls_self = static_cast<ProcId>(i);
+          try {
+            procs_[i].body();
+          } catch (const ProcessStopped&) {
+            // Budget/deadline exhausted: unwind quietly.
+          }
+          tls_self = -1;
+        });
+      }
+    }  // worker jthreads join here
+  }  // watchdog stop requested + joined here
 
   RunResult result;
   result.steps = total_steps_.load();
-  result.reason = stop_.load() ? RunResult::Reason::kBudget
-                               : RunResult::Reason::kAllDone;
+  if (deadline_hit_.load()) {
+    result.reason = RunResult::Reason::kDeadline;
+  } else {
+    result.reason = stop_.load() ? RunResult::Reason::kBudget
+                                 : RunResult::Reason::kAllDone;
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -30,7 +31,16 @@ class ThreadRuntime final : public Runtime {
   /// Starts one jthread per spawned process and joins them all. When the
   /// step budget is exhausted, checkpoints start throwing ProcessStopped
   /// and remaining threads unwind.
-  RunResult run(std::uint64_t max_steps);
+  ///
+  /// `deadline` arms a watchdog thread: once the wall-clock budget
+  /// elapses, every subsequent checkpoint throws ProcessStopped and the
+  /// run returns Reason::kDeadline instead of hanging CI forever. The
+  /// watchdog can only interrupt code that still reaches checkpoints (a
+  /// thread wedged inside a primitive is beyond rescue without kill());
+  /// protocol code checkpoints at every shared-memory operation, which is
+  /// exactly where livelocks spin. Zero disables the watchdog.
+  RunResult run(std::uint64_t max_steps,
+                std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
   // --- Runtime interface ---
   int nprocs() const override { return static_cast<int>(procs_.size()); }
@@ -57,6 +67,7 @@ class ThreadRuntime final : public Runtime {
   std::atomic<std::uint64_t> total_steps_{0};
   std::atomic<std::uint64_t> now_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> deadline_hit_{false};
   std::uint64_t max_steps_ = 0;
   mutable std::mutex hint_mutex_;
   bool ran_ = false;

@@ -1,0 +1,192 @@
+// Unit tests for the fault-injection subsystem: repro parsing, campaign
+// behavior, hostile adversaries, and the runtime watchdogs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/protocols.hpp"
+#include "fault/repro.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+
+namespace bprc::fault {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ProtocolRegistry, NamesAndBrokenFlag) {
+  const auto real = protocol_names();
+  EXPECT_EQ(real.size(), 4u);
+  for (const auto& name : real) EXPECT_FALSE(protocol_spec(name).broken);
+
+  const auto all = protocol_names(/*include_broken=*/true);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(protocol_spec("broken-racy").broken);
+  EXPECT_FALSE(protocol_spec("local-coin").crash_tolerant);
+  EXPECT_TRUE(protocol_spec("bprc").crash_tolerant);
+}
+
+TEST(Repro, ParseRejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse_repro("", &err).has_value());
+  EXPECT_FALSE(parse_repro("not-a-repro\n", &err).has_value());
+  // Truncated file: header but no `end` sentinel.
+  EXPECT_FALSE(
+      parse_repro("bprc-repro v1\nprotocol bprc\ninputs 0 1\nseed 3\n", &err)
+          .has_value());
+  EXPECT_FALSE(err.empty());
+  // Unsupported version.
+  EXPECT_FALSE(parse_repro("bprc-repro v99\nend\n", &err).has_value());
+  // Schedule entry out of range for n=2.
+  EXPECT_FALSE(parse_repro("bprc-repro v1\nprotocol bprc\ninputs 0 1\n"
+                           "seed 3\nmax-steps 100\nschedule 0 7\nend\n",
+                           &err)
+                   .has_value());
+}
+
+TEST(Repro, UnknownKeysAreSkipped) {
+  std::string err;
+  const auto parsed = parse_repro(
+      "bprc-repro v1\nprotocol bprc\ninputs 0 1\nadversary random\n"
+      "seed 3\nmax-steps 100\nfuture-key some value\nschedule 0 1\nend\n",
+      &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->run.protocol, "bprc");
+  EXPECT_EQ(parsed->schedule, (std::vector<ProcId>{0, 1}));
+}
+
+TEST(Campaign, CleanProtocolsPassASmallSweep) {
+  CampaignConfig config;
+  config.protocols = {"bprc", "aspnes-herlihy"};
+  config.ns = {2, 3};
+  config.adversaries = {"random", "crash-storm", "split-brain"};
+  config.seeds_per_cell = 1;
+  config.max_steps = 4'000'000;
+  config.run_deadline = 3000ms;
+  const CampaignReport report = run_campaign(config);
+  EXPECT_TRUE(report.ok()) << report.failures.size() << " failure(s)";
+  EXPECT_GT(report.runs, 0u);
+  EXPECT_EQ(report.skipped_crash_cells, 0u);
+}
+
+TEST(Campaign, SkipsCrashCellsForNonTolerantProtocols) {
+  CampaignConfig config;
+  config.protocols = {"local-coin"};
+  config.ns = {2};
+  config.adversaries = {"crash-storm"};
+  config.seeds_per_cell = 1;
+  config.max_steps = 2'000'000;
+  const CampaignReport report = run_campaign(config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs, 0u);
+  EXPECT_GT(report.skipped_crash_cells, 0u);
+}
+
+TEST(CrashStorm, RespectsTheWaitFreedomBound) {
+  // n-1 crashes at most: some process always survives, and a crash-storm
+  // run over a crash-tolerant protocol still terminates correctly.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TortureRun run;
+    run.protocol = "bprc";
+    run.inputs = {0, 1, 0};
+    run.adversary = "crash-storm";
+    run.seed = seed;
+    run.max_steps = 4'000'000;
+    std::vector<CrashPlanAdversary::Crash> crashes;
+    const ConsensusRunResult result =
+        execute_run(run, std::chrono::nanoseconds::zero(), nullptr, &crashes);
+    EXPECT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_LT(crashes.size(), run.inputs.size()) << "crashed everyone";
+    std::set<ProcId> victims;
+    for (const auto& c : crashes) victims.insert(c.victim);
+    EXPECT_EQ(victims.size(), crashes.size()) << "double-crashed a victim";
+  }
+}
+
+TEST(SplitBrain, AlternatesBetweenGroups) {
+  // Drive 4 spinning processes and check both halves get long solo runs.
+  SimRuntime rt(4, std::make_unique<SplitBrainAdversary>(3, 50), 1);
+  std::vector<ProcId> trace;
+  for (ProcId p = 0; p < 4; ++p) {
+    rt.spawn(p, [&rt, &trace, p] {
+      for (;;) {
+        trace.push_back(p);
+        rt.checkpoint({});
+      }
+    });
+  }
+  rt.run(2000);
+  ASSERT_EQ(trace.size(), 2000u);
+  // Every pick stays within one group for a burst; count group switches
+  // and verify both groups were scheduled.
+  bool saw_low = false, saw_high = false;
+  int switches = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int group = trace[i] < 2 ? 0 : 1;
+    (group == 0 ? saw_low : saw_high) = true;
+    if (i > 0 && group != (trace[i - 1] < 2 ? 0 : 1)) ++switches;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+  // Long bursts => far fewer switches than picks.
+  EXPECT_LT(switches, 200);
+  EXPECT_GT(switches, 0);
+}
+
+TEST(SimWatchdog, ExpiredDeadlineAbortsTheRun) {
+  // With a 1ns deadline the first stride check fires; the run must end
+  // with Reason::kDeadline instead of burning the whole step budget.
+  SimRuntime rt(2, std::make_unique<RoundRobinAdversary>(), 1);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&rt] {
+      for (;;) rt.checkpoint({});
+    });
+  }
+  const RunResult result = rt.run(100'000'000, 1ns);
+  EXPECT_EQ(result.reason, RunResult::Reason::kDeadline);
+  EXPECT_LT(result.steps, 100'000'000u);
+}
+
+TEST(SimWatchdog, ZeroDeadlineMeansOff) {
+  SimRuntime rt(2, std::make_unique<RoundRobinAdversary>(), 1);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&rt] {
+      for (;;) rt.checkpoint({});
+    });
+  }
+  const RunResult result = rt.run(10'000);
+  EXPECT_EQ(result.reason, RunResult::Reason::kBudget);
+}
+
+TEST(ThreadWatchdog, DeadlineUnwedgesALivelockedRun) {
+  // Bodies spin at checkpoints forever; without the watchdog this run
+  // would only end after 4B steps. The deadline must end it in ~50ms
+  // with Reason::kDeadline.
+  ThreadRuntime rt(2, 9);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&rt] {
+      for (;;) rt.checkpoint({});
+    });
+  }
+  const RunResult result = rt.run(4'000'000'000ULL, 50ms);
+  EXPECT_EQ(result.reason, RunResult::Reason::kDeadline);
+}
+
+TEST(ThreadWatchdog, FastRunsFinishBeforeTheDeadline) {
+  ThreadRuntime rt(2, 9);
+  for (ProcId p = 0; p < 2; ++p) {
+    rt.spawn(p, [&rt] {
+      for (int i = 0; i < 100; ++i) rt.checkpoint({});
+    });
+  }
+  const RunResult result = rt.run(1'000'000, 10s);
+  EXPECT_EQ(result.reason, RunResult::Reason::kAllDone);
+}
+
+}  // namespace
+}  // namespace bprc::fault

@@ -1,0 +1,159 @@
+// Record/replay fidelity tests for the torture harness: a run recorded
+// by RecordingAdversary and replayed through ScriptedAdversary (same
+// seed) must yield a bit-identical ConsensusRunResult, and a shrunken
+// schedule must still reproduce the original violation class.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/protocols.hpp"
+#include "fault/repro.hpp"
+#include "fault/shrink.hpp"
+
+namespace bprc::fault {
+namespace {
+
+constexpr std::chrono::nanoseconds kNoDeadline{0};
+
+/// Field-by-field equality: replay is only trustworthy if *everything*
+/// matches, not just the decisions.
+void expect_identical(const ConsensusRunResult& a,
+                      const ConsensusRunResult& b) {
+  EXPECT_EQ(a.all_decided, b.all_decided);
+  EXPECT_EQ(a.consistent, b.consistent);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.bounded_ok, b.bounded_ok);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.decision_rounds, b.decision_rounds);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.max_proc_steps, b.max_proc_steps);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.footprint.bounded, b.footprint.bounded);
+  EXPECT_EQ(a.footprint.max_round_stored, b.footprint.max_round_stored);
+  EXPECT_EQ(a.footprint.max_counter, b.footprint.max_counter);
+  EXPECT_EQ(a.footprint.coin_locations, b.footprint.coin_locations);
+  EXPECT_EQ(a.footprint.static_bound, b.footprint.static_bound);
+  EXPECT_EQ(a.reason, b.reason);
+}
+
+TortureRun make_run(const std::string& protocol, std::vector<int> inputs,
+                    const std::string& adversary, std::uint64_t seed) {
+  TortureRun run;
+  run.protocol = protocol;
+  run.inputs = std::move(inputs);
+  run.adversary = adversary;
+  run.seed = seed;
+  run.max_steps = 2'000'000;
+  return run;
+}
+
+TEST(Replay, BitIdenticalResultAcrossRealProtocols) {
+  for (const std::string& protocol : protocol_names()) {
+    for (const std::string& adversary :
+         {std::string("random"), std::string("coin-bias")}) {
+      const TortureRun run = make_run(protocol, {0, 1, 1}, adversary, 42);
+      std::vector<ProcId> schedule;
+      std::vector<CrashPlanAdversary::Crash> crashes;
+      const ConsensusRunResult recorded =
+          execute_run(run, kNoDeadline, &schedule, &crashes);
+      ASSERT_TRUE(recorded.ok())
+          << protocol << "/" << adversary << ": " << to_string(recorded.failure());
+      ASSERT_FALSE(schedule.empty());
+
+      const ConsensusRunResult replayed = replay_run(run, schedule, crashes);
+      expect_identical(recorded, replayed);
+    }
+  }
+}
+
+TEST(Replay, RecordedCrashesReplayIdentically) {
+  // crash-storm decides where to crash adaptively; the recording must
+  // capture those crashes as fixed (step, victim) events that replay
+  // them at exactly the same points.
+  const TortureRun run = make_run("bprc", {1, 0, 1, 0, 1}, "crash-storm", 7);
+  std::vector<ProcId> schedule;
+  std::vector<CrashPlanAdversary::Crash> crashes;
+  const ConsensusRunResult recorded =
+      execute_run(run, kNoDeadline, &schedule, &crashes);
+  ASSERT_TRUE(recorded.ok());
+
+  const ConsensusRunResult replayed = replay_run(run, schedule, crashes);
+  expect_identical(recorded, replayed);
+}
+
+TEST(Replay, PreplannedCrashesAreSubsumedByTheRecording)  {
+  // A run with an explicit crash plan replays from (schedule, recorded
+  // crashes) alone — replay_run must not re-apply run.crash_plan.
+  TortureRun run = make_run("aspnes-herlihy", {0, 0, 1}, "random", 11);
+  run.crash_plan = {{25, 1}};
+  std::vector<ProcId> schedule;
+  std::vector<CrashPlanAdversary::Crash> crashes;
+  const ConsensusRunResult recorded =
+      execute_run(run, kNoDeadline, &schedule, &crashes);
+  ASSERT_TRUE(recorded.ok());
+  ASSERT_FALSE(crashes.empty()) << "planned crash was not recorded";
+
+  const ConsensusRunResult replayed = replay_run(run, schedule, crashes);
+  expect_identical(recorded, replayed);
+}
+
+/// Finds a failing broken-racy run (the deliberately-broken test-hook
+/// protocol races two writers, so a consistency split is easy to hit).
+TortureFailure find_racy_failure() {
+  CampaignConfig config;
+  config.protocols = {"broken-racy"};
+  config.ns = {2, 3};
+  config.adversaries = {"round-robin", "random", "lockstep"};
+  config.seeds_per_cell = 2;
+  config.max_steps = 100'000;
+  config.crash_plans = false;
+  config.max_failures = 1;
+  CampaignReport report = run_campaign(config);
+  EXPECT_FALSE(report.failures.empty())
+      << "campaign failed to catch the seeded bug";
+  return report.failures.empty() ? TortureFailure{}
+                                 : std::move(report.failures.front());
+}
+
+TEST(Shrink, MinimizedSchedulePreservesTheViolationClass) {
+  const TortureFailure fail = find_racy_failure();
+  ASSERT_NE(fail.failure, FailureClass::kNone);
+
+  const ShrinkOutcome shrunk = shrink_failure(fail);
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_LE(shrunk.schedule.size(), shrunk.original_len);
+
+  // The shrunken script must reproduce the *same failure class*, not
+  // just any failure.
+  const ConsensusRunResult replayed =
+      replay_run(fail.run, shrunk.schedule, shrunk.crashes);
+  EXPECT_EQ(replayed.failure(), fail.failure);
+}
+
+TEST(Shrink, ArtifactRoundTripStillReproduces) {
+  // Catch -> shrink -> serialize -> parse -> replay: the full pipeline
+  // the CLI exercises, in-process.
+  const TortureFailure fail = find_racy_failure();
+  ASSERT_NE(fail.failure, FailureClass::kNone);
+  const ShrinkOutcome shrunk = shrink_failure(fail);
+  ASSERT_TRUE(shrunk.reproduced);
+
+  const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
+  const std::string text = serialize_repro(repro);
+  std::string err;
+  const auto parsed = parse_repro(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->run.protocol, fail.run.protocol);
+  EXPECT_EQ(parsed->run.inputs, fail.run.inputs);
+  EXPECT_EQ(parsed->run.seed, fail.run.seed);
+  EXPECT_EQ(parsed->schedule, shrunk.schedule);
+  EXPECT_EQ(parsed->failure, fail.failure);
+
+  const ConsensusRunResult replayed = replay_repro(*parsed);
+  EXPECT_EQ(replayed.failure(), fail.failure);
+}
+
+}  // namespace
+}  // namespace bprc::fault

@@ -1,0 +1,325 @@
+// bprc_torture — fault-injection campaign CLI.
+//
+// Sweeps (protocol × n × adversary × crash plan × input pattern × seed)
+// over the deterministic simulator, checks every consensus invariant
+// after each run, and turns any failure into a minimal replayable
+// `.bprc-repro` artifact via delta-debugging. See docs/TESTING.md
+// ("Torture harness") for the workflow.
+//
+//   bprc_torture                 full campaign (thousands of runs)
+//   bprc_torture --smoke         few hundred runs; the ctest tier-1 mode
+//   bprc_torture --inject-bug    run the pipeline against a protocol with
+//                                a seeded bug: the campaign must catch it,
+//                                shrink it, write the artifact, and replay
+//                                it from disk (exit 0 iff all of that worked)
+//   bprc_torture --replay F      re-run an artifact; exit 0 iff the
+//                                recorded failure class reproduces
+//   bprc_torture --list          registered protocols and adversaries
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/protocols.hpp"
+#include "fault/repro.hpp"
+#include "fault/shrink.hpp"
+
+namespace {
+
+using namespace bprc;
+using namespace bprc::fault;
+
+struct Options {
+  bool smoke = false;
+  bool inject_bug = false;
+  bool list = false;
+  bool quiet = false;
+  std::string replay_path;
+  std::string out_dir = ".";
+  std::vector<std::string> protocols;
+  std::vector<std::string> adversaries;
+  std::vector<int> ns;
+  std::uint64_t seeds = 0;     // 0 = mode default
+  std::uint64_t seed0 = 1;
+  std::uint64_t budget = 0;    // 0 = mode default
+  std::int64_t deadline_ms = -1;  // <0 = mode default
+  std::size_t max_failures = 8;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: bprc_torture [options]\n"
+               "  --smoke            small matrix (tier-1 CI mode)\n"
+               "  --inject-bug       pipeline self-test on a seeded bug\n"
+               "  --replay FILE      re-run a .bprc-repro artifact\n"
+               "  --list             print protocols and adversaries\n"
+               "  --protocol NAME    restrict to protocol (repeatable)\n"
+               "  --adversary NAME   restrict to adversary (repeatable)\n"
+               "  --n N              process count (repeatable)\n"
+               "  --seeds K          seeds per sweep cell\n"
+               "  --seed S           base seed (default 1)\n"
+               "  --budget STEPS     per-run step budget\n"
+               "  --deadline-ms MS   per-run wall-clock watchdog (0 = off)\n"
+               "  --max-failures K   stop after K failures (default 8)\n"
+               "  --out DIR          artifact output directory (default .)\n"
+               "  --quiet            suppress per-failure detail\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "bprc_torture: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--smoke") opt.smoke = true;
+    else if (arg == "--inject-bug") opt.inject_bug = true;
+    else if (arg == "--list") opt.list = true;
+    else if (arg == "--quiet" || arg == "-q") opt.quiet = true;
+    else if (arg == "--replay") { if (!(v = need_value(i))) return false; opt.replay_path = v; }
+    else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_dir = v; }
+    else if (arg == "--protocol") { if (!(v = need_value(i))) return false; opt.protocols.push_back(v); }
+    else if (arg == "--adversary") { if (!(v = need_value(i))) return false; opt.adversaries.push_back(v); }
+    else if (arg == "--n") { if (!(v = need_value(i))) return false; opt.ns.push_back(std::atoi(v)); }
+    else if (arg == "--seeds") { if (!(v = need_value(i))) return false; opt.seeds = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--seed") { if (!(v = need_value(i))) return false; opt.seed0 = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--budget") { if (!(v = need_value(i))) return false; opt.budget = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--deadline-ms") { if (!(v = need_value(i))) return false; opt.deadline_ms = std::atoll(v); }
+    else if (arg == "--max-failures") { if (!(v = need_value(i))) return false; opt.max_failures = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
+    else {
+      std::fprintf(stderr, "bprc_torture: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_names(const Options& opt) {
+  const auto known_protocols = protocol_names(/*include_broken=*/true);
+  for (const std::string& p : opt.protocols) {
+    if (std::find(known_protocols.begin(), known_protocols.end(), p) ==
+        known_protocols.end()) {
+      std::fprintf(stderr, "bprc_torture: unknown protocol '%s'\n", p.c_str());
+      return false;
+    }
+  }
+  const auto& known_advs = torture_adversary_names();
+  for (const std::string& a : opt.adversaries) {
+    if (std::find(known_advs.begin(), known_advs.end(), a) ==
+        known_advs.end()) {
+      std::fprintf(stderr, "bprc_torture: unknown adversary '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+CampaignConfig build_config(const Options& opt) {
+  CampaignConfig config;
+  config.protocols = opt.protocols;
+  config.adversaries = opt.adversaries;
+  config.seed0 = opt.seed0;
+  config.max_failures = opt.max_failures;
+  if (opt.smoke) {
+    config.ns = {2, 3};
+    config.seeds_per_cell = 1;
+    config.max_steps = 8'000'000;
+    config.run_deadline = std::chrono::milliseconds(3000);
+  } else {
+    config.ns = {2, 3, 5};
+    config.seeds_per_cell = 3;
+    config.max_steps = 40'000'000;
+    config.run_deadline = std::chrono::milliseconds(5000);
+  }
+  if (!opt.ns.empty()) config.ns = opt.ns;
+  if (opt.seeds != 0) config.seeds_per_cell = opt.seeds;
+  if (opt.budget != 0) config.max_steps = opt.budget;
+  if (opt.deadline_ms >= 0) {
+    config.run_deadline = std::chrono::milliseconds(opt.deadline_ms);
+  }
+  return config;
+}
+
+std::string artifact_path(const Options& opt, const TortureFailure& fail,
+                          std::size_t index) {
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);  // best effort
+  std::string path = opt.out_dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += fail.run.protocol + "-" + fail.run.adversary + "-n" +
+          std::to_string(fail.run.n()) + "-" + std::to_string(index) +
+          ".bprc-repro";
+  return path;
+}
+
+void print_failure(const TortureFailure& fail, const ShrinkOutcome& shrunk,
+                   const std::string& path) {
+  std::fprintf(stderr,
+               "FAILURE %s: protocol=%s n=%d adversary=%s seed=%llu "
+               "reason=%s\n",
+               to_string(fail.failure), fail.run.protocol.c_str(),
+               fail.run.n(), fail.run.adversary.c_str(),
+               static_cast<unsigned long long>(fail.run.seed),
+               to_string(fail.reason));
+  if (shrunk.reproduced) {
+    std::fprintf(stderr,
+                 "  shrunk schedule %zu -> %zu picks, %zu crash(es) "
+                 "(%d probes)\n",
+                 shrunk.original_len, shrunk.schedule.size(),
+                 shrunk.crashes.size(), shrunk.probes);
+  } else {
+    std::fprintf(stderr,
+                 "  not deterministically reproducible (reason=%s); "
+                 "artifact holds the full trace\n",
+                 to_string(fail.reason));
+  }
+  std::fprintf(stderr, "  artifact: %s  (re-run: bprc_torture --replay %s)\n",
+               path.c_str(), path.c_str());
+}
+
+/// Shrinks every failure and writes artifacts; returns paths (empty
+/// strings for artifacts that failed to write).
+std::vector<std::string> process_failures(const Options& opt,
+                                          CampaignReport& report) {
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    TortureFailure& fail = report.failures[i];
+    const ShrinkOutcome shrunk = shrink_failure(fail);
+    const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
+    const std::string path = artifact_path(opt, fail, i);
+    const bool saved = save_repro(path, repro);
+    if (!saved) {
+      std::fprintf(stderr, "bprc_torture: cannot write %s\n", path.c_str());
+    }
+    if (!opt.quiet) print_failure(fail, shrunk, path);
+    paths.push_back(saved ? path : std::string{});
+  }
+  return paths;
+}
+
+int run_replay(const std::string& path) {
+  std::string err;
+  const auto repro = load_repro(path, &err);
+  if (!repro) {
+    std::fprintf(stderr, "bprc_torture: %s\n", err.c_str());
+    return 2;
+  }
+  const ConsensusRunResult result = replay_repro(*repro);
+  std::printf("replay %s\n", path.c_str());
+  std::printf("  protocol=%s n=%d recorded-failure=%s\n",
+              repro->run.protocol.c_str(), repro->run.n(),
+              to_string(repro->failure));
+  std::printf("  observed: failure=%s reason=%s steps=%llu decisions=",
+              to_string(result.failure()), to_string(result.reason),
+              static_cast<unsigned long long>(result.total_steps));
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", result.decisions[i]);
+  }
+  std::printf("\n");
+  if (result.failure() == repro->failure) {
+    std::printf("  REPRODUCED\n");
+    return 0;
+  }
+  std::printf("  DID NOT REPRODUCE\n");
+  return 3;
+}
+
+/// --inject-bug: end-to-end self-test of the catch→shrink→persist→replay
+/// pipeline against the seeded broken protocol.
+int run_inject_bug(const Options& opt) {
+  CampaignConfig config = build_config(opt);
+  config.protocols = {"broken-racy"};
+  if (opt.ns.empty()) config.ns = {2, 3};
+  config.max_failures = std::max<std::size_t>(1, opt.max_failures);
+
+  CampaignReport report = run_campaign(config);
+  std::printf("inject-bug: %llu runs, %zu failure(s) caught\n",
+              static_cast<unsigned long long>(report.runs),
+              report.failures.size());
+  if (report.failures.empty()) {
+    std::fprintf(stderr,
+                 "inject-bug: campaign FAILED to catch the seeded bug\n");
+    return 1;
+  }
+
+  const TortureFailure& fail = report.failures.front();
+  const ShrinkOutcome shrunk = shrink_failure(fail);
+  if (!shrunk.reproduced) {
+    std::fprintf(stderr, "inject-bug: recorded trace did not replay\n");
+    return 1;
+  }
+  std::printf("inject-bug: shrunk %zu -> %zu picks, %zu crash(es)\n",
+              shrunk.original_len, shrunk.schedule.size(),
+              shrunk.crashes.size());
+
+  const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
+  const std::string path = artifact_path(opt, fail, 0);
+  if (!save_repro(path, repro)) {
+    std::fprintf(stderr, "inject-bug: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  // Replay through the *file*, not the in-memory object: the round trip
+  // is part of what this mode certifies.
+  const int replay_rc = run_replay(path);
+  if (replay_rc != 0) {
+    std::fprintf(stderr, "inject-bug: artifact replay FAILED\n");
+    return 1;
+  }
+  std::printf("inject-bug: OK (artifact %s)\n", path.c_str());
+  return 0;
+}
+
+int run_campaign_mode(const Options& opt) {
+  const CampaignConfig config = build_config(opt);
+  const auto started = std::chrono::steady_clock::now();
+  CampaignReport report = run_campaign(config);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  process_failures(opt, report);
+  std::printf(
+      "torture: %llu runs in %.1fs — %zu failure(s), %llu budget abort(s), "
+      "%llu deadline abort(s), %llu crash cell(s) skipped (non-crash-"
+      "tolerant protocols)\n",
+      static_cast<unsigned long long>(report.runs), secs,
+      report.failures.size(),
+      static_cast<unsigned long long>(report.budget_aborts),
+      static_cast<unsigned long long>(report.deadline_aborts),
+      static_cast<unsigned long long>(report.skipped_crash_cells));
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  if (!validate_names(opt)) return 2;
+
+  if (opt.list) {
+    std::printf("protocols:");
+    for (const auto& name : protocol_names(/*include_broken=*/true)) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\nadversaries:");
+    for (const auto& name : torture_adversary_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (!opt.replay_path.empty()) return run_replay(opt.replay_path);
+  if (opt.inject_bug) return run_inject_bug(opt);
+  return run_campaign_mode(opt);
+}
