@@ -36,7 +36,8 @@ void run() {
       for (std::uint64_t seed = 0; seed < trials; ++seed) {
         const auto res = run_consensus_sim(
             bprc_factory(n), split_inputs(n),
-            make_adversary(adv, seed * 977 + 5), seed, kRunBudget);
+            make_adversary(adv, cell_seed(sweep_cell(n, adv), seed)),
+            seed, kRunBudget);
         BPRC_REQUIRE(res.ok(), "consensus run failed");
         rounds.add(static_cast<double>(res.max_round));
         steps.add(static_cast<double>(res.total_steps));

@@ -1,0 +1,45 @@
+// P1 — simulator hot-path microbenchmarks: what does one simulated
+// primitive operation cost, and how many whole consensus instances per
+// second can a Monte-Carlo sweep push through?
+//
+// Machine-readable twin: tools/bprc_bench (emits BENCH_sim.json). Keep
+// the two in sync — this one is for eyeballs, that one for trajectories.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "perf_harness.hpp"
+
+namespace bprc::bench {
+namespace {
+
+void run() {
+  print_banner("P1", "simulator hot path: ns/step, ns/switch, runs/sec");
+
+  const double switch_ns = measure_ctx_switch_ns(scaled_trials(1'000'000));
+  std::printf("fiber context switch: %.1f ns (one direction)\n\n", switch_ns);
+
+  std::printf(
+      "BPRC under the random adversary, split inputs; ns/step includes\n"
+      "per-trial runtime setup — the cost a sweep actually pays.\n\n");
+  Table t({"n", "trials", "ns/step", "runs/sec", "steps/run"});
+  for (const int n : {2, 4, 8}) {
+    const std::uint64_t trials =
+        scaled_trials(2048 / static_cast<std::uint64_t>(n));
+    const SweepPerf perf = measure_bprc_sweep(n, trials);
+    t.add_row({Table::num(n), Table::num(trials),
+               Table::num(perf.ns_per_step, 1),
+               Table::num(perf.runs_per_sec, 0),
+               Table::num(static_cast<double>(perf.total_steps) /
+                              static_cast<double>(trials),
+                          0)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace bprc::bench
+
+int main() {
+  bprc::bench::run();
+  return 0;
+}

@@ -17,10 +17,36 @@
 #include "consensus/strong_coin.hpp"
 #include "runtime/adversary.hpp"
 #include "util/env.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace bprc::bench {
+
+/// Per-cell seed derivation for sweep harnesses: a splitmix64 chain over
+/// (cell_id, trial). Affine maps with small multipliers (the old
+/// `seed * 977 + 5`) alias across cells — cell (a, trial t) can land on
+/// the same adversary seed as cell (b, trial u) whenever
+/// a*977 + t = b*977 + u — silently correlating supposedly independent
+/// Monte-Carlo columns. Hashing both coordinates through splitmix64
+/// decorrelates every (cell, trial) pair.
+inline std::uint64_t cell_seed(std::uint64_t cell_id, std::uint64_t trial) {
+  std::uint64_t s = cell_id;
+  std::uint64_t mixed = splitmix64(s);  // advance by cell id
+  s = mixed ^ (trial * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(s);
+}
+
+/// Cell id for (n, adversary-name) sweep cells: FNV-1a over the name,
+/// mixed with n. Feed the result to cell_seed.
+inline std::uint64_t sweep_cell(int n, const std::string& adversary) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : adversary) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h ^ (static_cast<std::uint64_t>(n) << 1);
+}
 
 inline ProtocolFactory bprc_factory(int n, int K = 2, int b = 4) {
   return [n, K, b](Runtime& rt) {

@@ -1,0 +1,80 @@
+// Measurement kernels shared by bench/bench_perf (human-readable tables)
+// and tools/bprc_bench (machine-readable BENCH_sim.json).
+//
+// Three metrics, all wall-clock (util/stats.hpp Throughput — strictly
+// outside the deterministic simulation):
+//   * ns/context-switch — raw fiber park/unpark round-trip cost;
+//   * ns/step           — total sweep wall time over total primitive
+//                         operations, INCLUDING per-trial runtime setup
+//                         (that is what a Monte-Carlo harness pays);
+//   * sim-runs/sec      — whole consensus instances per second.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "consensus/driver.hpp"
+#include "experiment_common.hpp"
+#include "runtime/adversary.hpp"
+#include "runtime/fiber.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace bprc::bench {
+
+/// One sweep measurement over `trials` seeds of a single (protocol, n,
+/// adversary) cell.
+struct SweepPerf {
+  double ns_per_step = 0.0;
+  double runs_per_sec = 0.0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Cost of one fiber context switch (one direction), measured as half of
+/// a resume/yield round trip averaged over `rounds` round trips.
+inline double measure_ctx_switch_ns(std::uint64_t rounds) {
+  BPRC_REQUIRE(rounds > 0, "context-switch bench needs at least one round");
+  Fiber* self = nullptr;
+  Fiber ping([&self] {
+    for (;;) self->yield();
+  });
+  self = &ping;
+  // Warm the fiber stack (first resume runs the body prologue).
+  ping.resume();
+  Throughput timer;
+  for (std::uint64_t i = 0; i < rounds; ++i) ping.resume();
+  return timer.ns_per(rounds) / 2.0;
+}
+
+/// Monte-Carlo sweep of BPRC at process count `n` under the random
+/// adversary, split inputs. Recycles one simulator across trials
+/// (SimReuse) — the configuration every sweeping caller should use.
+inline SweepPerf measure_bprc_sweep(int n, std::uint64_t trials) {
+  const auto inputs = split_inputs(n);
+  const std::uint64_t cell = sweep_cell(n, "random");
+  SimReuse reuse;
+  SweepPerf out;
+  out.trials = trials;
+  Throughput timer;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto res = run_consensus_sim(
+        bprc_factory(n), inputs,
+        std::make_unique<RandomAdversary>(cell_seed(cell ^ 0xADu, t)),
+        cell_seed(cell, t), kRunBudget, std::chrono::nanoseconds::zero(),
+        &reuse);
+    BPRC_REQUIRE(res.ok(), "bench run failed");
+    out.total_steps += res.total_steps;
+  }
+  const std::uint64_t ns = timer.elapsed_ns();
+  out.ns_per_step = out.total_steps == 0
+                        ? 0.0
+                        : static_cast<double>(ns) /
+                              static_cast<double>(out.total_steps);
+  out.runs_per_sec = ns == 0 ? 0.0
+                             : static_cast<double>(trials) * 1e9 /
+                                   static_cast<double>(ns);
+  return out;
+}
+
+}  // namespace bprc::bench

@@ -24,21 +24,34 @@ BPRCConsensus::BPRCConsensus(Runtime& rt, BPRCParams params, ArrowImpl arrows)
       params_(params),
       mem_(rt, initial_record(params), arrows),
       decisions_(static_cast<std::size_t>(params.n), -1),
-      decision_rounds_(static_cast<std::size_t>(params.n), 0) {
+      decision_rounds_(static_cast<std::size_t>(params.n), 0),
+      coin_scratch_(static_cast<std::size_t>(params.n)) {
   BPRC_REQUIRE(params_.n == rt.nprocs(),
                "params sized for a different process count");
   BPRC_REQUIRE(params_.K >= 2, "the protocol requires K >= 2");
   BPRC_REQUIRE(params_.coin.n == params_.n, "coin params out of sync");
 }
 
-BPRCConsensus::View BPRCConsensus::scan_view() {
-  View view{mem_.scan(), DistanceGraph(params_.n, params_.K)};
+void BPRCConsensus::scan_view(View& view) {
+  // In-place twin of "scan, copy the edge rows out, make_graph": the
+  // snapshot lands in the caller's reused buffers and the graph is decoded
+  // straight from the scanned records — zero allocations in steady state.
+  mem_.scan_into(view.recs);
   scans_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<EdgeCounters> rows;
-  rows.reserve(view.recs.size());
-  for (const auto& rec : view.recs) rows.push_back(rec.edges);
-  view.graph = make_graph(rows, params_.K);
-  return view;
+  view.graph.reset_tied();
+  for (int i = 0; i < params_.n; ++i) {
+    for (int j = i + 1; j < params_.n; ++j) {
+      const auto s = decode_edge(
+          view.recs[static_cast<std::size_t>(i)]
+              .edges[static_cast<std::size_t>(j)],
+          view.recs[static_cast<std::size_t>(j)]
+              .edges[static_cast<std::size_t>(i)],
+          params_.K);
+      BPRC_REQUIRE(s.has_value(),
+                   "scanned edge counters decode to no valid difference");
+      view.graph.set_signed_diff(i, j, *s);
+    }
+  }
 }
 
 bool BPRCConsensus::all_disagree_trail_K(ProcId me, std::int8_t pref,
@@ -75,7 +88,9 @@ CoinValue BPRCConsensus::next_coin_value(ProcId me, const BPRCRecord& mine,
   // coin of my round r+1. My own contribution is my "next" slot; a
   // process j ahead of or tied with me by w < K contributes its slot for
   // round r+1 = r_j - w + 1; everyone else reads as withdrawn (0).
-  std::vector<std::int64_t> counters(static_cast<std::size_t>(params_.n), 0);
+  std::vector<std::int64_t>& counters =
+      coin_scratch_[static_cast<std::size_t>(me)];
+  counters.assign(static_cast<std::size_t>(params_.n), 0);
   counters[static_cast<std::size_t>(me)] = mine.coins.next_slot();
   for (int j = 0; j < params_.n; ++j) {
     if (j == me) continue;
@@ -138,8 +153,9 @@ int BPRCConsensus::propose(int input) {
   publish(me, rec, round, 0, false);
   mem_.write(rec);
 
+  View view{{}, DistanceGraph(params_.n, params_.K)};
   while (true) {
-    const View view = scan_view();
+    scan_view(view);
 
     // Line 2: decide.
     if ((rec.pref == kPref0 || rec.pref == kPref1) &&

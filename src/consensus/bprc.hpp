@@ -107,7 +107,7 @@ class BPRCConsensus final : public ConsensusProtocol {
     DistanceGraph graph;
   };
 
-  View scan_view();
+  void scan_view(View& view);
   bool all_disagree_trail_K(ProcId me, std::int8_t pref,
                             const View& view) const;
   std::optional<std::int8_t> leaders_agreement(const View& view) const;
@@ -123,6 +123,10 @@ class BPRCConsensus final : public ConsensusProtocol {
   ScannableMemory<BPRCRecord> mem_;
   std::vector<std::int8_t> decisions_;        ///< per-process; -1 until decided
   std::vector<std::int64_t> decision_rounds_;
+  /// Per-process counter buffer for next_coin_value (indexed by caller, so
+  /// concurrent proposers never share); mutable because the evaluation is
+  /// logically const.
+  mutable std::vector<std::vector<std::int64_t>> coin_scratch_;
   std::atomic<std::uint64_t> flips_{0};
   std::atomic<std::uint64_t> scans_{0};
   std::atomic<std::int64_t> max_round_{0};

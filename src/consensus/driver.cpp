@@ -91,14 +91,37 @@ FailureClass failure_class_from_string(const std::string& name) {
   return FailureClass::kNone;
 }
 
+SimReuse::SimReuse() = default;
+SimReuse::~SimReuse() = default;
+
+SimRuntime& SimReuse::acquire(int nprocs,
+                              std::unique_ptr<Adversary> adversary,
+                              std::uint64_t seed) {
+  if (runtime_ == nullptr) {
+    runtime_ =
+        std::make_unique<SimRuntime>(nprocs, std::move(adversary), seed);
+  } else {
+    runtime_->reset(nprocs, std::move(adversary), seed);
+  }
+  return *runtime_;
+}
+
 ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
                                      const std::vector<int>& inputs,
                                      std::unique_ptr<Adversary> adversary,
                                      std::uint64_t seed,
                                      std::uint64_t max_steps,
-                                     std::chrono::nanoseconds deadline) {
+                                     std::chrono::nanoseconds deadline,
+                                     SimReuse* reuse) {
   const int n = static_cast<int>(inputs.size());
-  SimRuntime rt(n, std::move(adversary), seed);
+  // Recycled or freshly built, the runtime behaves identically; the
+  // protocol instance is always fresh and dies with this call.
+  std::unique_ptr<SimRuntime> local;
+  if (reuse == nullptr) {
+    local = std::make_unique<SimRuntime>(n, std::move(adversary), seed);
+  }
+  SimRuntime& rt =
+      reuse != nullptr ? reuse->acquire(n, std::move(adversary), seed) : *local;
   const std::unique_ptr<ConsensusProtocol> protocol = factory(rt);
   for (ProcId p = 0; p < n; ++p) {
     const int input = inputs[static_cast<std::size_t>(p)];

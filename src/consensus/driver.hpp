@@ -25,9 +25,33 @@
 
 namespace bprc {
 
+class SimRuntime;
+
 /// Builds a protocol instance bound to the given runtime.
 using ProtocolFactory =
     std::function<std::unique_ptr<ConsensusProtocol>(Runtime&)>;
+
+/// Cross-trial simulator scratch. Holds one SimRuntime and recycles it
+/// (fiber stacks, process tables) across run_consensus_sim calls instead
+/// of constructing a fresh one per trial. Strictly an allocator-level
+/// optimization: results are bit-identical with and without reuse
+/// (tests/test_replay.cpp pins this). One SimReuse per sweeping loop;
+/// not thread-safe, not usable for two concurrent runs.
+class SimReuse {
+ public:
+  SimReuse();
+  ~SimReuse();
+  SimReuse(const SimReuse&) = delete;
+  SimReuse& operator=(const SimReuse&) = delete;
+
+  /// A runtime re-armed for (nprocs, adversary, seed); constructed on
+  /// first use, reset() thereafter.
+  SimRuntime& acquire(int nprocs, std::unique_ptr<Adversary> adversary,
+                      std::uint64_t seed);
+
+ private:
+  std::unique_ptr<SimRuntime> runtime_;
+};
 
 /// Which correctness property a run violated, in decreasing severity.
 /// Distinct from RunResult::Reason on purpose: the reason says how the
@@ -80,11 +104,15 @@ struct ConsensusRunResult {
 
 /// Runs one instance in the deterministic simulator. `deadline` (zero =
 /// off) arms the simulator's wall-clock watchdog; see SimRuntime::run.
+/// `reuse` (optional) recycles a simulator across calls — pass the same
+/// SimReuse to every trial of a sweep to skip per-trial fiber-stack and
+/// process-table allocation; the result is bit-identical either way.
 ConsensusRunResult run_consensus_sim(
     const ProtocolFactory& factory, const std::vector<int>& inputs,
     std::unique_ptr<Adversary> adversary, std::uint64_t seed,
     std::uint64_t max_steps,
-    std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
+    std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero(),
+    SimReuse* reuse = nullptr);
 
 /// Runs one instance on real threads (kernel scheduler as adversary).
 /// `deadline` (zero = off) arms the watchdog; see ThreadRuntime::run.

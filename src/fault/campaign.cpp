@@ -56,7 +56,7 @@ class BorrowedAdversary final : public Adversary {
 ConsensusRunResult execute_run(
     const TortureRun& run, std::chrono::nanoseconds deadline,
     std::vector<ProcId>* schedule,
-    std::vector<CrashPlanAdversary::Crash>* crashes) {
+    std::vector<CrashPlanAdversary::Crash>* crashes, SimReuse* reuse) {
   std::unique_ptr<Adversary> adv = make_adversary(run.adversary, run.seed);
   if (!run.crash_plan.empty()) {
     adv = std::make_unique<CrashPlanAdversary>(std::move(adv), run.crash_plan);
@@ -66,7 +66,7 @@ ConsensusRunResult execute_run(
   const ConsensusRunResult result = run_consensus_sim(
       make_protocol(run.protocol, run.n(), run.seed), run.inputs,
       std::make_unique<BorrowedAdversary>(recording), run.seed, run.max_steps,
-      deadline);
+      deadline, reuse);
 
   if (schedule != nullptr) *schedule = recording.script();
   if (crashes != nullptr) *crashes = recording.crashes();
@@ -75,14 +75,14 @@ ConsensusRunResult execute_run(
 
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
-    const std::vector<CrashPlanAdversary::Crash>& crashes) {
+    const std::vector<CrashPlanAdversary::Crash>& crashes, SimReuse* reuse) {
   std::unique_ptr<Adversary> adv = std::make_unique<ScriptedAdversary>(schedule);
   if (!crashes.empty()) {
     adv = std::make_unique<CrashPlanAdversary>(std::move(adv), crashes);
   }
   return run_consensus_sim(make_protocol(run.protocol, run.n(), run.seed),
-                           run.inputs, std::move(adv), run.seed,
-                           run.max_steps);
+                           run.inputs, std::move(adv), run.seed, run.max_steps,
+                           std::chrono::nanoseconds::zero(), reuse);
 }
 
 namespace {
@@ -122,6 +122,7 @@ CampaignReport run_campaign(const CampaignConfig& config,
 
   CampaignReport report;
   Rng sweep_rng(config.seed0 ^ 0x70727475ULL);  // independent plan stream
+  SimReuse reuse;  // one recycled simulator for the whole sweep
 
   for (const std::string& protocol : protocols) {
     const bool crash_tolerant = protocol_spec(protocol).crash_tolerant;
@@ -156,8 +157,9 @@ CampaignReport run_campaign(const CampaignConfig& config,
               }
 
               TortureFailure candidate;
-              const ConsensusRunResult result = execute_run(
-                  run, deadline, &candidate.schedule, &candidate.crashes);
+              const ConsensusRunResult result =
+                  execute_run(run, deadline, &candidate.schedule,
+                              &candidate.crashes, &reuse);
               ++report.runs;
               if (result.reason == RunResult::Reason::kDeadline) {
                 ++report.deadline_aborts;

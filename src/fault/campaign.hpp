@@ -88,17 +88,22 @@ bool adversary_injects_crashes(const std::string& name);
 
 /// Executes one cell under recording. When non-null, `schedule`/`crashes`
 /// receive the full recorded trace (pre-planned crashes included — the
-/// recorded crash list alone replays the run).
+/// recorded crash list alone replays the run). `reuse` recycles the
+/// simulator across calls (see SimReuse); results are identical with or
+/// without it.
 ConsensusRunResult execute_run(const TortureRun& run,
                                std::chrono::nanoseconds deadline,
                                std::vector<ProcId>* schedule,
-                               std::vector<CrashPlanAdversary::Crash>* crashes);
+                               std::vector<CrashPlanAdversary::Crash>* crashes,
+                               SimReuse* reuse = nullptr);
 
 /// Replays a cell under a fixed schedule + crash list (the run's own
 /// crash_plan is NOT applied again; recorded crashes subsume it).
+/// `reuse` as in execute_run.
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
-    const std::vector<CrashPlanAdversary::Crash>& crashes);
+    const std::vector<CrashPlanAdversary::Crash>& crashes,
+    SimReuse* reuse = nullptr);
 
 /// Called after every run (progress reporting, logging).
 using RunObserver =

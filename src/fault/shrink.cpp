@@ -21,7 +21,7 @@ class Shrinker {
   bool fails(const std::vector<ProcId>& schedule,
              const std::vector<Crash>& crashes) {
     ++probes_;
-    return replay_run(run_, schedule, crashes).failure() == target_;
+    return replay_run(run_, schedule, crashes, &reuse_).failure() == target_;
   }
 
  private:
@@ -29,6 +29,7 @@ class Shrinker {
   FailureClass target_;
   int max_probes_;
   int probes_ = 0;
+  SimReuse reuse_;  ///< one simulator recycled across all probes
 };
 
 std::vector<ProcId> prefix(const std::vector<ProcId>& s, std::size_t len) {

@@ -20,13 +20,38 @@
 
 namespace bprc {
 
+/// Locks a register mutex only when the owning runtime is concurrent
+/// (Runtime::concurrent()). Under the single-threaded fiber simulator the
+/// mutex is pure overhead — an uncontended lock/unlock pair on every
+/// primitive operation — so registers cache the flag at construction and
+/// skip it.
+class MaybeLock {
+ public:
+  MaybeLock(std::mutex& mu, bool locked) : mu_(mu), locked_(locked) {
+    if (locked_) mu_.lock();
+  }
+  ~MaybeLock() {
+    if (locked_) mu_.unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+  const bool locked_;
+};
+
 /// Single-writer multi-reader atomic register. `owner` is the only process
 /// allowed to write; every process may read.
 template <class T>
 class SWMRRegister {
  public:
   SWMRRegister(Runtime& rt, ProcId owner, T initial, int object_id = -1)
-      : rt_(rt), owner_(owner), id_(object_id), value_(std::move(initial)) {}
+      : rt_(rt),
+        owner_(owner),
+        id_(object_id),
+        locked_(rt.concurrent()),
+        value_(std::move(initial)) {}
 
   SWMRRegister(const SWMRRegister&) = delete;
   SWMRRegister& operator=(const SWMRRegister&) = delete;
@@ -34,8 +59,17 @@ class SWMRRegister {
   /// Atomic read by any process.
   T read() {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     return value_;
+  }
+
+  /// Atomic read that copy-assigns into `out` instead of returning a
+  /// temporary. For T with heap-owning members (vectors), a steady-state
+  /// caller buffer makes the read allocation-free — the hot-loop variant.
+  void read_into(T& out) {
+    rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
+    const MaybeLock lock(mu_, locked_);
+    out = value_;
   }
 
   /// Atomic write; caller must be the owner. `payload` is a digest of the
@@ -43,14 +77,14 @@ class SWMRRegister {
   void write(const T& v, std::int64_t payload = 0) {
     BPRC_REQUIRE(rt_.self() == owner_, "non-owner write to SWMR register");
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     value_ = v;
   }
 
   /// Non-linearizable peek for post-run inspection and debugging only —
   /// never called from algorithm code (no checkpoint, no step).
   T peek() const {
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     return value_;
   }
 
@@ -60,6 +94,7 @@ class SWMRRegister {
   Runtime& rt_;
   ProcId owner_;
   int id_;
+  const bool locked_;
   mutable std::mutex mu_;
   T value_;
 };
@@ -71,31 +106,35 @@ template <class T>
 class MRMWRegister {
  public:
   MRMWRegister(Runtime& rt, T initial, int object_id = -1)
-      : rt_(rt), id_(object_id), value_(std::move(initial)) {}
+      : rt_(rt),
+        id_(object_id),
+        locked_(rt.concurrent()),
+        value_(std::move(initial)) {}
 
   MRMWRegister(const MRMWRegister&) = delete;
   MRMWRegister& operator=(const MRMWRegister&) = delete;
 
   T read() {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     return value_;
   }
 
   void write(const T& v, std::int64_t payload = 0) {
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     value_ = v;
   }
 
   T peek() const {
-    const std::scoped_lock lock(mu_);
+    const MaybeLock lock(mu_, locked_);
     return value_;
   }
 
  private:
   Runtime& rt_;
   int id_;
+  const bool locked_;
   mutable std::mutex mu_;
   T value_;
 };

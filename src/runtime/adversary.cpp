@@ -1,6 +1,7 @@
 #include "runtime/adversary.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
@@ -8,32 +9,62 @@ namespace bprc {
 
 namespace {
 
-/// Collects the runnable process ids.
-std::vector<ProcId> runnable_set(const SimCtl& ctl) {
-  std::vector<ProcId> out;
-  out.reserve(static_cast<std::size_t>(ctl.nprocs()));
-  for (ProcId p = 0; p < ctl.nprocs(); ++p) {
-    if (ctl.proc(p).runnable) out.push_back(p);
+// The pick() implementations below run once per simulated step — the
+// hottest loop in the repository. They are written as count-then-select
+// passes over SimCtl::view() precisely so they allocate nothing: counting
+// the candidates, drawing below(count), then scanning to the k-th
+// candidate makes the same rng draws and returns the same process as the
+// historical "collect ids into a vector, index it" code (candidates are
+// always enumerated in id order). Recorded schedules are bit-identical.
+
+/// Number of runnable processes.
+int runnable_count(const SimCtl& ctl) {
+  if (const std::uint64_t* mask = ctl.runnable_mask()) {
+    return std::popcount(*mask);
   }
-  return out;
+  const int n = ctl.nprocs();
+  int count = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable) ++count;
+  }
+  return count;
 }
 
-ProcId pick_uniform(const std::vector<ProcId>& set, Rng& rng) {
-  if (set.empty()) return -1;
-  return set[rng.below(set.size())];
+/// The k-th runnable process in id order; k must be < runnable_count().
+ProcId nth_runnable(const SimCtl& ctl, std::uint64_t k) {
+  if (const std::uint64_t* mask = ctl.runnable_mask()) {
+    // k-th lowest set bit = k-th runnable in id order, same as the scan.
+    std::uint64_t m = *mask;
+    while (k-- > 0) m &= m - 1;  // clear the k lowest set bits
+    BPRC_REQUIRE(m != 0, "runnable rank out of range");
+    return static_cast<ProcId>(std::countr_zero(m));
+  }
+  const int n = ctl.nprocs();
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable && k-- == 0) return p;
+  }
+  BPRC_REQUIRE(false, "runnable rank out of range");
+  __builtin_unreachable();
+}
+
+/// Uniform pick over the runnable set; -1 (no draw) when it is empty.
+ProcId pick_uniform_runnable(const SimCtl& ctl, Rng& rng) {
+  const int count = runnable_count(ctl);
+  if (count == 0) return -1;
+  return nth_runnable(ctl, rng.below(static_cast<std::uint64_t>(count)));
 }
 
 }  // namespace
 
 ProcId RandomAdversary::pick(SimCtl& ctl) {
-  return pick_uniform(runnable_set(ctl), rng_);
+  return pick_uniform_runnable(ctl, rng_);
 }
 
 ProcId RoundRobinAdversary::pick(SimCtl& ctl) {
   const int n = ctl.nprocs();
   for (int offset = 1; offset <= n; ++offset) {
     const ProcId p = static_cast<ProcId>((last_ + offset) % n);
-    if (ctl.proc(p).runnable) {
+    if (ctl.view(p).runnable) {
       last_ = p;
       return p;
     }
@@ -43,11 +74,15 @@ ProcId RoundRobinAdversary::pick(SimCtl& ctl) {
 
 ProcId LockstepAdversary::pick(SimCtl& ctl) {
   // Drop entries that became unrunnable since the phase was formed.
-  std::erase_if(phase_, [&](ProcId p) { return !ctl.proc(p).runnable; });
+  std::erase_if(phase_, [&](ProcId p) { return !ctl.view(p).runnable; });
   if (phase_.empty()) {
-    phase_ = runnable_set(ctl);
+    // Refill in id order (reusing the vector's capacity), then shuffle:
+    // random order within the phase, drawn per phase.
+    const int n = ctl.nprocs();
+    for (ProcId p = 0; p < n; ++p) {
+      if (ctl.view(p).runnable) phase_.push_back(p);
+    }
     if (phase_.empty()) return -1;
-    // Random order within the phase, drawn per phase.
     for (std::size_t i = phase_.size(); i > 1; --i) {
       std::swap(phase_[i - 1], phase_[rng_.below(i)]);
     }
@@ -58,48 +93,68 @@ ProcId LockstepAdversary::pick(SimCtl& ctl) {
 }
 
 ProcId LeaderSuppressAdversary::pick(SimCtl& ctl) {
-  const auto runnable = runnable_set(ctl);
-  if (runnable.empty()) return -1;
-  std::int32_t min_round = ctl.proc(runnable.front()).hint.round;
-  for (ProcId p : runnable) {
-    min_round = std::min(min_round, ctl.proc(p).hint.round);
+  const int n = ctl.nprocs();
+  std::int32_t min_round = 0;
+  bool any = false;
+  for (ProcId p = 0; p < n; ++p) {
+    if (!ctl.view(p).runnable) continue;
+    const std::int32_t round = ctl.view(p).hint.round;
+    min_round = any ? std::min(min_round, round) : round;
+    any = true;
   }
-  std::vector<ProcId> laggards;
-  for (ProcId p : runnable) {
-    if (ctl.proc(p).hint.round == min_round) laggards.push_back(p);
+  if (!any) return -1;
+  int laggards = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable && ctl.view(p).hint.round == min_round) {
+      ++laggards;
+    }
   }
-  return pick_uniform(laggards, rng_);
+  std::uint64_t k = rng_.below(static_cast<std::uint64_t>(laggards));
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable && ctl.view(p).hint.round == min_round &&
+        k-- == 0) {
+      return p;
+    }
+  }
+  BPRC_REQUIRE(false, "laggard rank out of range");
+  __builtin_unreachable();
 }
 
 ProcId CoinBiasAdversary::pick(SimCtl& ctl) {
-  const auto runnable = runnable_set(ctl);
-  if (runnable.empty()) return -1;
+  const int n = ctl.nprocs();
+  if (runnable_count(ctl) == 0) return -1;
 
   // Adversary's view of the walk: the sum of the counters the processes
   // have published (it has seen every local flip already performed).
   std::int64_t walk = 0;
-  for (ProcId p = 0; p < ctl.nprocs(); ++p) {
-    walk += ctl.proc(p).hint.counter;
+  for (ProcId p = 0; p < n; ++p) {
+    walk += ctl.view(p).hint.counter;
   }
 
   // Prefer a process whose pending counter write pulls the walk toward 0;
   // when the walk sits at 0, stall progress by preferring non-walk steps.
-  std::vector<ProcId> preferred;
-  for (ProcId p : runnable) {
-    const int delta = ctl.proc(p).hint.walk_delta;
-    if (walk != 0 ? (static_cast<std::int64_t>(delta) * walk < 0)
-                  : (delta == 0)) {
-      preferred.push_back(p);
-    }
+  const auto preferred = [&](ProcId p) {
+    const int delta = ctl.view(p).hint.walk_delta;
+    return walk != 0 ? (static_cast<std::int64_t>(delta) * walk < 0)
+                     : (delta == 0);
+  };
+  int count = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable && preferred(p)) ++count;
   }
-  if (!preferred.empty()) return pick_uniform(preferred, rng_);
-  return pick_uniform(runnable, rng_);
+  if (count == 0) return pick_uniform_runnable(ctl, rng_);
+  std::uint64_t k = rng_.below(static_cast<std::uint64_t>(count));
+  for (ProcId p = 0; p < n; ++p) {
+    if (ctl.view(p).runnable && preferred(p) && k-- == 0) return p;
+  }
+  BPRC_REQUIRE(false, "preferred rank out of range");
+  __builtin_unreachable();
 }
 
 ProcId ScriptedAdversary::pick(SimCtl& ctl) {
   while (pos_ < script_.size()) {
     const ProcId p = script_[pos_++];
-    if (p >= 0 && p < ctl.nprocs() && ctl.proc(p).runnable) return p;
+    if (p >= 0 && p < ctl.nprocs() && ctl.view(p).runnable) return p;
   }
   return fallback_.pick(ctl);
 }
@@ -119,7 +174,11 @@ namespace {
 class CrashTap final : public SimCtl {
  public:
   CrashTap(SimCtl& base, std::vector<CrashPlanAdversary::Crash>& log)
-      : base_(base), log_(log) {}
+      : base_(base), log_(log) {
+    // Pass the simulator's contiguous views and runnable digest through
+    // the tap so the inner strategy's scans stay allocation-free.
+    adopt_fast_state(base);
+  }
 
   int nprocs() const override { return base_.nprocs(); }
   const ProcView& proc(ProcId p) const override { return base_.proc(p); }
@@ -152,7 +211,7 @@ ProcId CrashStormAdversary::pick(SimCtl& ctl) {
   // paper's n-1 wait-freedom bound.
   int crashed_total = 0;
   for (ProcId p = 0; p < n; ++p) {
-    if (ctl.proc(p).crashed) ++crashed_total;
+    if (ctl.view(p).crashed) ++crashed_total;
   }
 
   if (crashed_total < limit && rng_.bernoulli(crash_prob_)) {
@@ -160,12 +219,12 @@ ProcId CrashStormAdversary::pick(SimCtl& ctl) {
     // strong adversary legitimately holds (Hint + pending OpDesc).
     std::int32_t max_round = 0;
     for (ProcId p = 0; p < n; ++p) {
-      if (ctl.proc(p).runnable) {
-        max_round = std::max(max_round, ctl.proc(p).hint.round);
+      if (ctl.view(p).runnable) {
+        max_round = std::max(max_round, ctl.view(p).hint.round);
       }
     }
     auto score = [&](ProcId p) {
-      const SimCtl::ProcView& v = ctl.proc(p);
+      const SimCtl::ProcView& v = ctl.view(p);
       int s = 0;
       // Observed local coin flip whose counter write is still pending:
       // crashing here makes the flip vanish from the shared walk.
@@ -179,49 +238,67 @@ ProcId CrashStormAdversary::pick(SimCtl& ctl) {
       if (v.pending.kind == OpDesc::Kind::kRead && live_pref) s += 1;
       return s;
     };
-    std::vector<ProcId> victims;
-    int best = 1;  // only crash at genuinely sensitive points
+    // Victims are the runnable processes at the highest score (capped
+    // below at 1: only crash at genuinely sensitive points). Two passes —
+    // find the best score and its multiplicity, draw, scan to the winner.
+    int best = 1;
+    int victims = 0;
     for (ProcId p = 0; p < n; ++p) {
-      if (!ctl.proc(p).runnable) continue;
+      if (!ctl.view(p).runnable) continue;
       const int s = score(p);
       if (s < best) continue;
-      if (s > best) victims.clear();
+      if (s > best) victims = 0;
       best = s;
-      victims.push_back(p);
+      ++victims;
     }
-    const ProcId victim = pick_uniform(victims, rng_);
-    if (victim >= 0) ctl.crash(victim);
+    if (victims > 0) {
+      std::uint64_t k = rng_.below(static_cast<std::uint64_t>(victims));
+      for (ProcId p = 0; p < n; ++p) {
+        if (ctl.view(p).runnable && score(p) == best && k-- == 0) {
+          ctl.crash(p);
+          break;
+        }
+      }
+    }
   }
-  return pick_uniform(runnable_set(ctl), rng_);
+  return pick_uniform_runnable(ctl, rng_);
 }
 
 ProcId SplitBrainAdversary::pick(SimCtl& ctl) {
   const int n = ctl.nprocs();
   const int half = std::max(1, n / 2);
-  auto group_runnable = [&](int g) {
-    std::vector<ProcId> out;
+  const auto in_group = [&](ProcId p, int g) {
+    return ctl.view(p).runnable && ((p < half) ? 0 : 1) == g;
+  };
+  auto group_count = [&](int g) {
+    int count = 0;
     for (ProcId p = 0; p < n; ++p) {
-      if (ctl.proc(p).runnable && ((p < half) ? 0 : 1) == g) out.push_back(p);
+      if (in_group(p, g)) ++count;
     }
-    return out;
+    return count;
   };
 
-  auto current = group_runnable(group_);
-  if (remaining_ == 0 || current.empty()) {
+  int count = group_count(group_);
+  if (remaining_ == 0 || count == 0) {
     group_ = 1 - group_;
     // Burst length in [mean/2, 2*mean): long enough that a burst spans
     // many protocol rounds of the solo group.
     remaining_ = mean_burst_ / 2 +
                  rng_.below(mean_burst_ + std::max<std::uint64_t>(mean_burst_ / 2, 1));
-    current = group_runnable(group_);
-    if (current.empty()) {
+    count = group_count(group_);
+    if (count == 0) {
       // Other group is dead too — fall back to whoever is left.
-      current = runnable_set(ctl);
-      if (current.empty()) return -1;
+      if (remaining_ > 0) --remaining_;
+      return pick_uniform_runnable(ctl, rng_);
     }
   }
   if (remaining_ > 0) --remaining_;
-  return pick_uniform(current, rng_);
+  std::uint64_t k = rng_.below(static_cast<std::uint64_t>(count));
+  for (ProcId p = 0; p < n; ++p) {
+    if (in_group(p, group_) && k-- == 0) return p;
+  }
+  BPRC_REQUIRE(false, "group rank out of range");
+  __builtin_unreachable();
 }
 
 std::vector<std::unique_ptr<Adversary>> standard_adversaries(

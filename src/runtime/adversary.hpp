@@ -35,9 +35,38 @@ class SimCtl {
   virtual const ProcView& proc(ProcId p) const = 0;
   virtual std::uint64_t step() const = 0;
 
+  /// Allocation-free twin of proc(): resolves through a contiguous view
+  /// array when the implementation publishes one (SimRuntime does), with
+  /// a virtual-call fallback otherwise. Identical results either way; the
+  /// adversaries' per-step scan loops go through here. `p` must be in
+  /// [0, nprocs()) — the fast path does not bounds-check.
+  const ProcView& view(ProcId p) const {
+    return fast_views_ != nullptr ? fast_views_[p] : proc(p);
+  }
+
+  /// O(1) runnable-set digest when the implementation maintains one: bit p
+  /// is set iff process p is runnable. Null when unavailable (more than 64
+  /// processes, or an implementation that doesn't track it) — callers must
+  /// then fall back to scanning view(p).runnable, which reads identically.
+  const std::uint64_t* runnable_mask() const { return fast_mask_; }
+
   /// Permanently stops scheduling p (a crash failure). Wait-free protocols
   /// tolerate up to nprocs()-1 of these.
   virtual void crash(ProcId p) = 0;
+
+ protected:
+  /// Lets a SimCtl decorator (RecordingAdversary's crash tap) inherit the
+  /// decorated controller's fast view array and runnable digest.
+  void adopt_fast_state(const SimCtl& ctl) {
+    fast_views_ = ctl.fast_views_;
+    fast_mask_ = ctl.fast_mask_;
+  }
+
+  /// Implementations with contiguous per-process views point these at the
+  /// live state (and keep them current across reallocation); others leave
+  /// them null.
+  const ProcView* fast_views_ = nullptr;
+  const std::uint64_t* fast_mask_ = nullptr;
 };
 
 /// Strategy interface. pick() must return a currently runnable process, or

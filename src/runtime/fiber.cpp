@@ -1,10 +1,12 @@
 #include "runtime/fiber.hpp"
 
 #include <cstdint>
+#include <vector>
 
 #include "util/assert.hpp"
 
 #if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
@@ -15,7 +17,46 @@ namespace {
 // on the new stack. The simulator is single-threaded, but thread_local
 // keeps the thread-runtime tests honest if they ever build fibers.
 thread_local Fiber* g_entering = nullptr;
+
+// Free list of warm fiber stacks. Owns its contents: the destructor frees
+// them at thread exit so pooled stacks never count as leaks.
+struct StackCache {
+  std::vector<char*> free;
+  ~StackCache() {
+    for (char* stack : free) delete[] stack;
+  }
+};
+thread_local StackCache g_stacks;
 }  // namespace
+
+char* FiberStackPool::acquire() {
+  if (!g_stacks.free.empty()) {
+    char* stack = g_stacks.free.back();
+    g_stacks.free.pop_back();
+    return stack;
+  }
+  return new char[Fiber::kStackSize];
+}
+
+void FiberStackPool::release(char* stack) {
+  if (g_stacks.free.size() < kMaxCached) {
+#if defined(__SANITIZE_ADDRESS__)
+    // A fiber abandoned mid-run (crashed process) leaves shadow poison on
+    // its stack bytes. operator new would clear it; pooled reuse must.
+    __asan_unpoison_memory_region(stack, Fiber::kStackSize);
+#endif
+    g_stacks.free.push_back(stack);
+  } else {
+    delete[] stack;
+  }
+}
+
+void FiberStackPool::clear() {
+  for (char* stack : g_stacks.free) delete[] stack;
+  g_stacks.free.clear();
+}
+
+std::size_t FiberStackPool::cached() { return g_stacks.free.size(); }
 
 // --- AddressSanitizer fiber-switch annotations -----------------------------
 //
@@ -59,7 +100,7 @@ inline void asan_leave_fiber_end(void* fiber_fake, const void** sched_bottom,
 }  // namespace
 
 #define BPRC_ASAN_ENTER_BEGIN(f) \
-  asan_enter_fiber_begin((f), &(f)->asan_sched_fake_, (f)->stack_.get(), \
+  asan_enter_fiber_begin((f), &(f)->asan_sched_fake_, (f)->stack_, \
                          Fiber::kStackSize)
 #define BPRC_ASAN_ENTER_END(f) asan_enter_fiber_end((f)->asan_sched_fake_)
 #define BPRC_ASAN_LEAVE_BEGIN(f, final_exit)                            \
@@ -100,12 +141,12 @@ extern "C" void bprc_fiber_trampoline() {
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body)
-    : body_(std::move(body)), stack_(new char[kStackSize]) {
+    : body_(std::move(body)), stack_(FiberStackPool::acquire()) {
   // Build an initial stack image that bprc_ctx_swap can "restore": six
   // zeroed callee-saved register slots below the trampoline's address. The
   // dummy word on top keeps rsp ≡ 8 (mod 16) at trampoline entry, matching
   // the ABI state just after a call instruction.
-  auto top = reinterpret_cast<std::uintptr_t>(stack_.get() + kStackSize);
+  auto top = reinterpret_cast<std::uintptr_t>(stack_ + kStackSize);
   top &= ~std::uintptr_t{15};
   auto* sp = reinterpret_cast<void**>(top);
   *--sp = nullptr;  // dummy word (trampoline's fake return address slot)
@@ -127,6 +168,7 @@ Fiber::~Fiber() {
   // Destroying a suspended-but-unfinished fiber leaks whatever its stack
   // frames own. The simulator only does this for crashed processes, whose
   // bodies by design hold no owning resources at checkpoints.
+  FiberStackPool::release(stack_);
 }
 
 void Fiber::resume() {
@@ -145,6 +187,7 @@ void Fiber::yield() {
     // First entry: we are inside the bootstrap trampoline. Park here; the
     // next resume() runs the body.
     BPRC_ASAN_LEAVE_BEGIN(this, false);
+    running_ = false;
     bprc_ctx_swap(&self_sp_, return_sp_);
     BPRC_ASAN_LEAVE_END(this);
     {
@@ -158,12 +201,29 @@ void Fiber::yield() {
     finished_ = true;
     // Return control to the scheduler forever.
     BPRC_ASAN_LEAVE_BEGIN(this, true);
+    running_ = false;
     bprc_ctx_swap(&self_sp_, return_sp_);
     BPRC_REQUIRE(false, "finished fiber was resumed");
   }
   BPRC_ASAN_LEAVE_BEGIN(this, false);
+  running_ = false;
   bprc_ctx_swap(&self_sp_, return_sp_);
   BPRC_ASAN_LEAVE_END(this);
+}
+
+void Fiber::switch_to(Fiber& next) {
+  // The departing side clears its own running_ and the initiator sets the
+  // target's, so the flags stay coherent whether control later returns via
+  // the scheduler or another handoff. `next` inherits this fiber's return
+  // link: its next yield-to-scheduler lands exactly where the scheduler's
+  // pending resume() call would have returned.
+  BPRC_REQUIRE(running_, "switch_to() from a fiber that is not running");
+  BPRC_REQUIRE(!next.finished_, "switch_to() into a finished fiber");
+  BPRC_REQUIRE(!next.running_, "switch_to() into a running fiber");
+  next.return_sp_ = return_sp_;
+  next.running_ = true;
+  running_ = false;
+  bprc_ctx_swap(&self_sp_, next.self_sp_);
 }
 
 #else  // ucontext fallback
@@ -178,9 +238,9 @@ extern "C" void bprc_ucontext_entry() {
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body)
-    : body_(std::move(body)), stack_(new char[kStackSize]) {
+    : body_(std::move(body)), stack_(FiberStackPool::acquire()) {
   BPRC_CHECK(getcontext(&self_ctx_) == 0);
-  self_ctx_.uc_stack.ss_sp = stack_.get();
+  self_ctx_.uc_stack.ss_sp = stack_;
   self_ctx_.uc_stack.ss_size = kStackSize;
   self_ctx_.uc_link = nullptr;
   makecontext(&self_ctx_, reinterpret_cast<void (*)()>(&bprc_ucontext_entry),
@@ -193,7 +253,7 @@ Fiber::Fiber(std::function<void()> body)
   running_ = false;
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() { FiberStackPool::release(stack_); }
 
 void Fiber::resume() {
   BPRC_REQUIRE(!finished_, "resume() on a finished fiber");
@@ -209,6 +269,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   if (body_) {
     BPRC_ASAN_LEAVE_BEGIN(this, false);
+    running_ = false;
     BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
     BPRC_ASAN_LEAVE_END(this);
     {
@@ -219,12 +280,20 @@ void Fiber::yield() {
     }
     finished_ = true;
     BPRC_ASAN_LEAVE_BEGIN(this, true);
+    running_ = false;
     BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
     BPRC_REQUIRE(false, "finished fiber was resumed");
   }
   BPRC_ASAN_LEAVE_BEGIN(this, false);
+  running_ = false;
   BPRC_CHECK(swapcontext(&self_ctx_, &return_ctx_) == 0);
   BPRC_ASAN_LEAVE_END(this);
+}
+
+void Fiber::switch_to(Fiber&) {
+  // kDirectHandoff is false in the ucontext fallback; schedulers must park
+  // and let their run loop resume the target instead.
+  BPRC_REQUIRE(false, "switch_to() unavailable in the ucontext fallback");
 }
 
 #endif

@@ -85,6 +85,13 @@ class Runtime {
 
   virtual int nprocs() const = 0;
 
+  /// True when process bodies may run on distinct OS threads, i.e. shared
+  /// objects need real synchronization. The fiber simulator returns false
+  /// — its registers then skip their internal mutexes, which otherwise
+  /// cost an uncontended lock/unlock pair on every primitive operation.
+  /// Components must treat the value as fixed for the runtime's lifetime.
+  virtual bool concurrent() const { return true; }
+
   /// Id of the calling process. Only valid from inside a process body.
   virtual ProcId self() const = 0;
 

@@ -4,6 +4,12 @@
 // process parks and the Adversary chooses who moves next. Given the same
 // seed, adversary, and process bodies, a run is bit-for-bit reproducible —
 // every property-test counterexample is replayable.
+//
+// Scheduling fast path: when the adversary re-picks the process that is
+// already running, checkpoint() consults it inline and simply returns —
+// no park, no fiber switch, no heap traffic (docs/PERFORMANCE.md states
+// the invariant this relies on). The adversary cannot tell the difference:
+// it observes the exact same ProcView sequence either way.
 #pragma once
 
 #include <chrono>
@@ -27,6 +33,15 @@ class SimRuntime final : public Runtime, private SimCtl {
              std::uint64_t seed);
   ~SimRuntime() override;
 
+  /// Re-arms this runtime for a fresh run without reconstructing it: the
+  /// process table is rebuilt, old fibers are destroyed (their stacks
+  /// return to the FiberStackPool), counters are zeroed, and per-process
+  /// RNGs are re-derived from `seed` exactly as the constructor does. A
+  /// reset runtime is observably identical to a freshly constructed one —
+  /// bit-identical traces (tests/test_sim_runtime.cpp pins this).
+  void reset(int nprocs, std::unique_ptr<Adversary> adversary,
+             std::uint64_t seed);
+
   /// Registers the body of process p. Must be called before run(); the
   /// body starts executing only when the adversary first schedules p.
   void spawn(ProcId p, std::function<void()> body);
@@ -44,26 +59,29 @@ class SimRuntime final : public Runtime, private SimCtl {
   RunResult run(std::uint64_t max_steps,
                 std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
-  bool crashed(ProcId p) const { return procs_[checked(p)].view.crashed; }
-  bool finished(ProcId p) const { return procs_[checked(p)].view.finished; }
-  const Hint& hint(ProcId p) const { return procs_[checked(p)].view.hint; }
+  bool crashed(ProcId p) const { return views_[checked(p)].crashed; }
+  bool finished(ProcId p) const { return views_[checked(p)].finished; }
+  const Hint& hint(ProcId p) const { return views_[checked(p)].hint; }
 
   // --- Runtime interface (called from inside process bodies) ---
-  int nprocs() const override { return static_cast<int>(procs_.size()); }
+  int nprocs() const override { return static_cast<int>(views_.size()); }
+  bool concurrent() const override { return false; }  // one OS thread
   ProcId self() const override { return current_; }
   void checkpoint(const OpDesc& op) override;
   std::uint64_t now() override { return ++now_; }
   Rng& rng() override;
   void publish_hint(const Hint& hint) override;
   std::uint64_t steps(ProcId p) const override {
-    return procs_[checked(p)].view.steps;
+    return views_[checked(p)].steps;
   }
   std::uint64_t total_steps() const override { return total_steps_; }
 
  private:
-  struct Proc {
+  /// Per-process state the adversary never sees; the visible half lives in
+  /// views_ (contiguous, so adversary scans are cache-linear and reachable
+  /// without a virtual call — see SimCtl::view).
+  struct ProcState {
     std::unique_ptr<Fiber> fiber;
-    SimCtl::ProcView view;
     Rng rng{0};
     bool stop = false;            ///< next checkpoint must throw
     bool stop_delivered = false;  ///< ProcessStopped already thrown once
@@ -71,21 +89,51 @@ class SimRuntime final : public Runtime, private SimCtl {
 
   // --- SimCtl interface (called by the adversary) ---
   const SimCtl::ProcView& proc(ProcId p) const override {
-    return procs_[checked(p)].view;
+    return views_[checked(p)];
   }
   std::uint64_t step() const override { return total_steps_; }
   void crash(ProcId p) override;
 
+  /// Shared constructor/reset body.
+  void init(int nprocs, std::unique_ptr<Adversary> adversary,
+            std::uint64_t seed);
+
   std::size_t checked(ProcId p) const;
   bool any_runnable() const;
+  /// Keep the O(1) runnable digest (SimCtl::runnable_mask) in sync with
+  /// views_[ix].runnable. Digest bits exist only for ids < 64; beyond that
+  /// fast_mask_ stays null and everything scans views_ instead.
+  void mask_set(std::size_t ix) {
+    if (ix < 64) runnable_mask_ |= std::uint64_t{1} << ix;
+  }
+  void mask_clear(std::size_t ix) {
+    if (ix < 64) runnable_mask_ &= ~(std::uint64_t{1} << ix);
+  }
+  /// True when the wall-clock watchdog is armed, due for a check at the
+  /// current step count, and expired.
+  bool watchdog_expired() const;
   void unwind_survivors();
 
-  std::vector<Proc> procs_;
+  // The watchdog reads steady_clock only every kWatchdogStride steps: a
+  // clock read per primitive operation would dominate small runs.
+  static constexpr std::uint64_t kWatchdogStride = 4096;
+
+  std::vector<SimCtl::ProcView> views_;  ///< adversary-visible, contiguous
+  std::vector<ProcState> states_;        ///< same index as views_
+  std::uint64_t runnable_mask_ = 0;      ///< bit p = views_[p].runnable
   std::unique_ptr<Adversary> adversary_;
   ProcId current_ = -1;
   std::uint64_t total_steps_ = 0;
   std::uint64_t now_ = 0;
   bool ran_ = false;
+
+  // --- run-loop state shared with the checkpoint fast path ---
+  bool in_run_ = false;          ///< checkpoint may consult the adversary
+  bool has_pending_pick_ = false;
+  ProcId pending_pick_ = -1;     ///< pick made inline, consumed by run()
+  std::uint64_t max_steps_ = 0;
+  bool watched_ = false;
+  std::chrono::steady_clock::time_point deadline_at_{};
 };
 
 }  // namespace bprc

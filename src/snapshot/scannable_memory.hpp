@@ -54,6 +54,7 @@ class ScannableMemory {
         last_written_(static_cast<std::size_t>(n_),
                       Toggled<T>{initial, false, 0}) {
     if (recorder_ != nullptr) recorder_->nprocs = n_;
+    scratch_.resize(static_cast<std::size_t>(n_));
     values_.reserve(static_cast<std::size_t>(n_));
     for (ProcId j = 0; j < n_; ++j) {
       values_.push_back(std::make_unique<SWMRRegister<Toggled<T>>>(
@@ -100,11 +101,28 @@ class ScannableMemory {
   /// Returns an n-wide snapshot view; the caller's own slot holds its own
   /// most recently written value.
   std::vector<T> scan() {
+    std::vector<T> view;
+    scan_into(view);
+    return view;
+  }
+
+  /// scan() variant that copy-assigns the snapshot into `out` (resized to
+  /// n). In steady state — `out` reused across calls, T's heap members at
+  /// stable sizes — the whole scan allocates nothing: the collects land in
+  /// per-scanner scratch buffers and the register reads go through
+  /// read_into. The consensus hot loop (one scan per protocol step) calls
+  /// this directly.
+  void scan_into(std::vector<T>& out) {
     const ProcId me = rt_.self();
     const std::uint64_t inv = rt_.now();
     const std::size_t width = static_cast<std::size_t>(n_);
-    std::vector<Toggled<T>> collect1(width);
-    std::vector<Toggled<T>> collect2(width);
+    // Scratch is indexed by the scanning process, so concurrent scans by
+    // distinct processes (ThreadRuntime) never share a buffer.
+    ScanScratch& scratch = scratch_[static_cast<std::size_t>(me)];
+    std::vector<Toggled<T>>& collect1 = scratch.collect1;
+    std::vector<Toggled<T>>& collect2 = scratch.collect2;
+    collect1.resize(width);
+    collect2.resize(width);
 
     while (true) {
       for (ProcId j = 0; j < n_; ++j) {
@@ -112,14 +130,14 @@ class ScannableMemory {
       }
       for (ProcId j = 0; j < n_; ++j) {
         if (j != me) {
-          collect1[static_cast<std::size_t>(j)] =
-              values_[static_cast<std::size_t>(j)]->read();
+          values_[static_cast<std::size_t>(j)]->read_into(
+              collect1[static_cast<std::size_t>(j)]);
         }
       }
       for (ProcId j = 0; j < n_; ++j) {
         if (j != me) {
-          collect2[static_cast<std::size_t>(j)] =
-              values_[static_cast<std::size_t>(j)]->read();
+          values_[static_cast<std::size_t>(j)]->read_into(
+              collect2[static_cast<std::size_t>(j)]);
         }
       }
       bool dirty = false;
@@ -148,10 +166,10 @@ class ScannableMemory {
       recorder_->add_scan(std::move(rec));
     }
 
-    std::vector<T> view;
-    view.reserve(width);
-    for (auto& entry : collect2) view.push_back(std::move(entry.value));
-    return view;
+    out.resize(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      out[j] = collect2[j].value;  // copy, not move: scratch keeps capacity
+    }
   }
 
   /// Total scan-attempt retries across all processes (progress metric for
@@ -161,6 +179,12 @@ class ScannableMemory {
   }
 
  private:
+  /// Double-collect buffers of one scanner, reused across its scans.
+  struct ScanScratch {
+    std::vector<Toggled<T>> collect1;
+    std::vector<Toggled<T>> collect2;
+  };
+
   struct ArrowSlot {
     std::unique_ptr<MRMWRegister<bool>> native;
     std::unique_ptr<Bloom2W2R<bool>> bloom;
@@ -190,6 +214,7 @@ class ScannableMemory {
   SnapshotHistory* recorder_;
   std::mutex rec_mu_;
   std::vector<Toggled<T>> last_written_;  ///< per-writer local shadow copy
+  std::vector<ScanScratch> scratch_;      ///< per-scanner, see ScanScratch
   std::vector<std::unique_ptr<SWMRRegister<Toggled<T>>>> values_;
   std::vector<ArrowSlot> arrows_;
   std::atomic<std::uint64_t> retries_{0};

@@ -32,6 +32,7 @@
 //                                    tight, else leave the cap at −K.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -79,6 +80,10 @@ class DistanceGraph {
   /// Direct mutator used by the edge-counter decoder (§4.3) when
   /// reconstructing a graph from scanned counters.
   void set_signed_diff(int i, int j, int s);
+
+  /// Back to the all-tied state, keeping n and K: the in-place equivalent
+  /// of reconstructing, for decoders that rebuild the graph every scan.
+  void reset_tied() { std::fill(s_.begin(), s_.end(), 0); }
 
   friend bool operator==(const DistanceGraph& a, const DistanceGraph& b) {
     return a.n_ == b.n_ && a.k_ == b.k_ && a.s_ == b.s_;

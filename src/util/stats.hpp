@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -15,6 +16,48 @@
 #include "util/assert.hpp"
 
 namespace bprc {
+
+/// Wall-clock throughput meter for harness instrumentation: ns/item and
+/// items/sec over a steady_clock interval. Used by the perf benchmarks
+/// (bench/bench_perf, tools/bprc_bench) and the torture campaign's
+/// per-run step-rate log line.
+///
+/// This is strictly OUTSIDE the deterministic simulation: readings must
+/// never feed back into scheduling, seeds, or any simulated decision —
+/// the only sanctioned nondeterminism is the watchdog deadline.
+class Throughput {
+ public:
+  Throughput() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+  /// Nanoseconds per item so far; zero items yields zero.
+  double ns_per(std::uint64_t items) const {
+    return items == 0 ? 0.0
+                      : static_cast<double>(elapsed_ns()) /
+                            static_cast<double>(items);
+  }
+
+  /// Items per second so far; clamps to zero on a sub-tick interval.
+  double per_second(std::uint64_t items) const {
+    const double secs = elapsed_seconds();
+    return secs > 0.0 ? static_cast<double>(items) / secs : 0.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Welford online mean/variance accumulator with min/max tracking.
 class RunningStat {

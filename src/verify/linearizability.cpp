@@ -1,7 +1,9 @@
 #include "verify/linearizability.hpp"
 
+#include <cstddef>
 #include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -12,41 +14,68 @@ namespace {
 std::mutex g_recorder_mutex;
 
 struct Search {
-  const std::vector<RegOp>& ops;
-  std::unordered_set<std::uint64_t> failed;  // memo of dead (mask,value) states
-
-  static std::uint64_t key(std::uint64_t mask, std::uint64_t value) {
-    // Mix the register value into the mask; histories use small values so
-    // a multiplicative mix suffices for the memo.
-    return mask ^ (value * 0x9E3779B97F4A7C15ULL + 0x1234567);
-  }
-
-  bool dfs(std::uint64_t done_mask, std::uint64_t value) {
-    const std::uint64_t n = ops.size();
-    if (done_mask == (n == 64 ? ~std::uint64_t{0}
-                              : ((std::uint64_t{1} << n) - 1))) {
-      return true;
+  /// A memoized dead state: the exact set of already-linearized ops (as a
+  /// word-packed bitset) plus the register value — no lossy mixing, so a
+  /// memo hit can never be a collision between distinct states.
+  struct State {
+    std::vector<std::uint64_t> mask;
+    std::uint64_t value = 0;
+    friend bool operator==(const State& a, const State& b) {
+      return a.value == b.value && a.mask == b.mask;
     }
-    const std::uint64_t k = key(done_mask, value);
-    if (failed.contains(k)) return false;
+  };
+  struct StateHash {
+    std::size_t operator()(const State& s) const {
+      std::uint64_t h = 0xCBF29CE484222325ULL;
+      for (const std::uint64_t w : s.mask) {
+        h ^= w;
+        h *= 0x100000001B3ULL;
+      }
+      h ^= s.value;
+      h *= 0x100000001B3ULL;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  const std::vector<RegOp>& ops;
+  std::unordered_set<State, StateHash> failed;  ///< memo of dead states
+  std::vector<std::uint64_t> mask;              ///< current done-set
+  std::size_t done_count = 0;
+
+  explicit Search(const std::vector<RegOp>& history)
+      : ops(history), mask((history.size() + 63) / 64, 0) {}
+
+  bool done(std::size_t i) const {
+    return (mask[i >> 6] >> (i & 63)) & std::uint64_t{1};
+  }
+  void set(std::size_t i) { mask[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear(std::size_t i) { mask[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+
+  bool dfs(std::uint64_t value) {
+    const std::size_t n = ops.size();
+    if (done_count == n) return true;
+    State state{mask, value};
+    if (failed.contains(state)) return false;
 
     // Frontier: op i may linearize next iff no other pending op responded
     // before i was invoked.
     std::uint64_t min_res = ~std::uint64_t{0};
-    for (std::uint64_t i = 0; i < n; ++i) {
-      if (!(done_mask & (std::uint64_t{1} << i))) {
-        min_res = std::min(min_res, ops[i].res);
-      }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done(i)) min_res = std::min(min_res, ops[i].res);
     }
-    for (std::uint64_t i = 0; i < n; ++i) {
-      if (done_mask & (std::uint64_t{1} << i)) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done(i)) continue;
       const RegOp& op = ops[i];
       if (op.inv > min_res) continue;  // some pending op responded first
       if (!op.is_write && op.value != value) continue;  // read must match
       const std::uint64_t next_value = op.is_write ? op.value : value;
-      if (dfs(done_mask | (std::uint64_t{1} << i), next_value)) return true;
+      set(i);
+      ++done_count;
+      if (dfs(next_value)) return true;
+      clear(i);
+      --done_count;
     }
-    failed.insert(k);
+    failed.insert(std::move(state));
     return false;
   }
 };
@@ -55,13 +84,11 @@ struct Search {
 
 LinResult check_register_linearizable(const std::vector<RegOp>& history,
                                       std::uint64_t initial_value) {
-  BPRC_REQUIRE(history.size() <= 64,
-               "linearizability checker limited to 64 operations");
   for (const RegOp& op : history) {
     BPRC_REQUIRE(op.inv < op.res, "operation interval must be non-empty");
   }
-  Search search{history, {}};
-  if (search.dfs(0, initial_value)) return {true, {}};
+  Search search(history);
+  if (search.dfs(initial_value)) return {true, {}};
 
   std::string witness = "no linearization exists; history:";
   for (const RegOp& op : history) {

@@ -6,10 +6,11 @@
 // ask this checker whether some linearization respects both real-time
 // order and sequential register semantics.
 //
-// The search is the classic Wing–Gong DFS with memoization on
-// (set-of-linearized-ops, current register value); exponential in the
-// worst case but instantaneous for the ≤ 40-operation histories the tests
-// generate.
+// The search is the classic Wing–Gong DFS with exact memoization on
+// (set-of-linearized-ops, current register value). The done-set is a
+// word-packed dynamic bitset, so histories of any length are accepted;
+// runtime is exponential in the *concurrency* of the history, not its
+// length, so long low-contention histories stay fast.
 #pragma once
 
 #include <cstdint>
@@ -38,8 +39,7 @@ struct LinResult {
 };
 
 /// Checks whether `history` is linearizable as a single atomic register
-/// with the given initial value. History size is limited to 64 operations
-/// (bitmask state); the tests stay well under that.
+/// with the given initial value. Histories of any length are accepted.
 LinResult check_register_linearizable(const std::vector<RegOp>& history,
                                       std::uint64_t initial_value);
 

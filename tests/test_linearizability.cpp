@@ -103,6 +103,40 @@ TEST(LinCheck, LongInterleavedLinearizableHistory) {
   EXPECT_TRUE(check_register_linearizable(h, 0).ok);
 }
 
+TEST(LinCheck, HistoriesBeyondSixtyFourOperations) {
+  // The done-set is a dynamic bitset, so histories longer than one mask
+  // word must work. 150 ops: the verdict comes from the tail, proving ops
+  // past index 63 actually participate in the search.
+  std::vector<RegOp> h;
+  std::uint64_t t = 1;
+  for (int k = 1; k <= 75; ++k) {
+    h.push_back(W(static_cast<std::uint64_t>(k), t, t + 1, 0));
+    h.push_back(R(static_cast<std::uint64_t>(k), t + 2, t + 3, 1));
+    t += 4;
+  }
+  EXPECT_TRUE(check_register_linearizable(h, 0).ok);
+
+  // Corrupt only the final read (index 149): a long history must still be
+  // *rejected* when its violation sits past the 64-op mark.
+  h.back().value = 9999;
+  EXPECT_FALSE(check_register_linearizable(h, 0).ok);
+}
+
+TEST(LinCheck, MemoStatesWithEqualMixesStayDistinct) {
+  // Two concurrent writes of values 0 and 1 with a trailing read: the
+  // search revisits the same done-set under different register values and
+  // vice versa. An exact (mask, value) memo must keep these states apart;
+  // a lossy mixed key could collapse a live state onto a dead one and
+  // wrongly reject.
+  const std::vector<RegOp> h{
+      W(0, 1, 10, 0),
+      W(1, 1, 10, 1),
+      R(0, 11, 12, 2),
+      R(0, 13, 14, 3),
+  };
+  EXPECT_TRUE(check_register_linearizable(h, 7).ok);
+}
+
 TEST(LinCheck, WitnessNamesTheHistory) {
   const auto res = check_register_linearizable({R(9, 1, 2)}, 0);
   ASSERT_FALSE(res.ok);

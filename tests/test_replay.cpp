@@ -4,6 +4,7 @@
 // schedule must still reproduce the original violation class.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,103 @@ TEST(Replay, PreplannedCrashesAreSubsumedByTheRecording)  {
 
   const ConsensusRunResult replayed = replay_run(run, schedule, crashes);
   expect_identical(recorded, replayed);
+}
+
+TEST(Replay, SimReuseReplaysIdentically) {
+  // One pooled simulator recycled across heterogeneous runs must produce
+  // the same results as a fresh simulator per run — the campaign driver
+  // and the shrinker both lean on this.
+  SimReuse reuse;
+  for (const TortureRun& run :
+       {make_run("bprc", {0, 1, 1}, "random", 42),
+        make_run("bprc", {1, 0, 1, 0, 1}, "crash-storm", 7),
+        make_run("aspnes-herlihy", {0, 0, 1}, "coin-bias", 3)}) {
+    std::vector<ProcId> schedule;
+    std::vector<CrashPlanAdversary::Crash> crashes;
+    const ConsensusRunResult fresh =
+        execute_run(run, kNoDeadline, &schedule, &crashes);
+    std::vector<ProcId> schedule2;
+    std::vector<CrashPlanAdversary::Crash> crashes2;
+    const ConsensusRunResult pooled =
+        execute_run(run, kNoDeadline, &schedule2, &crashes2, &reuse);
+    expect_identical(fresh, pooled);
+    EXPECT_EQ(schedule, schedule2);
+    ASSERT_EQ(crashes.size(), crashes2.size());
+    const ConsensusRunResult replayed =
+        replay_run(run, schedule, crashes, &reuse);
+    expect_identical(fresh, replayed);
+  }
+}
+
+/// FNV-1a over the recorded pick sequence and crash events; the exact
+/// digest the performance work was validated against.
+std::uint64_t schedule_hash(const std::vector<ProcId>& schedule,
+                            const std::vector<CrashPlanAdversary::Crash>& crashes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const ProcId p : schedule) {
+    h ^= static_cast<std::uint64_t>(p);
+    h *= 0x100000001B3ULL;
+  }
+  for (const auto& c : crashes) {
+    h ^= c.at_step * 31 + static_cast<std::uint64_t>(c.victim);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+TEST(Replay, GoldenScheduleHashesArePinned) {
+  // Cross-version determinism: the full recorded schedule of a fixed
+  // (protocol, inputs, seed) cell under every standard adversary, pinned
+  // as a digest. Any change to adversary draw order, checkpoint gating,
+  // rng derivation, or scheduling semantics shows up here as a hash
+  // mismatch — scheduler optimizations must NOT move these values.
+  struct Golden {
+    const char* adversary;
+    std::size_t len;
+    std::size_t crash_count;
+    std::uint64_t hash;
+  };
+  const Golden goldens[] = {
+      {"random", 4964, 0, 0x731f0c5d39bb92e2ULL},
+      {"coin-bias", 5110, 0, 0xd7434f9318edb05aULL},
+      {"crash-storm", 17925, 4, 0x6bff30d521c19d61ULL},
+      {"split-brain", 4948, 0, 0x4e5850c9b2a82258ULL},
+      {"lockstep", 2420, 0, 0x698caa121a93e73dULL},
+      {"leader-suppress", 4872, 0, 0x0ed92d7d8fbaa4d4ULL},
+  };
+  for (const Golden& g : goldens) {
+    const TortureRun run =
+        make_run("bprc", {0, 1, 1, 0, 1}, g.adversary, 424242);
+    std::vector<ProcId> schedule;
+    std::vector<CrashPlanAdversary::Crash> crashes;
+    const ConsensusRunResult result =
+        execute_run(run, kNoDeadline, &schedule, &crashes);
+    EXPECT_TRUE(result.ok()) << g.adversary;
+    EXPECT_EQ(schedule.size(), g.len) << g.adversary;
+    EXPECT_EQ(crashes.size(), g.crash_count) << g.adversary;
+    EXPECT_EQ(schedule_hash(schedule, crashes), g.hash) << g.adversary;
+  }
+}
+
+TEST(Replay, SavedArtifactsReplayToTheSameFailureClass) {
+  // Committed .bprc-repro files recorded by the *pre-optimization*
+  // simulator must keep replaying to their recorded failure class on the
+  // current one: on-disk artifacts outlive scheduler internals.
+  const std::string dir = BPRC_TEST_DATA_DIR;
+  const char* fixtures[] = {
+      "broken-racy-round-robin-n2-0.bprc-repro",
+      "broken-racy-crash-storm-n3-0.bprc-repro",
+      "broken-racy-crash-storm-n3-1.bprc-repro",
+      "broken-racy-crash-n3.bprc-repro",
+  };
+  for (const char* name : fixtures) {
+    std::string err;
+    const auto repro = load_repro(dir + "/" + name, &err);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << err;
+    ASSERT_NE(repro->failure, FailureClass::kNone) << name;
+    const ConsensusRunResult replayed = replay_repro(*repro);
+    EXPECT_EQ(replayed.failure(), repro->failure) << name;
+  }
 }
 
 /// Finds a failing broken-racy run (the deliberately-broken test-hook

@@ -46,6 +46,60 @@ TEST(SimRuntime, SameSeedSameTrace) {
   EXPECT_NE(run_once(7), run_once(8));
 }
 
+TEST(SimRuntime, ResetProducesBitIdenticalTrace) {
+  // A runtime re-armed with reset() must be observably identical to a
+  // freshly constructed one: same adversary pick sequence, same step
+  // counts — the cross-trial reuse fast path must not leak state.
+  auto fresh = [](int n, std::uint64_t seed) {
+    SimRuntime rt(n, std::make_unique<RandomAdversary>(seed), seed);
+    std::vector<ProcId> trace;
+    for (ProcId p = 0; p < n; ++p) rt.spawn(p, tracer(rt, p, trace, 25));
+    rt.run(100000);
+    return trace;
+  };
+  auto reused = [](SimRuntime& rt, int n, std::uint64_t seed) {
+    rt.reset(n, std::make_unique<RandomAdversary>(seed), seed);
+    std::vector<ProcId> trace;
+    for (ProcId p = 0; p < n; ++p) rt.spawn(p, tracer(rt, p, trace, 25));
+    rt.run(100000);
+    return trace;
+  };
+
+  SimRuntime rt(4, std::make_unique<RandomAdversary>(7), 7);
+  {
+    std::vector<ProcId> trace;
+    for (ProcId p = 0; p < 4; ++p) rt.spawn(p, tracer(rt, p, trace, 25));
+    rt.run(100000);
+    EXPECT_EQ(trace, fresh(4, 7));
+  }
+  // Same shape, different seed; shrink; grow — all against fresh twins.
+  EXPECT_EQ(reused(rt, 4, 8), fresh(4, 8));
+  EXPECT_EQ(reused(rt, 2, 5), fresh(2, 5));
+  EXPECT_EQ(reused(rt, 6, 9), fresh(6, 9));
+  // And back to the very first configuration.
+  EXPECT_EQ(reused(rt, 4, 7), fresh(4, 7));
+}
+
+TEST(SimRuntime, ResetRederivesProcessCoins) {
+  // Per-process rngs must be re-split from the master seed on reset, not
+  // continued from where the previous run left them.
+  auto draws = [](SimRuntime& rt, int n) {
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(n));
+    for (ProcId p = 0; p < n; ++p) {
+      rt.spawn(p, [&rt, &out, p] {
+        rt.checkpoint({});
+        out[static_cast<std::size_t>(p)] = rt.rng()();
+      });
+    }
+    rt.run(1000);
+    return out;
+  };
+  SimRuntime rt(3, std::make_unique<RoundRobinAdversary>(), 99);
+  const std::vector<std::uint64_t> first = draws(rt, 3);
+  rt.reset(3, std::make_unique<RoundRobinAdversary>(), 99);
+  EXPECT_EQ(draws(rt, 3), first);
+}
+
 TEST(SimRuntime, PerProcessStepCounts) {
   SimRuntime rt(2, std::make_unique<RoundRobinAdversary>(), 1);
   std::vector<ProcId> trace;

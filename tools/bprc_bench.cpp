@@ -1,0 +1,223 @@
+// bprc_bench — machine-readable simulator performance baseline.
+//
+// Runs the simulator microbenchmarks (bench/perf_harness.hpp) and emits
+// BENCH_sim.json so every PR has a recorded perf trajectory to compare
+// against. See docs/PERFORMANCE.md for the schema and the procedure for
+// recording a new baseline.
+//
+//   bprc_bench                       full measurement, JSON to stdout
+//   bprc_bench --smoke               tiny trial counts (CI artifact mode)
+//   bprc_bench --out BENCH_sim.json  write/merge into a baseline file
+//   bprc_bench --label post-opt      label for this measurement set
+//
+// Merging: entries already in --out whose label differs from the current
+// --label are preserved verbatim; entries with the same label are
+// replaced. That is how one file carries pre- and post-optimization
+// numbers from the same machine. The file is line-oriented JSON (one
+// entry object per line) so the merge never needs a full JSON parser.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf_harness.hpp"
+
+namespace {
+
+using namespace bprc;
+using namespace bprc::bench;
+
+struct Entry {
+  std::string benchmark;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+  int n = 0;
+  std::uint64_t seed_count = 0;
+  std::string git_sha;
+  std::string label;
+};
+
+struct Options {
+  bool smoke = false;
+  std::string out_path;
+  std::string label = "baseline";
+  std::uint64_t trials_override = 0;  ///< 0 = mode default
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: bprc_bench [options]\n"
+               "  --smoke         tiny trial counts (CI artifact mode)\n"
+               "  --out FILE      write/merge JSON baseline (default: stdout)\n"
+               "  --label NAME    measurement-set label (default: baseline)\n"
+               "  --trials K      override per-cell trial count\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "bprc_bench: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--smoke") opt.smoke = true;
+    else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_path = v; }
+    else if (arg == "--label") { if (!(v = need_value(i))) return false; opt.label = v; }
+    else if (arg == "--trials") { if (!(v = need_value(i))) return false; opt.trials_override = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
+    else {
+      std::fprintf(stderr, "bprc_bench: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Current commit, for provenance. BPRC_GIT_SHA overrides (CI detached
+/// heads); falls back to asking git, then to "unknown".
+std::string current_git_sha() {
+  if (const char* env = std::getenv("BPRC_GIT_SHA"); env != nullptr && *env) {
+    return env;
+  }
+  std::string sha;
+  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    pclose(pipe);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string format_entry(const Entry& e) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"benchmark\": \"%s\", \"metric\": \"%s\", "
+                "\"value\": %.4f, \"unit\": \"%s\", \"n\": %d, "
+                "\"seed_count\": %llu, \"git_sha\": \"%s\", "
+                "\"label\": \"%s\"}",
+                e.benchmark.c_str(), e.metric.c_str(), e.value,
+                e.unit.c_str(), e.n,
+                static_cast<unsigned long long>(e.seed_count),
+                e.git_sha.c_str(), e.label.c_str());
+  return buf;
+}
+
+/// Extracts `"key": "value"` from a line-oriented entry; empty on miss.
+std::string extract_string_field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t from = at + needle.size();
+  const std::size_t end = line.find('"', from);
+  if (end == std::string::npos) return {};
+  return line.substr(from, end - from);
+}
+
+/// Entry lines from an existing baseline whose label differs from
+/// `drop_label` (those are preserved across a re-measurement).
+std::vector<std::string> keep_foreign_entries(const std::string& path,
+                                              const std::string& drop_label) {
+  std::vector<std::string> kept;
+  std::ifstream in(path);
+  if (!in) return kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"benchmark\"") == std::string::npos) continue;
+    if (extract_string_field(line, "label") == drop_label) continue;
+    // Normalize away the trailing comma; rejoined on output.
+    while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    kept.push_back(line);
+  }
+  return kept;
+}
+
+std::string render_file(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"bprc-bench-v1\",\n"
+      << "  \"generated_by\": \"tools/bprc_bench\",\n"
+      << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int run(const Options& opt) {
+  const std::string sha = current_git_sha();
+  std::vector<Entry> entries;
+  auto add = [&](std::string benchmark, std::string metric, double value,
+                 std::string unit, int n, std::uint64_t seed_count) {
+    entries.push_back({std::move(benchmark), std::move(metric), value,
+                       std::move(unit), n, seed_count, sha, opt.label});
+  };
+
+  const std::uint64_t ctx_rounds = opt.smoke ? 200'000 : 2'000'000;
+  std::fprintf(stderr, "bprc_bench: fiber context switch (%llu rounds)...\n",
+               static_cast<unsigned long long>(ctx_rounds));
+  add("fiber_ctx_switch", "ns/switch", measure_ctx_switch_ns(ctx_rounds),
+      "ns", 1, 0);
+
+  for (const int n : {2, 4, 8}) {
+    std::uint64_t trials = opt.smoke ? 32 / static_cast<std::uint64_t>(n)
+                                     : 4096 / static_cast<std::uint64_t>(n);
+    if (opt.trials_override != 0) trials = opt.trials_override;
+    std::fprintf(stderr, "bprc_bench: BPRC n=%d random sweep (%llu trials)...\n",
+                 n, static_cast<unsigned long long>(trials));
+    const SweepPerf perf = measure_bprc_sweep(n, trials);
+    const std::string suffix = "_bprc_n" + std::to_string(n) + "_random";
+    add("sim_step" + suffix, "ns/step", perf.ns_per_step, "ns", n, trials);
+    add("sim_runs" + suffix, "runs/sec", perf.runs_per_sec, "runs/s", n,
+        trials);
+    std::fprintf(stderr, "  %.1f ns/step, %.0f runs/sec (%llu steps)\n",
+                 perf.ns_per_step, perf.runs_per_sec,
+                 static_cast<unsigned long long>(perf.total_steps));
+  }
+
+  std::vector<std::string> lines;
+  if (!opt.out_path.empty()) {
+    lines = keep_foreign_entries(opt.out_path, opt.label);
+  }
+  for (const Entry& e : entries) lines.push_back(format_entry(e));
+  const std::string text = render_file(lines);
+
+  if (opt.out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(opt.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bprc_bench: cannot write %s\n",
+                 opt.out_path.c_str());
+    return 1;
+  }
+  out << text;
+  std::fprintf(stderr, "bprc_bench: wrote %zu entrie(s) to %s (label %s)\n",
+               entries.size(), opt.out_path.c_str(), opt.label.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  return run(opt);
+}

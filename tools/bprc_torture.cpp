@@ -27,6 +27,7 @@
 #include "fault/protocols.hpp"
 #include "fault/repro.hpp"
 #include "fault/shrink.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -38,6 +39,7 @@ struct Options {
   bool inject_bug = false;
   bool list = false;
   bool quiet = false;
+  bool verbose = false;
   std::string replay_path;
   std::string out_dir = ".";
   std::vector<std::string> protocols;
@@ -66,7 +68,8 @@ void usage(std::FILE* to) {
                "  --deadline-ms MS   per-run wall-clock watchdog (0 = off)\n"
                "  --max-failures K   stop after K failures (default 8)\n"
                "  --out DIR          artifact output directory (default .)\n"
-               "  --quiet            suppress per-failure detail\n");
+               "  --quiet            suppress per-failure detail\n"
+               "  --verbose          per-run step-rate log lines\n");
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -84,6 +87,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--inject-bug") opt.inject_bug = true;
     else if (arg == "--list") opt.list = true;
     else if (arg == "--quiet" || arg == "-q") opt.quiet = true;
+    else if (arg == "--verbose" || arg == "-v") opt.verbose = true;
     else if (arg == "--replay") { if (!(v = need_value(i))) return false; opt.replay_path = v; }
     else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_dir = v; }
     else if (arg == "--protocol") { if (!(v = need_value(i))) return false; opt.protocols.push_back(v); }
@@ -279,10 +283,30 @@ int run_inject_bug(const Options& opt) {
   return 0;
 }
 
+/// --verbose observer: one log line per completed run with its simulated
+/// step rate. Wall-clock timing only (util/stats.hpp Throughput) — it
+/// never feeds back into the simulation, so schedules stay deterministic.
+RunObserver make_verbose_observer(Throughput& timer) {
+  return [&timer](const TortureRun& run, const ConsensusRunResult& result) {
+    std::fprintf(stderr,
+                 "  %s/%s n=%d seed=%llu plan=%zu: steps=%llu"
+                 " %.2f Msteps/s (%s)\n",
+                 run.protocol.c_str(), run.adversary.c_str(), run.n(),
+                 static_cast<unsigned long long>(run.seed),
+                 run.crash_plan.size(),
+                 static_cast<unsigned long long>(result.total_steps),
+                 timer.per_second(result.total_steps) * 1e-6,
+                 to_string(result.reason));
+    timer.reset();
+  };
+}
+
 int run_campaign_mode(const Options& opt) {
   const CampaignConfig config = build_config(opt);
   const auto started = std::chrono::steady_clock::now();
-  CampaignReport report = run_campaign(config);
+  Throughput run_timer;
+  CampaignReport report = run_campaign(
+      config, opt.verbose ? make_verbose_observer(run_timer) : RunObserver{});
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
