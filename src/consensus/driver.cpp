@@ -9,13 +9,11 @@
 
 namespace bprc {
 
-namespace {
-
 /// Collects results and evaluates the correctness properties after a run.
-ConsensusRunResult evaluate(const ConsensusProtocol& protocol,
-                            const std::vector<int>& inputs,
-                            const Runtime& rt, RunResult run,
-                            const std::vector<bool>& crashed) {
+ConsensusRunResult evaluate_consensus(const ConsensusProtocol& protocol,
+                                      const std::vector<int>& inputs,
+                                      const Runtime& rt, RunResult run,
+                                      const std::vector<bool>& crashed) {
   const int n = static_cast<int>(inputs.size());
   ConsensusRunResult out;
   out.total_steps = run.steps;
@@ -69,8 +67,6 @@ ConsensusRunResult evaluate(const ConsensusProtocol& protocol,
   return out;
 }
 
-}  // namespace
-
 const char* to_string(FailureClass f) {
   switch (f) {
     case FailureClass::kNone:          return "none";
@@ -112,7 +108,8 @@ ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
                                      std::uint64_t seed,
                                      std::uint64_t max_steps,
                                      std::chrono::nanoseconds deadline,
-                                     SimReuse* reuse) {
+                                     SimReuse* reuse,
+                                     const std::vector<bool>* forced_flips) {
   const int n = static_cast<int>(inputs.size());
   // Recycled or freshly built, the runtime behaves identically; the
   // protocol instance is always fresh and dies with this call.
@@ -127,10 +124,16 @@ ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
     const int input = inputs[static_cast<std::size_t>(p)];
     rt.spawn(p, [&protocol, input] { protocol->propose(input); });
   }
+  ScriptedFlipTape tape(forced_flips != nullptr ? *forced_flips
+                                                : std::vector<bool>{});
+  if (forced_flips != nullptr) rt.set_flip_tape(&tape);
   const RunResult run = rt.run(max_steps, deadline);
+  // The tape dies with this call; never leave a pooled runtime pointing
+  // at it.
+  if (forced_flips != nullptr) rt.set_flip_tape(nullptr);
   std::vector<bool> crashed(static_cast<std::size_t>(n), false);
   for (ProcId p = 0; p < n; ++p) crashed[static_cast<std::size_t>(p)] = rt.crashed(p);
-  return evaluate(*protocol, inputs, rt, run, crashed);
+  return evaluate_consensus(*protocol, inputs, rt, run, crashed);
 }
 
 ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
@@ -148,7 +151,7 @@ ConsensusRunResult run_consensus_threads(const ProtocolFactory& factory,
   }
   const RunResult run = rt.run(max_steps, deadline);
   const std::vector<bool> crashed(static_cast<std::size_t>(n), false);
-  return evaluate(*protocol, inputs, rt, run, crashed);
+  return evaluate_consensus(*protocol, inputs, rt, run, crashed);
 }
 
 std::vector<std::vector<int>> standard_input_patterns(int n,

@@ -102,17 +102,30 @@ struct ConsensusRunResult {
   }
 };
 
+/// Evaluates the correctness properties of a finished (or truncated) run:
+/// fills a ConsensusRunResult from the protocol's decisions, the run
+/// outcome, and the crash record. Exposed so harnesses that drive the
+/// runtime themselves — the exploration driver foremost — grade runs with
+/// exactly the same oracle as run_consensus_sim.
+ConsensusRunResult evaluate_consensus(const ConsensusProtocol& protocol,
+                                      const std::vector<int>& inputs,
+                                      const Runtime& rt, RunResult run,
+                                      const std::vector<bool>& crashed);
+
 /// Runs one instance in the deterministic simulator. `deadline` (zero =
 /// off) arms the simulator's wall-clock watchdog; see SimRuntime::run.
 /// `reuse` (optional) recycles a simulator across calls — pass the same
 /// SimReuse to every trial of a sweep to skip per-trial fiber-stack and
 /// process-table allocation; the result is bit-identical either way.
+/// `forced_flips` (optional) replays a recorded local-coin flip prefix
+/// through a ScriptedFlipTape — the replay half of the exploration
+/// driver's coin branching; null leaves the coins untouched.
 ConsensusRunResult run_consensus_sim(
     const ProtocolFactory& factory, const std::vector<int>& inputs,
     std::unique_ptr<Adversary> adversary, std::uint64_t seed,
     std::uint64_t max_steps,
     std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero(),
-    SimReuse* reuse = nullptr);
+    SimReuse* reuse = nullptr, const std::vector<bool>* forced_flips = nullptr);
 
 /// Runs one instance on real threads (kernel scheduler as adversary).
 /// `deadline` (zero = off) arms the watchdog; see ThreadRuntime::run.

@@ -33,13 +33,27 @@ namespace bprc {
 /// (first caller of a phase draws the bit).
 class AtomicCoinFlip {
  public:
-  AtomicCoinFlip(Runtime& rt, std::uint64_t seed) : rt_(rt), rng_(seed) {}
+  AtomicCoinFlip(Runtime& rt, std::uint64_t seed)
+      : rt_(rt),
+        sink_(rt.trace_sink()),
+        trace_id_(sink_ != nullptr ? sink_->on_object_created() : -1),
+        rng_(seed) {}
 
   bool flip(std::int64_t phase) {
     rt_.checkpoint({OpDesc::Kind::kRead, /*object=*/-2, phase});
     const std::scoped_lock lock(mu_);
     auto [it, inserted] = bits_.try_emplace(phase, false);
     if (inserted) it->second = rng_.flip();
+    if (sink_ != nullptr) {
+      // Outside the read/write model, so report via the generic event
+      // hook: the digest pins (phase, bit) and the first caller of a
+      // phase mutates the shared phase→bit map.
+      sink_->on_event(
+          rt_.self(), trace_id_,
+          (static_cast<std::uint64_t>(phase) << 1) |
+              static_cast<std::uint64_t>(it->second),
+          inserted);
+    }
     return it->second;
   }
 
@@ -50,6 +64,8 @@ class AtomicCoinFlip {
 
  private:
   Runtime& rt_;
+  TraceSink* const sink_;  ///< cached Runtime::trace_sink(); usually null
+  const int trace_id_;
   mutable std::mutex mu_;
   Rng rng_;
   std::map<std::int64_t, bool> bits_;

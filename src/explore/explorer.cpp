@@ -1,0 +1,475 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/adversary.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "util/assert.hpp"
+
+namespace bprc::explore {
+
+namespace {
+
+constexpr std::uint64_t bit_of(ProcId p) {
+  return std::uint64_t{1} << static_cast<unsigned>(p);
+}
+
+/// Independence relation for the sleep sets, read off pending OpDescs.
+/// Conservative (sound) in both unknowns: an op with no object id (-1, or
+/// the strong-coin's -2) conflicts with everything except pure local
+/// computation, and any two ops on the same object conflict unless both
+/// are reads. Kind::kNone means the process is before its first shared
+/// operation — pure local computation, independent of everything.
+bool independent(const OpDesc& a, const OpDesc& b) {
+  if (a.kind == OpDesc::Kind::kNone || b.kind == OpDesc::Kind::kNone) {
+    return true;
+  }
+  if (a.object < 0 || b.object < 0) return false;
+  if (a.object != b.object) return true;
+  return a.kind == OpDesc::Kind::kRead && b.kind == OpDesc::Kind::kRead;
+}
+
+class Explorer;
+
+/// The backtracking adversary handed to the runtime: SimRuntime insists on
+/// owning its adversary, so each execution gets a fresh forwarding shim.
+class ExploreShim final : public Adversary {
+ public:
+  explicit ExploreShim(Explorer& explorer) : explorer_(explorer) {}
+  ProcId pick(SimCtl& ctl) override;
+  std::string name() const override { return "explore"; }
+
+ private:
+  Explorer& explorer_;
+};
+
+/// One choice point on the DFS trail. Schedule nodes branch over runnable
+/// processes; coin nodes branch a local flip over {false, true}.
+struct Node {
+  bool is_coin = false;
+  bool coin_value = false;  ///< current branch of a coin node
+  ProcId chosen = -1;       ///< current branch of a schedule node
+  int taken = 0;            ///< branches explored so far (stats)
+  std::uint64_t candidates = 0;  ///< runnable set at this point
+  /// Working sleep set: entry sleep plus already-explored siblings. A
+  /// candidate in here commutes with some explored branch — its subtree
+  /// is a permutation of one already visited.
+  std::uint64_t sleep = 0;
+  std::vector<OpDesc> ops;  ///< pending op per process (dependence check)
+};
+
+class Explorer final : public FlipTape, public TraceSink {
+ public:
+  Explorer(ExploreTarget& target, const ExploreLimits& limits,
+           std::uint64_t seed, bool reuse_runtime)
+      : target_(target),
+        limits_(limits),
+        seed_(seed),
+        reuse_(reuse_runtime),
+        nprocs_(target.nprocs()) {
+    BPRC_REQUIRE(nprocs_ > 0, "explore target needs at least one process");
+    BPRC_REQUIRE(nprocs_ <= kRunnableMaskBits,
+                 "explorer masks cap the process count");
+  }
+
+  ExploreResult run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      execute_once();
+      if (violations_.size() >= limits_.max_violations ||
+          (limits_.max_executions != 0 &&
+           stats_.executions >= limits_.max_executions) ||
+          (limits_.max_states != 0 &&
+           stats_.states_visited >= limits_.max_states)) {
+        stats_.complete = false;
+        break;
+      }
+      if (!backtrack()) break;  // bounded tree exhausted
+    }
+    stats_.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return ExploreResult{stats_, std::move(violations_)};
+  }
+
+  // --- scheduling callback (via ExploreShim) ---
+  ProcId pick(SimCtl& ctl) {
+    const std::uint64_t runnable = runnable_set(ctl);
+    if (runnable == 0) return -1;  // defensive; run loop checks first
+
+    if (cursor_ < trail_.size()) return replay_pick(runnable);
+
+    const std::uint64_t depth = exec_schedule_.size();
+    if (depth >= limits_.branch_depth) return tail_pick(runnable);
+
+    // Frontier. Seen-state check first: a state already expanded at this
+    // depth or shallower has had its whole (bounded) subtree explored.
+    if (limits_.state_cache) {
+      std::uint64_t key = fingerprint(ctl);
+      key = fnv_mix(key, cur_sleep_);
+      key = fnv_mix(key, coins_used_);
+      const auto [it, inserted] = seen_.try_emplace(key, depth);
+      if (!inserted) {
+        if (it->second <= depth) {
+          ++stats_.states_merged;
+          pruned_ = true;
+          return -1;
+        }
+        it->second = depth;  // shallower revisit: deeper subtree, redo
+      }
+    }
+
+    Node node;
+    node.candidates = runnable;
+    node.sleep = limits_.sleep_sets ? (cur_sleep_ & runnable) : 0;
+    node.ops.resize(static_cast<std::size_t>(nprocs_));
+    for (ProcId p = 0; p < nprocs_; ++p) {
+      node.ops[static_cast<std::size_t>(p)] = ctl.view(p).pending;
+    }
+    const std::uint64_t open = node.candidates & ~node.sleep;
+    if (open == 0) {
+      // Every enabled move commutes with an explored sibling of some
+      // ancestor: this whole state is a permutation of a visited one.
+      ++stats_.sleep_blocked;
+      pruned_ = true;
+      return -1;
+    }
+    node.chosen = static_cast<ProcId>(std::countr_zero(open));
+    node.taken = 1;
+    ++stats_.states_visited;
+    cur_sleep_ = child_sleep(node, node.chosen);
+    trail_.push_back(std::move(node));
+    ++cursor_;
+    record_pick(trail_.back().chosen);
+    return trail_.back().chosen;
+  }
+
+  // --- FlipTape ---
+  bool on_flip(bool drawn) override {
+    if (cursor_ < trail_.size()) {
+      Node& node = trail_[cursor_];
+      if (node.is_coin) {
+        ++cursor_;
+        ++coins_used_;
+        record_flip(node.coin_value, /*forced=*/true);
+        return node.coin_value;
+      }
+      // The next recorded choice is a scheduling point, so when this
+      // prefix was first executed the present flip drew from the seeded
+      // generator (no coin node was created). Both branching gates are
+      // monotone along an execution, so that must still be the case —
+      // anything else is a replay divergence.
+      BPRC_REQUIRE(exec_schedule_.size() >= limits_.branch_depth ||
+                       coins_used_ >= limits_.max_coin_flips,
+                   "exploration diverged: unforced flip inside the branch "
+                   "region during replay");
+      record_flip(drawn, /*forced=*/false);
+      return drawn;
+    }
+    // Branch a fresh coin only inside the branch region and budget; both
+    // conditions are monotone along an execution, so the forced flips
+    // always form a prefix of the run's flip sequence — exactly what
+    // ScriptedFlipTape re-forces on replay.
+    if (exec_schedule_.size() < limits_.branch_depth &&
+        coins_used_ < limits_.max_coin_flips) {
+      Node node;
+      node.is_coin = true;
+      node.coin_value = false;
+      node.taken = 1;
+      trail_.push_back(std::move(node));
+      ++cursor_;
+      ++coins_used_;
+      ++stats_.coin_branches;
+      record_flip(false, /*forced=*/true);
+      return false;
+    }
+    record_flip(drawn, /*forced=*/false);
+    return drawn;
+  }
+
+  // --- TraceSink (state fingerprinting) ---
+  int on_object_created() override {
+    const int id = next_object_++;
+    if (static_cast<std::size_t>(id) >= object_last_.size()) {
+      object_last_.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    object_last_[static_cast<std::size_t>(id)] = 0;
+    objects_fold_ ^= entry_hash(id, 0);
+    return id;
+  }
+
+  void on_read(ProcId p, int object) override {
+    // Folding the *last-writer identity* of the object into the reader's
+    // history hash grounds the value read: written values are
+    // deterministic functions of the writer's local history, so equal
+    // histories + equal last-writer identities imply equal contents —
+    // no hashing of arbitrary value types needed.
+    auto& h = proc_hash_[static_cast<std::size_t>(p)];
+    h = fnv_mix(h, 0x52);
+    h = fnv_mix(h, static_cast<std::uint64_t>(object));
+    h = fnv_mix(h, object_last_[static_cast<std::size_t>(object)]);
+  }
+
+  void on_write(ProcId p, int object) override {
+    auto& h = proc_hash_[static_cast<std::size_t>(p)];
+    h = fnv_mix(h, 0x57);
+    h = fnv_mix(h, static_cast<std::uint64_t>(object));
+    const std::uint64_t writes = ++proc_writes_[static_cast<std::size_t>(p)];
+    update_last(object,
+                (static_cast<std::uint64_t>(p) << 40) ^ writes);
+  }
+
+  void on_event(ProcId p, int object, std::uint64_t digest,
+                bool mutates) override {
+    auto& h = proc_hash_[static_cast<std::size_t>(p)];
+    h = fnv_mix(h, 0x45);
+    h = fnv_mix(h, static_cast<std::uint64_t>(object));
+    h = fnv_mix(h, digest);
+    if (mutates) update_last(object, fnv_mix(kFnvOffset, digest));
+  }
+
+ private:
+  enum : std::uint64_t { kDigestFlipFalse = 0xF0, kDigestFlipTrue = 0xF1,
+                         kDigestRunEnd = 0xE0D };
+
+  std::uint64_t runnable_set(const SimCtl& ctl) const {
+    if (const std::uint64_t* mask = ctl.runnable_mask()) return *mask;
+    std::uint64_t out = 0;
+    for (ProcId p = 0; p < nprocs_; ++p) {
+      if (ctl.view(p).runnable) out |= bit_of(p);
+    }
+    return out;
+  }
+
+  std::uint64_t entry_hash(int object, std::uint64_t last) const {
+    return fnv_mix(fnv_mix(kFnvOffset, static_cast<std::uint64_t>(object) + 1),
+                   last);
+  }
+
+  void update_last(int object, std::uint64_t last) {
+    auto& slot = object_last_[static_cast<std::size_t>(object)];
+    objects_fold_ ^= entry_hash(object, slot);
+    slot = last;
+    objects_fold_ ^= entry_hash(object, slot);
+  }
+
+  /// Sleep set the child inherits after taking `p` at `node`: the moves
+  /// still asleep are those that commute with p's pending op (reordering
+  /// them past p reaches a state some other branch covers).
+  std::uint64_t child_sleep(const Node& node, ProcId p) const {
+    if (!limits_.sleep_sets) return 0;
+    std::uint64_t out = 0;
+    std::uint64_t rest = node.sleep;
+    const OpDesc& op = node.ops[static_cast<std::size_t>(p)];
+    while (rest != 0) {
+      const int q = std::countr_zero(rest);
+      rest &= rest - 1;
+      if (independent(node.ops[static_cast<std::size_t>(q)], op)) {
+        out |= bit_of(q);
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t fingerprint(const SimCtl& ctl) const {
+    std::uint64_t h = kFnvOffset;
+    for (ProcId p = 0; p < nprocs_; ++p) {
+      const SimCtl::ProcView& v = ctl.view(p);
+      h = fnv_mix(h, proc_hash_[static_cast<std::size_t>(p)]);
+      h = fnv_mix(h, (static_cast<std::uint64_t>(v.finished) << 2) |
+                         (static_cast<std::uint64_t>(v.crashed) << 1) |
+                         static_cast<std::uint64_t>(v.runnable));
+      h = fnv_mix(h, v.steps);
+      h = fnv_mix(h, static_cast<std::uint64_t>(v.pending.kind));
+      h = fnv_mix(h, static_cast<std::uint64_t>(v.pending.object + 2));
+      h = fnv_mix(h, static_cast<std::uint64_t>(v.pending.payload));
+    }
+    h = fnv_mix(h, objects_fold_);
+    h = fnv_mix(h, instance_->state_probe());
+    return h;
+  }
+
+  ProcId replay_pick(std::uint64_t runnable) {
+    Node& node = trail_[cursor_];
+    BPRC_REQUIRE(!node.is_coin,
+                 "exploration diverged: schedule point where a flip was "
+                 "recorded");
+    BPRC_REQUIRE(node.candidates == runnable,
+                 "exploration diverged: runnable set changed under replay");
+    ++cursor_;
+    cur_sleep_ = child_sleep(node, node.chosen);
+    record_pick(node.chosen);
+    return node.chosen;
+  }
+
+  /// Deterministic completion past the branch region: round-robin from
+  /// the last scheduled process. With seed-derived coins this makes every
+  /// leaf a finished run the full oracle can grade.
+  ProcId tail_pick(std::uint64_t runnable) {
+    const ProcId last = exec_schedule_.empty() ? -1 : exec_schedule_.back();
+    for (int i = 1; i <= nprocs_; ++i) {
+      const ProcId p = static_cast<ProcId>((last + i) % nprocs_);
+      if ((runnable & bit_of(p)) != 0) {
+        record_pick(p);
+        return p;
+      }
+    }
+    return -1;  // unreachable: runnable != 0
+  }
+
+  void record_pick(ProcId p) {
+    exec_schedule_.push_back(p);
+    stats_.schedule_digest =
+        fnv_mix(stats_.schedule_digest, static_cast<std::uint64_t>(p) + 1);
+  }
+
+  void record_flip(bool value, bool forced) {
+    if (forced) exec_flips_.push_back(value);
+    const ProcId p = runtime_->self();
+    auto& h = proc_hash_[static_cast<std::size_t>(p)];
+    h = fnv_mix(h, value ? 0x431 : 0x430);
+    stats_.schedule_digest = fnv_mix(stats_.schedule_digest,
+                                     value ? kDigestFlipTrue : kDigestFlipFalse);
+  }
+
+  void execute_once() {
+    auto shim = std::make_unique<ExploreShim>(*this);
+    if (runtime_ == nullptr) {
+      runtime_ = std::make_unique<SimRuntime>(nprocs_, std::move(shim), seed_);
+    } else if (reuse_) {
+      runtime_->reset(nprocs_, std::move(shim), seed_);
+    } else {
+      runtime_.reset();  // old instance died at the end of the last call
+      runtime_ = std::make_unique<SimRuntime>(nprocs_, std::move(shim), seed_);
+    }
+    SimRuntime& rt = *runtime_;
+
+    next_object_ = 0;
+    object_last_.clear();
+    objects_fold_ = 0;
+    proc_hash_.assign(static_cast<std::size_t>(nprocs_),
+                      fnv_mix(kFnvOffset, seed_));
+    proc_writes_.assign(static_cast<std::size_t>(nprocs_), 0);
+
+    rt.set_trace_sink(this);
+    instance_ = target_.instantiate(rt);
+    BPRC_REQUIRE(instance_ != nullptr, "explore target produced no instance");
+    rt.set_flip_tape(this);
+
+    cursor_ = 0;
+    coins_used_ = 0;
+    cur_sleep_ = 0;  // the root has an empty sleep set
+    pruned_ = false;
+    exec_schedule_.clear();
+    exec_flips_.clear();
+
+    const RunResult run = rt.run(limits_.max_run_steps);
+    rt.set_flip_tape(nullptr);
+    rt.set_trace_sink(nullptr);
+
+    ++stats_.executions;
+    stats_.total_steps += run.steps;
+    stats_.max_trail_depth =
+        std::max(stats_.max_trail_depth,
+                 static_cast<std::uint64_t>(trail_.size()));
+    stats_.schedule_digest = fnv_mix(stats_.schedule_digest, kDigestRunEnd);
+
+    if (pruned_) {
+      ++stats_.pruned_runs;
+      BPRC_REQUIRE(run.reason == RunResult::Reason::kNoRunnable,
+                   "pruned execution ended for an unexpected reason");
+    } else {
+      const bool complete = run.reason == RunResult::Reason::kAllDone;
+      if (complete) {
+        ++stats_.complete_runs;
+      } else {
+        BPRC_REQUIRE(run.reason == RunResult::Reason::kBudget,
+                     "exploration run ended for an unexpected reason");
+        ++stats_.truncated_runs;
+      }
+      if (auto v = instance_->check(rt, run, complete)) {
+        ExploreViolation out;
+        out.failure = v->failure;
+        out.note = std::move(v->note);
+        out.schedule = exec_schedule_;
+        out.flips = exec_flips_;
+        violations_.push_back(std::move(out));
+      }
+    }
+    instance_.reset();  // destroy shared state before the next reset()
+  }
+
+  /// Advances the trail to the next unexplored branch; false = done.
+  bool backtrack() {
+    while (!trail_.empty()) {
+      Node& node = trail_.back();
+      if (node.is_coin) {
+        if (!node.coin_value) {
+          node.coin_value = true;
+          ++node.taken;
+          return true;
+        }
+        trail_.pop_back();
+        continue;
+      }
+      node.sleep |= bit_of(node.chosen);  // explored: siblings may skip it
+      const std::uint64_t open = node.candidates & ~node.sleep;
+      if (open != 0) {
+        node.chosen = static_cast<ProcId>(std::countr_zero(open));
+        ++node.taken;
+        return true;
+      }
+      stats_.sleep_pruned += static_cast<std::uint64_t>(
+          std::popcount(node.candidates)) - static_cast<std::uint64_t>(node.taken);
+      trail_.pop_back();
+    }
+    return false;
+  }
+
+  ExploreTarget& target_;
+  const ExploreLimits limits_;
+  const std::uint64_t seed_;
+  const bool reuse_;
+  const int nprocs_;
+
+  std::unique_ptr<SimRuntime> runtime_;
+  std::unique_ptr<ExploreTarget::Instance> instance_;
+
+  // DFS state (persists across executions).
+  std::vector<Node> trail_;
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;  ///< key → min depth
+
+  // Per-execution state.
+  std::size_t cursor_ = 0;          ///< next trail node to replay
+  std::uint64_t coins_used_ = 0;    ///< coin nodes passed on this path
+  std::uint64_t cur_sleep_ = 0;     ///< sleep set inherited by the frontier
+  bool pruned_ = false;
+  std::vector<ProcId> exec_schedule_;
+  std::vector<bool> exec_flips_;
+
+  // Fingerprint state (reset per execution).
+  int next_object_ = 0;
+  std::vector<std::uint64_t> object_last_;  ///< last-writer identity per object
+  std::uint64_t objects_fold_ = 0;          ///< XOR of entry hashes
+  std::vector<std::uint64_t> proc_hash_;    ///< per-process history hash
+  std::vector<std::uint64_t> proc_writes_;
+
+  ExploreStats stats_;
+  std::vector<ExploreViolation> violations_;
+};
+
+ProcId ExploreShim::pick(SimCtl& ctl) { return explorer_.pick(ctl); }
+
+}  // namespace
+
+ExploreResult explore(ExploreTarget& target, const ExploreLimits& limits,
+                      std::uint64_t seed, bool reuse_runtime) {
+  Explorer explorer(target, limits, seed, reuse_runtime);
+  return explorer.run();
+}
+
+}  // namespace bprc::explore

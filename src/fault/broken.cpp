@@ -1,5 +1,7 @@
 #include "fault/broken.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace bprc::fault {
@@ -19,6 +21,33 @@ int RacyConsensus::propose(int input) {
     decided = input;
   } else {
     decided = seen;
+  }
+  decisions_[static_cast<std::size_t>(me)] = decided;
+  return decided;
+}
+
+int UnboundedHandoffConsensus::propose(int input) {
+  BPRC_REQUIRE(input == 0 || input == 1, "proposals must be bits");
+  const ProcId me = rt_.self();
+  BPRC_REQUIRE(decisions_[static_cast<std::size_t>(me)] == -1,
+               "process proposed twice");
+  // Adopt-first decision (same race as RacyConsensus, but here it is a
+  // side show: under unanimous inputs it is agreement-safe).
+  const int seen = decision_reg_.read();
+  int decided;
+  if (seen == -1) {
+    decision_reg_.write(input, input);
+    decided = input;
+  } else {
+    decided = seen;
+  }
+  // The footprint bug: each round hands the counter forward as read+1.
+  // Overlapped reads deduplicate the increments; serialized rounds
+  // compound them past the claimed kBound.
+  for (int r = 0; r < kRounds; ++r) {
+    const std::int64_t c = counter_.read();
+    counter_.write(c + 1, c + 1);
+    max_written_ = std::max(max_written_, c + 1);
   }
   decisions_[static_cast<std::size_t>(me)] = decided;
   return decided;

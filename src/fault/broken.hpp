@@ -51,4 +51,48 @@ class RacyConsensus final : public ConsensusProtocol {
   std::vector<int> decisions_;  ///< per-process slots, disjoint writers
 };
 
+/// "Consensus" that breaks the paper's *bounded-memory* claim instead of
+/// agreement: it declares a static counter bound of kBound for itself but
+/// runs kRounds read-increment-write rounds per process over one shared
+/// handoff counter. Fully overlapped schedules (everyone reads before
+/// anyone writes) grow the counter by only 1 per round — within bound —
+/// while serialized schedules compound the increments to n*kRounds > kBound.
+/// The violation is therefore schedule-dependent, exactly what an
+/// exhaustive explorer must flag and a random sampler can miss. Decisions
+/// adopt-first like RacyConsensus, so unanimous-input cells are
+/// agreement-safe and the *only* catchable bug there is the footprint.
+class UnboundedHandoffConsensus final : public ConsensusProtocol {
+ public:
+  static constexpr int kRounds = 2;
+  static constexpr std::int64_t kBound = 2;
+
+  explicit UnboundedHandoffConsensus(Runtime& rt)
+      : rt_(rt),
+        decision_reg_(rt, /*initial=*/-1),
+        counter_(rt, /*initial=*/0),
+        decisions_(static_cast<std::size_t>(rt.nprocs()), -1) {}
+
+  int propose(int input) override;
+  std::string name() const override { return "broken-unbounded"; }
+  int decision(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+  std::int64_t decision_round(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)] == -1 ? 0 : 1;
+  }
+  MemoryFootprint footprint() const override {
+    // The lie: claims its counters never exceed kBound. max_counter
+    // reports what was actually stored, so the driver's bounded_ok check
+    // catches serialized schedules.
+    return MemoryFootprint{true, 0, max_written_, 0, kBound};
+  }
+
+ private:
+  Runtime& rt_;
+  MRMWRegister<int> decision_reg_;
+  MRMWRegister<std::int64_t> counter_;
+  std::vector<int> decisions_;
+  std::int64_t max_written_ = 0;  ///< high-water mark of counter writes
+};
+
 }  // namespace bprc::fault

@@ -75,14 +75,16 @@ ConsensusRunResult execute_run(
 
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
-    const std::vector<CrashPlanAdversary::Crash>& crashes, SimReuse* reuse) {
+    const std::vector<CrashPlanAdversary::Crash>& crashes, SimReuse* reuse,
+    const std::vector<bool>* forced_flips) {
   std::unique_ptr<Adversary> adv = std::make_unique<ScriptedAdversary>(schedule);
   if (!crashes.empty()) {
     adv = std::make_unique<CrashPlanAdversary>(std::move(adv), crashes);
   }
   return run_consensus_sim(make_protocol(run.protocol, run.n(), run.seed),
                            run.inputs, std::move(adv), run.seed, run.max_steps,
-                           std::chrono::nanoseconds::zero(), reuse);
+                           std::chrono::nanoseconds::zero(), reuse,
+                           forced_flips);
 }
 
 namespace {

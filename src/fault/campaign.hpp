@@ -99,11 +99,14 @@ ConsensusRunResult execute_run(const TortureRun& run,
 
 /// Replays a cell under a fixed schedule + crash list (the run's own
 /// crash_plan is NOT applied again; recorded crashes subsume it).
-/// `reuse` as in execute_run.
+/// `reuse` as in execute_run. `forced_flips` (optional) re-forces a
+/// recorded local-coin flip prefix — artifacts produced by the
+/// exploration driver carry one; randomly-found artifacts don't need it
+/// (the seed re-derives the same coins).
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
     const std::vector<CrashPlanAdversary::Crash>& crashes,
-    SimReuse* reuse = nullptr);
+    SimReuse* reuse = nullptr, const std::vector<bool>* forced_flips = nullptr);
 
 /// Called after every run (progress reporting, logging).
 using RunObserver =

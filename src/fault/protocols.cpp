@@ -45,6 +45,16 @@ const std::vector<ProtocolSpec>& protocol_registry() {
        [](int, std::uint64_t) -> ProtocolFactory {
          return [](Runtime& rt) { return std::make_unique<RacyConsensus>(rt); };
        }},
+      // Bounded-memory violator: agreement-safe under unanimous inputs,
+      // blows its declared counter bound only under (partially)
+      // serialized schedules — the explorer's acceptance target for
+      // catching schedule-dependent footprint bugs exhaustively.
+      {"broken-unbounded", true, true,
+       [](int, std::uint64_t) -> ProtocolFactory {
+         return [](Runtime& rt) {
+           return std::make_unique<UnboundedHandoffConsensus>(rt);
+         };
+       }},
   };
   return registry;
 }

@@ -39,6 +39,11 @@ std::string serialize_repro(const Repro& repro) {
   for (const auto& crash : repro.crashes) {
     out << "crash " << crash.at_step << " " << crash.victim << "\n";
   }
+  if (!repro.flips.empty()) {
+    out << "flips";
+    for (const bool b : repro.flips) out << " " << (b ? 1 : 0);
+    out << "\n";
+  }
   out << "schedule";
   for (const ProcId p : repro.schedule) out << " " << p;
   out << "\nend\n";
@@ -99,6 +104,16 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
         return std::nullopt;
       }
       (key == "crash" ? repro.crashes : repro.run.crash_plan).push_back(crash);
+    } else if (key == "flips") {
+      int b = 0;
+      repro.flips.clear();
+      while (fields >> b) {
+        if (b != 0 && b != 1) {
+          fail_with(err, "malformed flips line (bits only): " + line);
+          return std::nullopt;
+        }
+        repro.flips.push_back(b == 1);
+      }
     } else if (key == "schedule") {
       ProcId p = -1;
       repro.schedule.clear();
@@ -117,6 +132,16 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
   }
   if (repro.run.max_steps == 0) {
     fail_with(err, "bprc-repro file missing max-steps");
+    return std::nullopt;
+  }
+  if (repro.run.n() > kRunnableMaskBits) {
+    // Replay depends on the simulator's O(1) runnable digest being
+    // authoritative for every recorded pick; a wider configuration would
+    // replay outside that validated envelope. Refuse loudly instead.
+    fail_with(err, "recorded n=" + std::to_string(repro.run.n()) +
+                       " exceeds this build's runnable-bitmask width (" +
+                       std::to_string(kRunnableMaskBits) +
+                       " processes); cannot replay this artifact");
     return std::nullopt;
   }
   for (const ProcId p : repro.schedule) {
@@ -153,7 +178,9 @@ std::optional<Repro> load_repro(const std::string& path, std::string* err) {
 }
 
 ConsensusRunResult replay_repro(const Repro& repro) {
-  return replay_run(repro.run, repro.schedule, repro.crashes);
+  return replay_run(repro.run, repro.schedule, repro.crashes,
+                    /*reuse=*/nullptr,
+                    repro.flips.empty() ? nullptr : &repro.flips);
 }
 
 Repro make_repro(const TortureFailure& fail,

@@ -16,11 +16,15 @@
 //   failure consistency
 //   note decisions=0,1
 //   crash 37 0                   # zero or more: at_step victim
+//   flips 0 1 1                  # optional: forced local-coin flip prefix
 //   schedule 0 1 0 1 1 0
 //   end
 //
 // Unknown keys are skipped (forward compatibility); `end` guards against
-// truncated files.
+// truncated files. The optional `flips` line carries the coin-flip prefix
+// the exploration driver (src/explore/) resolved by hand; replay re-forces
+// it through a ScriptedFlipTape. Artifacts found by random campaigns never
+// need it — their coins re-derive from the seed.
 #pragma once
 
 #include <optional>
@@ -36,6 +40,7 @@ struct Repro {
   FailureClass failure = FailureClass::kNone;
   std::vector<CrashPlanAdversary::Crash> crashes;
   std::vector<ProcId> schedule;
+  std::vector<bool> flips;  ///< forced flip prefix; empty = seed-derived
   std::string note;  ///< free-form one-liner about the observed violation
 };
 

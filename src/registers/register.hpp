@@ -50,6 +50,8 @@ class SWMRRegister {
       : rt_(rt),
         owner_(owner),
         id_(object_id),
+        sink_(rt.trace_sink()),
+        trace_id_(sink_ != nullptr ? sink_->on_object_created() : -1),
         locked_(rt.concurrent()),
         value_(std::move(initial)) {}
 
@@ -60,6 +62,7 @@ class SWMRRegister {
   T read() {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
+    if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
     return value_;
   }
 
@@ -69,6 +72,7 @@ class SWMRRegister {
   void read_into(T& out) {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
+    if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
     out = value_;
   }
 
@@ -78,6 +82,7 @@ class SWMRRegister {
     BPRC_REQUIRE(rt_.self() == owner_, "non-owner write to SWMR register");
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
     const MaybeLock lock(mu_, locked_);
+    if (sink_ != nullptr) sink_->on_write(rt_.self(), trace_id_);
     value_ = v;
   }
 
@@ -94,6 +99,8 @@ class SWMRRegister {
   Runtime& rt_;
   ProcId owner_;
   int id_;
+  TraceSink* const sink_;  ///< cached Runtime::trace_sink(); usually null
+  const int trace_id_;     ///< sink-assigned dense id; -1 without a sink
   const bool locked_;
   mutable std::mutex mu_;
   T value_;
@@ -108,6 +115,8 @@ class MRMWRegister {
   MRMWRegister(Runtime& rt, T initial, int object_id = -1)
       : rt_(rt),
         id_(object_id),
+        sink_(rt.trace_sink()),
+        trace_id_(sink_ != nullptr ? sink_->on_object_created() : -1),
         locked_(rt.concurrent()),
         value_(std::move(initial)) {}
 
@@ -117,12 +126,14 @@ class MRMWRegister {
   T read() {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
+    if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
     return value_;
   }
 
   void write(const T& v, std::int64_t payload = 0) {
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
     const MaybeLock lock(mu_, locked_);
+    if (sink_ != nullptr) sink_->on_write(rt_.self(), trace_id_);
     value_ = v;
   }
 
@@ -134,6 +145,8 @@ class MRMWRegister {
  private:
   Runtime& rt_;
   int id_;
+  TraceSink* const sink_;  ///< cached Runtime::trace_sink(); usually null
+  const int trace_id_;     ///< sink-assigned dense id; -1 without a sink
   const bool locked_;
   mutable std::mutex mu_;
   T value_;

@@ -18,6 +18,12 @@
 
 namespace bprc {
 
+/// Width of the O(1) runnable-set digest (SimCtl::runnable_mask): one bit
+/// per process id. Simulations wider than this fall back to scanning the
+/// view array; replay/exploration tooling that depends on the digest being
+/// authoritative validates recorded configurations against this bound.
+inline constexpr int kRunnableMaskBits = 64;
+
 /// Read/control surface the simulator exposes to its adversary.
 class SimCtl {
  public:

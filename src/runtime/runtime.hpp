@@ -47,6 +47,36 @@ struct Hint {
   bool decided = false;      ///< process has irrevocably decided
 };
 
+/// Observer for shared-memory traffic, consumed by the exploration driver
+/// (src/explore/) to fingerprint global states for its seen-state cache.
+///// Registers query Runtime::trace_sink() at *construction* and call the
+/// hooks after each completed primitive operation; a runtime that returns
+/// nullptr (the default, and every runtime outside exploration) pays a
+/// single cached null check per register. Install a sink before
+/// constructing the shared objects that should report to it.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once per shared object at construction; returns the object's
+  /// dense trace id (a fresh sequential int). Unlike OpDesc::object —
+  /// which components may leave at -1 or reuse across instances — trace
+  /// ids are unique per object per run, which is what state
+  /// fingerprinting needs.
+  virtual int on_object_created() = 0;
+
+  /// A completed atomic read/write of the object with trace id `object`
+  /// by process `p`.
+  virtual void on_read(ProcId p, int object) = 0;
+  virtual void on_write(ProcId p, int object) = 0;
+
+  /// Escape hatch for primitives outside the read/write model (e.g. the
+  /// strong-coin AtomicCoinFlip): `digest` summarizes the operation and
+  /// its result, `mutates` says whether shared state changed.
+  virtual void on_event(ProcId p, int object, std::uint64_t digest,
+                        bool mutates) = 0;
+};
+
 /// Thrown out of checkpoint() to unwind a process that the runtime is
 /// shutting down (crashed by the adversary, or the step budget is
 /// exhausted). Algorithm code must let it propagate — RAII-only cleanup.
@@ -116,6 +146,10 @@ class Runtime {
 
   /// Primitive operations executed by all processes so far.
   virtual std::uint64_t total_steps() const = 0;
+
+  /// The installed shared-memory observer, or nullptr (default). Shared
+  /// objects cache this at construction; see TraceSink.
+  virtual TraceSink* trace_sink() const { return nullptr; }
 };
 
 }  // namespace bprc

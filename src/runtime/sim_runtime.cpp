@@ -26,7 +26,9 @@ void SimRuntime::init(int nprocs, std::unique_ptr<Adversary> adversary,
   views_.assign(count, SimCtl::ProcView{});
   fast_views_ = views_.data();  // SimCtl::view() fast path
   runnable_mask_ = 0;
-  fast_mask_ = count <= 64 ? &runnable_mask_ : nullptr;
+  fast_mask_ =
+      count <= static_cast<std::size_t>(kRunnableMaskBits) ? &runnable_mask_
+                                                           : nullptr;
   if (states_.size() == count) {
     for (ProcState& st : states_) {
       st.fiber.reset();  // stack returns to the FiberStackPool
@@ -42,6 +44,7 @@ void SimRuntime::init(int nprocs, std::unique_ptr<Adversary> adversary,
     states_[i].rng = master.split(i);
   }
 
+  trace_sink_ = nullptr;
   current_ = -1;
   total_steps_ = 0;
   now_ = 0;

@@ -46,6 +46,19 @@ class SimRuntime final : public Runtime, private SimCtl {
   /// body starts executing only when the adversary first schedules p.
   void spawn(ProcId p, std::function<void()> body);
 
+  /// Installs a shared-memory observer (see Runtime::TraceSink docs). Not
+  /// owned; cleared by reset(). Must be installed *before* the shared
+  /// objects that should report are constructed — registers cache the
+  /// sink pointer at construction.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Installs a flip interposer on every process's local coin (see
+  /// FlipTape). Not owned; cleared by reset(). The adversary's own Rng
+  /// (if any) is unaffected — only process-local coins are taped.
+  void set_flip_tape(FlipTape* tape) {
+    for (ProcState& st : states_) st.rng.set_flip_tape(tape);
+  }
+
   /// Drives the simulation until every non-crashed process finishes or
   /// `max_steps` primitive operations have been executed. On return, all
   /// unfinished fibers have been unwound (ProcessStopped) so RAII cleanup
@@ -75,6 +88,7 @@ class SimRuntime final : public Runtime, private SimCtl {
     return views_[checked(p)].steps;
   }
   std::uint64_t total_steps() const override { return total_steps_; }
+  TraceSink* trace_sink() const override { return trace_sink_; }
 
  private:
   /// Per-process state the adversary never sees; the visible half lives in
@@ -101,13 +115,14 @@ class SimRuntime final : public Runtime, private SimCtl {
   std::size_t checked(ProcId p) const;
   bool any_runnable() const;
   /// Keep the O(1) runnable digest (SimCtl::runnable_mask) in sync with
-  /// views_[ix].runnable. Digest bits exist only for ids < 64; beyond that
-  /// fast_mask_ stays null and everything scans views_ instead.
+  /// views_[ix].runnable. Digest bits exist only for ids <
+  /// kRunnableMaskBits; beyond that fast_mask_ stays null and everything
+  /// scans views_ instead.
   void mask_set(std::size_t ix) {
-    if (ix < 64) runnable_mask_ |= std::uint64_t{1} << ix;
+    if (ix < kRunnableMaskBits) runnable_mask_ |= std::uint64_t{1} << ix;
   }
   void mask_clear(std::size_t ix) {
-    if (ix < 64) runnable_mask_ &= ~(std::uint64_t{1} << ix);
+    if (ix < kRunnableMaskBits) runnable_mask_ &= ~(std::uint64_t{1} << ix);
   }
   /// True when the wall-clock watchdog is armed, due for a check at the
   /// current step count, and expired.
@@ -120,6 +135,7 @@ class SimRuntime final : public Runtime, private SimCtl {
 
   std::vector<SimCtl::ProcView> views_;  ///< adversary-visible, contiguous
   std::vector<ProcState> states_;        ///< same index as views_
+  TraceSink* trace_sink_ = nullptr;      ///< not owned; cleared by reset()
   std::uint64_t runnable_mask_ = 0;      ///< bit p = views_[p].runnable
   std::unique_ptr<Adversary> adversary_;
   ProcId current_ = -1;

@@ -8,10 +8,47 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 
 namespace bprc {
+
+/// Interposer for Rng::flip(). The exploration driver (src/explore/)
+/// resolves a bounded prefix of coin flips both ways by installing a tape
+/// on every per-process generator; replay tooling forces a recorded flip
+/// sequence the same way. The underlying generator ALWAYS advances —
+/// whether the tape overrides the drawn bit or not — so the stream
+/// consumed by later draws is identical across branches and identical to
+/// an un-taped run. Only flip() consults the tape; below()/uniform()/etc.
+/// are never forced.
+class FlipTape {
+ public:
+  virtual ~FlipTape() = default;
+  /// `drawn` is the bit the generator actually produced; the return value
+  /// is what flip() hands to the caller.
+  virtual bool on_flip(bool drawn) = 0;
+};
+
+/// Forces a fixed flip sequence, then passes drawn bits through untouched.
+/// The replay half of the coin-branching story: an explorer counterexample
+/// records the flips it forced, and replay re-forces them here.
+class ScriptedFlipTape final : public FlipTape {
+ public:
+  explicit ScriptedFlipTape(std::vector<bool> flips)
+      : flips_(std::move(flips)) {}
+
+  bool on_flip(bool drawn) override {
+    return pos_ < flips_.size() ? flips_[pos_++] : drawn;
+  }
+
+  std::size_t consumed() const { return pos_; }
+
+ private:
+  std::vector<bool> flips_;
+  std::size_t pos_ = 0;
+};
 
 /// splitmix64: used to expand a single user seed into independent streams.
 /// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
@@ -79,8 +116,19 @@ class Rng {
                     below(static_cast<std::uint64_t>(hi - lo) + 1));
   }
 
-  /// Fair coin flip.
-  bool flip() { return ((*this)() >> 63) != 0; }
+  /// Fair coin flip. With a tape installed (set_flip_tape) the drawn bit
+  /// is offered to the tape, which may override it; the generator state
+  /// advances identically either way.
+  bool flip() {
+    const bool drawn = ((*this)() >> 63) != 0;
+    return tape_ != nullptr ? tape_->on_flip(drawn) : drawn;
+  }
+
+  /// Installs (or, with nullptr, removes) a flip interposer. Not owned;
+  /// the caller keeps it alive for as long as it is installed. Copying or
+  /// re-seeding the Rng via assignment carries/clears the tape with the
+  /// rest of the state, and split() children start untaped.
+  void set_flip_tape(FlipTape* tape) { tape_ = tape; }
 
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) {
@@ -103,6 +151,7 @@ class Rng {
   }
 
   std::uint64_t state_[4];
+  FlipTape* tape_ = nullptr;
 };
 
 }  // namespace bprc

@@ -1,0 +1,240 @@
+// Tests for the exhaustive exploration driver (src/explore/): engine
+// behavior (branching, pruning, coin splitting, safety valves), consensus
+// verification at n=2, detection of the seeded-broken protocols, and the
+// `.bprc-repro` round trip into the torture replayer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "explore/consensus_explore.hpp"
+#include "explore/explorer.hpp"
+#include "explore/token_game_explore.hpp"
+#include "fault/protocols.hpp"
+#include "fault/repro.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bprc::explore {
+namespace {
+
+ExploreLimits small_limits(std::uint64_t depth, std::uint64_t coins = 3) {
+  ExploreLimits limits;
+  limits.branch_depth = depth;
+  limits.max_coin_flips = coins;
+  limits.max_run_steps = 200'000;
+  return limits;
+}
+
+/// Counts violations over every input cell of one protocol at n.
+std::uint64_t sweep_violations(const std::string& protocol, int n,
+                               const ExploreLimits& limits,
+                               bool* complete = nullptr,
+                               std::vector<ConsensusExploreReport>* out =
+                                   nullptr) {
+  const auto reports =
+      explore_consensus_all_inputs(protocol, n, /*seed=*/1, limits);
+  std::uint64_t violations = 0;
+  bool all_complete = true;
+  for (const auto& report : reports) {
+    violations += report.violations.size();
+    all_complete = all_complete && report.stats.complete;
+  }
+  if (complete != nullptr) *complete = all_complete;
+  if (out != nullptr) *out = reports;
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// Engine behavior on a transparent target (the token game)
+// ---------------------------------------------------------------------------
+
+TEST(Explorer, ExhaustsTheTokenGameTree) {
+  const ExploreResult result =
+      explore_token_game(2, 2, 4, small_limits(16), /*seed=*/1);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_GT(result.stats.executions, 1u);
+  EXPECT_GT(result.stats.states_visited, 0u);
+  // Every execution finished, was pruned, or (impossible here) truncated.
+  EXPECT_EQ(result.stats.executions,
+            result.stats.complete_runs + result.stats.pruned_runs +
+                result.stats.truncated_runs);
+  EXPECT_EQ(result.stats.truncated_runs, 0u);
+}
+
+TEST(Explorer, PruningsOnlyShrinkTheTree) {
+  // Disabling sleep sets and the state cache must not change the verdict,
+  // only the amount of work: the unpruned tree dominates the pruned one.
+  ExploreLimits pruned = small_limits(12);
+  ExploreLimits bare = pruned;
+  bare.sleep_sets = false;
+  bare.state_cache = false;
+  const ExploreResult with_pruning = explore_token_game(2, 2, 3, pruned, 1);
+  const ExploreResult without = explore_token_game(2, 2, 3, bare, 1);
+  EXPECT_TRUE(with_pruning.ok());
+  EXPECT_TRUE(without.ok());
+  EXPECT_TRUE(with_pruning.stats.complete);
+  EXPECT_TRUE(without.stats.complete);
+  EXPECT_LE(with_pruning.stats.executions, without.stats.executions);
+  EXPECT_EQ(without.stats.states_merged, 0u);
+  EXPECT_EQ(without.stats.sleep_pruned, 0u);
+  EXPECT_GT(with_pruning.stats.states_merged + with_pruning.stats.sleep_pruned,
+            0u);
+}
+
+TEST(Explorer, MaxExecutionsValveClearsComplete) {
+  ExploreLimits limits = small_limits(16);
+  limits.max_executions = 3;
+  const ExploreResult result = explore_token_game(2, 2, 4, limits, 1);
+  EXPECT_FALSE(result.stats.complete);
+  EXPECT_LE(result.stats.executions, 3u);
+}
+
+TEST(Explorer, MaxStatesValveClearsComplete) {
+  ExploreLimits limits = small_limits(16);
+  limits.max_states = 5;
+  const ExploreResult result = explore_token_game(2, 2, 4, limits, 1);
+  EXPECT_FALSE(result.stats.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Consensus verification at n=2 (the tier-1 exhaustive sweep)
+// ---------------------------------------------------------------------------
+
+TEST(ExploreConsensus, BprcIsCleanAtN2) {
+  bool complete = false;
+  EXPECT_EQ(sweep_violations("bprc", 2, small_limits(8), &complete), 0u);
+  EXPECT_TRUE(complete) << "sweep hit a safety valve; not exhaustive";
+}
+
+TEST(ExploreConsensus, BaselinesAreCleanAtN2) {
+  for (const std::string protocol :
+       {"aspnes-herlihy", "local-coin", "strong-coin"}) {
+    bool complete = false;
+    EXPECT_EQ(sweep_violations(protocol, 2, small_limits(8), &complete), 0u)
+        << protocol;
+    EXPECT_TRUE(complete) << protocol;
+  }
+}
+
+TEST(ExploreConsensus, CatchesTheRacyBrokenProtocol) {
+  std::vector<ConsensusExploreReport> reports;
+  const std::uint64_t violations =
+      sweep_violations("broken-racy", 2, small_limits(8), nullptr, &reports);
+  ASSERT_GT(violations, 0u) << "exhaustive sweep missed the seeded race";
+  std::set<FailureClass> classes;
+  for (const auto& report : reports) {
+    for (const auto& v : report.violations) classes.insert(v.failure);
+  }
+  EXPECT_TRUE(classes.count(FailureClass::kConsistency))
+      << "the race is an agreement violation";
+}
+
+TEST(ExploreConsensus, CatchesTheUnboundedBrokenProtocol) {
+  std::vector<ConsensusExploreReport> reports;
+  const std::uint64_t violations = sweep_violations(
+      "broken-unbounded", 2, small_limits(10), nullptr, &reports);
+  ASSERT_GT(violations, 0u)
+      << "exhaustive sweep missed the schedule-dependent counter blowup";
+  std::set<FailureClass> classes;
+  for (const auto& report : reports) {
+    for (const auto& v : report.violations) classes.insert(v.failure);
+  }
+  EXPECT_TRUE(classes.count(FailureClass::kBoundedMemory));
+}
+
+TEST(ExploreConsensus, CoinBranchingEngagesOnDeepRegions) {
+  // local-coin flips its round coin early; with a branch region deep
+  // enough to reach it, the explorer must split executions on both
+  // outcomes and still verify every leaf.
+  ConsensusExploreConfig config;
+  config.protocol = "local-coin";
+  config.inputs = {0, 1};
+  config.limits = small_limits(30, /*coins=*/2);
+  const ConsensusExploreReport report = explore_consensus(config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.stats.complete);
+  EXPECT_GT(report.stats.coin_branches, 0u)
+      << "branch region never reached a coin flip";
+}
+
+TEST(ExploreConsensus, ValidityHoldsOnUnanimousInputs) {
+  // Unanimous-input cells are where validity violations would hide; make
+  // sure those cells are genuinely part of the sweep.
+  std::vector<ConsensusExploreReport> reports;
+  sweep_violations("bprc", 2, small_limits(8), nullptr, &reports);
+  ASSERT_EQ(reports.size(), 4u);  // 2^2 input vectors
+  std::set<std::vector<int>> inputs;
+  for (const auto& report : reports) inputs.insert(report.config.inputs);
+  EXPECT_TRUE(inputs.count({0, 0}));
+  EXPECT_TRUE(inputs.count({1, 1}));
+  EXPECT_TRUE(inputs.count({0, 1}));
+  EXPECT_TRUE(inputs.count({1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Counterexample artifacts: explorer -> .bprc-repro -> torture replayer
+// ---------------------------------------------------------------------------
+
+TEST(ExploreRepro, RacyViolationRoundTripsThroughTheReplayer) {
+  std::vector<ConsensusExploreReport> reports;
+  ASSERT_GT(
+      sweep_violations("broken-racy", 2, small_limits(8), nullptr, &reports),
+      0u);
+  int replayed = 0;
+  for (const auto& report : reports) {
+    for (const auto& v : report.violations) {
+      const fault::Repro repro = make_explore_repro(report.config, v);
+      // Serialize + parse: the artifact must survive the text format.
+      std::string err;
+      const auto parsed = fault::parse_repro(fault::serialize_repro(repro),
+                                             &err);
+      ASSERT_TRUE(parsed.has_value()) << err;
+      EXPECT_EQ(parsed->schedule, v.schedule);
+      EXPECT_EQ(parsed->flips, v.flips);
+      const ConsensusRunResult result = fault::replay_repro(*parsed);
+      EXPECT_EQ(result.failure(), v.failure)
+          << "replay did not reproduce the recorded failure class";
+      ++replayed;
+    }
+  }
+  EXPECT_GT(replayed, 0);
+}
+
+TEST(ExploreRepro, UnboundedViolationRoundTripsThroughTheReplayer) {
+  std::vector<ConsensusExploreReport> reports;
+  ASSERT_GT(sweep_violations("broken-unbounded", 2, small_limits(10), nullptr,
+                             &reports),
+            0u);
+  int replayed = 0;
+  for (const auto& report : reports) {
+    for (const auto& v : report.violations) {
+      if (replayed >= 4) break;  // a handful is plenty
+      const fault::Repro repro = make_explore_repro(report.config, v);
+      const ConsensusRunResult result = fault::replay_repro(repro);
+      EXPECT_EQ(result.failure(), v.failure);
+      ++replayed;
+    }
+  }
+  EXPECT_GT(replayed, 0);
+}
+
+TEST(ExploreRepro, ForcedFlipsSurviveSerialization) {
+  fault::Repro repro;
+  repro.run.protocol = "bprc";
+  repro.run.inputs = {0, 1};
+  repro.run.adversary = "explore";
+  repro.run.seed = 7;
+  repro.run.max_steps = 1000;
+  repro.failure = FailureClass::kConsistency;
+  repro.schedule = {0, 1, 0};
+  repro.flips = {true, false, true, true};
+  std::string err;
+  const auto parsed = fault::parse_repro(fault::serialize_repro(repro), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->flips, repro.flips);
+}
+
+}  // namespace
+}  // namespace bprc::explore

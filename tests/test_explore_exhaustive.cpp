@@ -1,0 +1,86 @@
+// n=3 exhaustive exploration suites. Registered under the `exhaustive`
+// ctest configuration (run with `ctest -C exhaustive`), not the default
+// tier-1 pass: these sweeps enumerate hundreds of thousands of
+// executions. See docs/TESTING.md ("Exploration tier").
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore/consensus_explore.hpp"
+#include "explore/explorer.hpp"
+#include "explore/token_game_explore.hpp"
+
+namespace bprc::explore {
+namespace {
+
+ExploreLimits n3_limits(std::uint64_t depth, std::uint64_t coins = 3) {
+  ExploreLimits limits;
+  limits.branch_depth = depth;
+  limits.max_coin_flips = coins;
+  limits.max_run_steps = 400'000;
+  return limits;
+}
+
+TEST(ExploreExhaustive, BprcIsCleanAtN3) {
+  const auto reports =
+      explore_consensus_all_inputs("bprc", 3, /*seed=*/1, n3_limits(14));
+  ASSERT_EQ(reports.size(), 8u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.violations.size() << " violation(s)";
+    EXPECT_TRUE(report.stats.complete);
+    EXPECT_EQ(report.stats.truncated_runs, 0u);
+  }
+}
+
+TEST(ExploreExhaustive, BaselinesAreCleanAtN3) {
+  for (const std::string protocol :
+       {"aspnes-herlihy", "local-coin", "strong-coin"}) {
+    const auto reports =
+        explore_consensus_all_inputs(protocol, 3, /*seed=*/1, n3_limits(12));
+    for (const auto& report : reports) {
+      EXPECT_TRUE(report.ok()) << protocol;
+      EXPECT_TRUE(report.stats.complete) << protocol;
+    }
+  }
+}
+
+TEST(ExploreExhaustive, BrokenProtocolsAreCaughtAtN3) {
+  for (const std::string protocol : {"broken-racy", "broken-unbounded"}) {
+    const auto reports =
+        explore_consensus_all_inputs(protocol, 3, /*seed=*/1, n3_limits(12));
+    std::uint64_t violations = 0;
+    for (const auto& report : reports) violations += report.violations.size();
+    EXPECT_GT(violations, 0u) << protocol << " not caught at n=3";
+  }
+}
+
+TEST(ExploreExhaustive, Claim41HoldsForEveryInterleavingAtN3) {
+  // 3 movers x 6 moves: every interleaving of the token game against the
+  // incremental distance graph, across two shrink constants.
+  for (const int K : {1, 2}) {
+    const ExploreResult result =
+        explore_token_game(3, K, 6, n3_limits(18), /*seed=*/1);
+    EXPECT_TRUE(result.ok()) << "K=" << K;
+    EXPECT_TRUE(result.stats.complete) << "K=" << K;
+  }
+}
+
+TEST(ExploreExhaustive, PrunedAndUnprunedSweepsAgreeAtN3) {
+  // The prunings must be sound: the pruned and unpruned n=3 sweeps of one
+  // input cell reach the same verdict on every protocol.
+  for (const std::string protocol : {"bprc", "broken-racy"}) {
+    ConsensusExploreConfig config;
+    config.protocol = protocol;
+    config.inputs = {0, 1, 1};
+    config.limits = n3_limits(10);
+    const bool expect_clean = protocol == "bprc";
+    ConsensusExploreConfig bare = config;
+    bare.limits.sleep_sets = false;
+    bare.limits.state_cache = false;
+    EXPECT_EQ(explore_consensus(config).ok(), expect_clean) << protocol;
+    EXPECT_EQ(explore_consensus(bare).ok(), expect_clean) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace bprc::explore

@@ -25,8 +25,9 @@ TEST(ProtocolRegistry, NamesAndBrokenFlag) {
   for (const auto& name : real) EXPECT_FALSE(protocol_spec(name).broken);
 
   const auto all = protocol_names(/*include_broken=*/true);
-  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.size(), 6u);
   EXPECT_TRUE(protocol_spec("broken-racy").broken);
+  EXPECT_TRUE(protocol_spec("broken-unbounded").broken);
   EXPECT_FALSE(protocol_spec("local-coin").crash_tolerant);
   EXPECT_TRUE(protocol_spec("bprc").crash_tolerant);
 }

@@ -253,5 +253,31 @@ TEST(Shrink, ArtifactRoundTripStillReproduces) {
   EXPECT_EQ(replayed.failure(), fail.failure);
 }
 
+
+TEST(Repro, ReplayOfOverwideProcessCountFailsWithDiagnostic) {
+  // The replay path validates every recorded pick against the simulator's
+  // 64-bit runnable digest; an artifact recorded at n>64 (e.g. from a
+  // future wide build) must be refused with a clear diagnostic instead of
+  // replaying outside that envelope -- or worse, silently truncating.
+  std::string text = "bprc-repro v1\nprotocol bprc\nadversary random\ninputs";
+  for (int i = 0; i < 65; ++i) text += (i % 2) ? " 1" : " 0";
+  text += "\nseed 3\nmax-steps 100\nschedule 0 1\nend\n";
+  std::string err;
+  EXPECT_FALSE(parse_repro(text, &err).has_value());
+  EXPECT_NE(err.find("n=65"), std::string::npos) << err;
+  EXPECT_NE(err.find("runnable-bitmask width"), std::string::npos) << err;
+  EXPECT_NE(err.find("64"), std::string::npos) << err;
+}
+
+TEST(Repro, ExactlyBitmaskWidthProcessesStillParses) {
+  // n == 64 is the last in-envelope width; the guard must not be
+  // off-by-one.
+  std::string text = "bprc-repro v1\nprotocol bprc\nadversary random\ninputs";
+  for (int i = 0; i < 64; ++i) text += (i % 2) ? " 1" : " 0";
+  text += "\nseed 3\nmax-steps 100\nschedule 0 63\nend\n";
+  std::string err;
+  EXPECT_TRUE(parse_repro(text, &err).has_value()) << err;
+}
+
 }  // namespace
 }  // namespace bprc::fault

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "explore/consensus_explore.hpp"
+#include "explore/token_game_explore.hpp"
 #include "registers/register.hpp"
 #include "runtime/adversary.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -272,6 +274,49 @@ TEST(SimRuntime, RegistersThroughRuntimeCountSteps) {
   EXPECT_TRUE(read_back == 0 || read_back == 5);
   EXPECT_EQ(rt.steps(0), 1u);
   EXPECT_EQ(rt.steps(1), 1u);
+}
+
+TEST(SimRuntime, ExplorationIsIdenticalUnderResetReuse) {
+  // The exploration driver (src/explore/) recycles one SimRuntime across
+  // tens of thousands of executions via reset(); the state counts and the
+  // FNV digest over every executed pick and forced flip must match a
+  // fresh-runtime-per-execution exploration bit for bit — any divergence
+  // means reset() leaks state between runs.
+  const auto limits = [] {
+    explore::ExploreLimits l;
+    l.branch_depth = 12;
+    l.max_coin_flips = 2;
+    return l;
+  }();
+  const explore::ExploreResult reused =
+      explore::explore_token_game(2, 2, 4, limits, 7, /*reuse_runtime=*/true);
+  const explore::ExploreResult fresh =
+      explore::explore_token_game(2, 2, 4, limits, 7, /*reuse_runtime=*/false);
+  EXPECT_EQ(reused.stats.states_visited, fresh.stats.states_visited);
+  EXPECT_EQ(reused.stats.executions, fresh.stats.executions);
+  EXPECT_EQ(reused.stats.schedule_digest, fresh.stats.schedule_digest);
+  EXPECT_EQ(reused.stats.total_steps, fresh.stats.total_steps);
+}
+
+TEST(SimRuntime, ConsensusExplorationIsIdenticalUnderResetReuse) {
+  // Same invariant through the full consensus stack (registers, coins,
+  // per-process rngs): runtime reuse must not perturb the explored tree.
+  explore::ConsensusExploreConfig config;
+  config.protocol = "bprc";
+  config.inputs = {0, 1};
+  config.seed = 5;
+  config.limits.branch_depth = 8;
+  config.reuse_runtime = true;
+  const explore::ConsensusExploreReport reused =
+      explore::explore_consensus(config);
+  config.reuse_runtime = false;
+  const explore::ConsensusExploreReport fresh =
+      explore::explore_consensus(config);
+  EXPECT_EQ(reused.stats.states_visited, fresh.stats.states_visited);
+  EXPECT_EQ(reused.stats.executions, fresh.stats.executions);
+  EXPECT_EQ(reused.stats.schedule_digest, fresh.stats.schedule_digest);
+  EXPECT_TRUE(reused.ok());
+  EXPECT_TRUE(fresh.ok());
 }
 
 TEST(SimRuntimeDeath, NonOwnerWriteAborts) {

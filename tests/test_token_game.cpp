@@ -1,11 +1,15 @@
 // Tests for the sequential token game (§4.1): shrink, normalize, the
-// normalized shrunken game invariants.
+// normalized shrunken game invariants — plus the exhaustive Claim 4.1
+// equivalence check, which drives the game and the incremental distance
+// graph through *every* small-n interleaving via the exploration driver.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <tuple>
 #include <vector>
 
+#include "explore/explorer.hpp"
+#include "explore/token_game_explore.hpp"
 #include "strip/token_game.hpp"
 #include "util/rng.hpp"
 
@@ -152,6 +156,41 @@ TEST(TokenGame, NonPassiveShrinking) {
     }
     before = after;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Claim 4.1, exhaustively: inc(i) tracks move_token(i) under *every*
+// interleaving, not just the sampled sequences above. (tests/
+// test_distance_graph.cpp checks random sequences; the exploration
+// driver closes the gap for small n. The n=3, deeper-M variants live in
+// test_explore_exhaustive.cpp under the `exhaustive` ctest
+// configuration.)
+// ---------------------------------------------------------------------------
+
+TEST(Claim41Exhaustive, TwoMoversFiveMovesEveryInterleaving) {
+  explore::ExploreLimits limits;
+  limits.branch_depth = 2 * 5;
+  for (const int K : {1, 2, 3}) {
+    const explore::ExploreResult result =
+        explore::explore_token_game(2, K, 5, limits, /*seed=*/1);
+    EXPECT_TRUE(result.ok()) << "K=" << K << ": "
+                             << (result.violations.empty()
+                                     ? ""
+                                     : result.violations.front().note);
+    EXPECT_TRUE(result.stats.complete) << "K=" << K;
+    EXPECT_GT(result.stats.states_visited, 0u);
+  }
+}
+
+TEST(Claim41Exhaustive, ThreeMoversThreeMovesEveryInterleaving) {
+  explore::ExploreLimits limits;
+  limits.branch_depth = 3 * 3;
+  const explore::ExploreResult result =
+      explore::explore_token_game(3, 2, 3, limits, /*seed=*/1);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().note);
+  EXPECT_TRUE(result.stats.complete);
 }
 
 }  // namespace

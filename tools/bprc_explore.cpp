@@ -1,0 +1,360 @@
+// bprc_explore — bounded model checker CLI for small-n configurations.
+//
+// Where bprc_torture *samples* schedules, this tool *enumerates* them:
+// every interleaving within a bounded branch region (plus both outcomes
+// of the first few coin flips) is executed on the deterministic
+// simulator and graded with the full consensus oracle. See
+// docs/TESTING.md ("Exploration tier").
+//
+//   bprc_explore --smoke          n=2 exhaustive sweep of every registered
+//                                 protocol (all 2^n input vectors): real
+//                                 protocols must be clean, seeded-broken
+//                                 protocols must be caught (exit 0 iff both)
+//   bprc_explore --protocol P --n N   explore one protocol; exit 1 iff a
+//                                 violation was found
+//   bprc_explore --claim41        exhaustively interleave the token game
+//                                 against the incremental distance graph
+//   bprc_explore --list           registered protocols
+//
+// Violations are written as `.bprc-repro` artifacts (with --out DIR) that
+// `bprc_torture --replay` confirms.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "explore/consensus_explore.hpp"
+#include "explore/explorer.hpp"
+#include "explore/token_game_explore.hpp"
+#include "fault/protocols.hpp"
+#include "fault/repro.hpp"
+
+namespace {
+
+using namespace bprc;
+using namespace bprc::explore;
+
+struct Options {
+  bool smoke = false;
+  bool list = false;
+  bool stats = false;
+  bool claim41 = false;
+  bool sleep_sets = true;
+  bool state_cache = true;
+  bool reuse_runtime = true;
+  std::vector<std::string> protocols;
+  int n = 2;
+  int strip_k = 2;    // --claim41: token-game shrink constant K
+  int moves = 3;      // --claim41: moves per process
+  std::uint64_t depth = 10;
+  std::uint64_t coin_flips = 3;
+  std::uint64_t budget = 200'000;
+  std::uint64_t seed = 1;
+  std::size_t max_violations = 8;
+  std::string out_dir;  // empty = do not write artifacts
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: bprc_explore [options]\n"
+               "  --smoke            n=2 exhaustive sweep, all protocols\n"
+               "  --claim41          token game vs distance graph\n"
+               "  --list             print registered protocols\n"
+               "  --protocol NAME    protocol to explore (repeatable)\n"
+               "  --n N              process count (default 2)\n"
+               "  --depth D          branch region: scheduling points\n"
+               "                     explored with full branching\n"
+               "  --coin-flips C     coin flips branched both ways\n"
+               "  --budget STEPS     per-execution step budget\n"
+               "  --seed S           seed for post-budget coins (default 1)\n"
+               "  --moves M          --claim41: moves per process\n"
+               "  --K K              --claim41: shrink constant\n"
+               "  --max-violations K stop after K violations (default 8)\n"
+               "  --out DIR          write .bprc-repro artifacts here\n"
+               "  --stats            states/sec and prune-ratio report\n"
+               "  --no-sleep-sets    disable partial-order reduction\n"
+               "  --no-state-cache   disable seen-state merging\n"
+               "  --fresh-runtime    new SimRuntime per execution (default\n"
+               "                     reuses one via reset())\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "bprc_explore: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--smoke") opt.smoke = true;
+    else if (arg == "--claim41") opt.claim41 = true;
+    else if (arg == "--list") opt.list = true;
+    else if (arg == "--stats") opt.stats = true;
+    else if (arg == "--no-sleep-sets") opt.sleep_sets = false;
+    else if (arg == "--no-state-cache") opt.state_cache = false;
+    else if (arg == "--fresh-runtime") opt.reuse_runtime = false;
+    else if (arg == "--protocol") { if (!(v = need_value(i))) return false; opt.protocols.push_back(v); }
+    else if (arg == "--n") { if (!(v = need_value(i))) return false; opt.n = std::atoi(v); }
+    else if (arg == "--depth") { if (!(v = need_value(i))) return false; opt.depth = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--coin-flips") { if (!(v = need_value(i))) return false; opt.coin_flips = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--budget") { if (!(v = need_value(i))) return false; opt.budget = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--seed") { if (!(v = need_value(i))) return false; opt.seed = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--moves") { if (!(v = need_value(i))) return false; opt.moves = std::atoi(v); }
+    else if (arg == "--K") { if (!(v = need_value(i))) return false; opt.strip_k = std::atoi(v); }
+    else if (arg == "--max-violations") { if (!(v = need_value(i))) return false; opt.max_violations = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_dir = v; }
+    else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
+    else {
+      std::fprintf(stderr, "bprc_explore: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return false;
+    }
+  }
+  if (opt.n < 1 || opt.n > 8) {
+    std::fprintf(stderr, "bprc_explore: --n must be in [1, 8] "
+                         "(exhaustive exploration is exponential)\n");
+    return false;
+  }
+  return true;
+}
+
+ExploreLimits build_limits(const Options& opt) {
+  ExploreLimits limits;
+  limits.branch_depth = opt.depth;
+  limits.max_coin_flips = opt.coin_flips;
+  limits.max_run_steps = opt.budget;
+  limits.max_violations = opt.max_violations;
+  limits.sleep_sets = opt.sleep_sets;
+  limits.state_cache = opt.state_cache;
+  return limits;
+}
+
+void print_stats(const ExploreStats& s) {
+  const std::uint64_t frontier =
+      s.states_visited + s.states_merged + s.sleep_pruned;
+  const double denom = frontier > 0 ? static_cast<double>(frontier) : 1.0;
+  std::printf(
+      "  stats: %llu executions (%llu complete, %llu truncated, %llu "
+      "pruned), %llu states in %.2fs (%.0f states/s)\n",
+      static_cast<unsigned long long>(s.executions),
+      static_cast<unsigned long long>(s.complete_runs),
+      static_cast<unsigned long long>(s.truncated_runs),
+      static_cast<unsigned long long>(s.pruned_runs),
+      static_cast<unsigned long long>(s.states_visited), s.seconds,
+      s.seconds > 0 ? static_cast<double>(s.states_visited) / s.seconds : 0.0);
+  std::printf(
+      "  prune: %.1f%% state-cache merges, %.1f%% sleep-set skips "
+      "(%llu merged, %llu slept, %llu blocked), %llu coin branches, "
+      "max depth %llu, %llu sim steps\n",
+      100.0 * static_cast<double>(s.states_merged) / denom,
+      100.0 * static_cast<double>(s.sleep_pruned) / denom,
+      static_cast<unsigned long long>(s.states_merged),
+      static_cast<unsigned long long>(s.sleep_pruned),
+      static_cast<unsigned long long>(s.sleep_blocked),
+      static_cast<unsigned long long>(s.coin_branches),
+      static_cast<unsigned long long>(s.max_trail_depth),
+      static_cast<unsigned long long>(s.total_steps));
+  std::printf("  schedule digest: %016llx%s\n",
+              static_cast<unsigned long long>(s.schedule_digest),
+              s.complete ? "" : "  [INCOMPLETE: a safety valve fired]");
+}
+
+/// Writes one artifact per violation; returns paths written.
+std::vector<std::string> write_artifacts(const Options& opt,
+                                         const ConsensusExploreReport& report,
+                                         std::size_t* artifact_index) {
+  std::vector<std::string> paths;
+  if (opt.out_dir.empty()) return paths;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);  // best effort
+  for (const ExploreViolation& v : report.violations) {
+    const fault::Repro repro = make_explore_repro(report.config, v);
+    std::string path = opt.out_dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += report.config.protocol + "-explore-n" +
+            std::to_string(report.config.inputs.size()) + "-" +
+            std::to_string((*artifact_index)++) + ".bprc-repro";
+    if (fault::save_repro(path, repro)) {
+      paths.push_back(path);
+    } else {
+      std::fprintf(stderr, "bprc_explore: cannot write %s\n", path.c_str());
+    }
+  }
+  return paths;
+}
+
+struct ProtocolOutcome {
+  std::uint64_t violations = 0;
+  bool complete = true;
+  ExploreStats merged;  ///< stats summed over every input cell
+};
+
+ProtocolOutcome explore_one_protocol(const Options& opt,
+                                     const std::string& name,
+                                     std::size_t* artifact_index) {
+  const ExploreLimits limits = build_limits(opt);
+  const auto reports = explore_consensus_all_inputs(
+      name, opt.n, opt.seed, limits, opt.reuse_runtime);
+  ProtocolOutcome outcome;
+  for (const ConsensusExploreReport& report : reports) {
+    outcome.violations += report.violations.size();
+    outcome.complete = outcome.complete && report.stats.complete;
+    outcome.merged.executions += report.stats.executions;
+    outcome.merged.complete_runs += report.stats.complete_runs;
+    outcome.merged.truncated_runs += report.stats.truncated_runs;
+    outcome.merged.pruned_runs += report.stats.pruned_runs;
+    outcome.merged.states_visited += report.stats.states_visited;
+    outcome.merged.states_merged += report.stats.states_merged;
+    outcome.merged.sleep_pruned += report.stats.sleep_pruned;
+    outcome.merged.sleep_blocked += report.stats.sleep_blocked;
+    outcome.merged.coin_branches += report.stats.coin_branches;
+    outcome.merged.max_trail_depth =
+        std::max(outcome.merged.max_trail_depth, report.stats.max_trail_depth);
+    outcome.merged.total_steps += report.stats.total_steps;
+    outcome.merged.seconds += report.stats.seconds;
+    outcome.merged.schedule_digest =
+        fnv_mix(outcome.merged.schedule_digest, report.stats.schedule_digest);
+    outcome.merged.complete = outcome.complete;
+    for (const ExploreViolation& v : report.violations) {
+      std::fprintf(stderr, "VIOLATION %s: protocol=%s inputs=",
+                   to_string(v.failure), name.c_str());
+      for (std::size_t i = 0; i < report.config.inputs.size(); ++i) {
+        std::fprintf(stderr, "%s%d", i ? "," : "", report.config.inputs[i]);
+      }
+      std::fprintf(stderr, " schedule-len=%zu %s\n", v.schedule.size(),
+                   v.note.c_str());
+    }
+    const auto paths = write_artifacts(opt, report, artifact_index);
+    for (const std::string& p : paths) {
+      std::fprintf(stderr, "  artifact: %s  (re-run: bprc_torture --replay "
+                           "%s)\n",
+                   p.c_str(), p.c_str());
+    }
+  }
+  return outcome;
+}
+
+int run_claim41(const Options& opt) {
+  ExploreLimits limits = build_limits(opt);
+  const std::uint64_t need = static_cast<std::uint64_t>(opt.n) *
+                             static_cast<std::uint64_t>(opt.moves);
+  if (limits.branch_depth < need) limits.branch_depth = need;
+  const ExploreResult result =
+      explore_token_game(opt.n, opt.strip_k, opt.moves, limits, opt.seed,
+                         opt.reuse_runtime);
+  std::printf("claim41 n=%d K=%d moves=%d: %llu states, %llu executions%s\n",
+              opt.n, opt.strip_k, opt.moves,
+              static_cast<unsigned long long>(result.stats.states_visited),
+              static_cast<unsigned long long>(result.stats.executions),
+              result.ok() ? "" : "  [DIVERGED]");
+  for (const ExploreViolation& v : result.violations) {
+    std::fprintf(stderr, "VIOLATION %s: %s\n", to_string(v.failure),
+                 v.note.c_str());
+  }
+  if (opt.stats) print_stats(result.stats);
+  if (!result.stats.complete) {
+    std::fprintf(stderr, "bprc_explore: claim41 exploration incomplete\n");
+    return 1;
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int run_explore(const Options& opt) {
+  std::vector<std::string> protocols = opt.protocols;
+  if (protocols.empty()) protocols = fault::protocol_names();
+  const auto known = fault::protocol_names(/*include_broken=*/true);
+  for (const std::string& name : protocols) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "bprc_explore: unknown protocol '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  std::size_t artifact_index = 0;
+  std::uint64_t total_violations = 0;
+  bool all_complete = true;
+  for (const std::string& name : protocols) {
+    const ProtocolOutcome outcome =
+        explore_one_protocol(opt, name, &artifact_index);
+    std::printf("%-16s n=%d depth=%llu: %llu states, %llu executions, "
+                "%llu violation(s)%s\n",
+                name.c_str(), opt.n,
+                static_cast<unsigned long long>(opt.depth),
+                static_cast<unsigned long long>(outcome.merged.states_visited),
+                static_cast<unsigned long long>(outcome.merged.executions),
+                static_cast<unsigned long long>(outcome.violations),
+                outcome.complete ? "" : "  [incomplete]");
+    if (opt.stats) print_stats(outcome.merged);
+    total_violations += outcome.violations;
+    all_complete = all_complete && outcome.complete;
+  }
+  if (total_violations > 0) return 1;
+  if (!all_complete) {
+    std::fprintf(stderr,
+                 "bprc_explore: exploration incomplete (a safety valve "
+                 "fired); not a verification result\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// --smoke: the CI tier-1 mode. Exhaustively explores every registered
+/// protocol at n=2 over all four input vectors; real protocols must come
+/// out clean and seeded-broken protocols must be caught.
+int run_smoke(const Options& base) {
+  Options opt = base;
+  opt.n = 2;
+  opt.depth = std::min<std::uint64_t>(base.depth, 8);
+  std::size_t artifact_index = 0;
+  int rc = 0;
+  for (const std::string& name :
+       fault::protocol_names(/*include_broken=*/true)) {
+    const bool broken = fault::protocol_spec(name).broken;
+    const ProtocolOutcome outcome =
+        explore_one_protocol(opt, name, &artifact_index);
+    const bool caught = outcome.violations > 0;
+    const bool pass = broken ? caught : (!caught && outcome.complete);
+    std::printf("%-16s %-7s %llu states, %llu executions, %llu "
+                "violation(s) -> %s\n",
+                name.c_str(), broken ? "broken" : "real",
+                static_cast<unsigned long long>(outcome.merged.states_visited),
+                static_cast<unsigned long long>(outcome.merged.executions),
+                static_cast<unsigned long long>(outcome.violations),
+                pass ? "ok" : (broken ? "NOT CAUGHT" : "FAILED"));
+    if (opt.stats) print_stats(outcome.merged);
+    if (!pass) rc = 1;
+  }
+  // Quick Claim 4.1 pass rides along: every interleaving of 2 processes
+  // making 4 moves each.
+  Options claim = opt;
+  claim.moves = 4;
+  const int claim_rc = run_claim41(claim);
+  if (claim_rc != 0) rc = 1;
+  std::printf("explore smoke: %s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  if (opt.list) {
+    std::printf("protocols:");
+    for (const auto& name : fault::protocol_names(/*include_broken=*/true)) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (opt.smoke) return run_smoke(opt);
+  if (opt.claim41) return run_claim41(opt);
+  return run_explore(opt);
+}
