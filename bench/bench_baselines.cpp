@@ -55,13 +55,24 @@ void run() {
           factory = local_coin_factory();
         }
         Samples steps;
-        for (std::uint64_t seed = 0; seed < trials; ++seed) {
-          const auto res = run_consensus_sim(
-              factory, split_inputs(n), make_adversary(adv, seed * 59 + 3),
-              seed, kRunBudget);
-          BPRC_REQUIRE(res.ok(), "consensus run failed");
-          steps.add(static_cast<double>(res.total_steps));
-        }
+        run_cells<engine::TrialOutcome>(
+            trials,
+            [&](std::uint64_t seed, SimReuse& reuse) {
+              engine::TrialSpec spec;
+              spec.protocol = arm.name;
+              spec.factory = factory;
+              spec.inputs = split_inputs(n);
+              spec.adversary = adv;
+              spec.seed = seed;
+              spec.adversary_seed = seed * 59 + 3;
+              spec.max_steps = kRunBudget;
+              spec.record = false;
+              return engine::run_trial(spec, &reuse);
+            },
+            [&](std::uint64_t, engine::TrialOutcome&& out) {
+              BPRC_REQUIRE(out.result.ok(), "consensus run failed");
+              steps.add(static_cast<double>(out.result.total_steps));
+            });
         row.push_back(Table::num(steps.quantile(0.5), 0));
         if (arm.name == "local-coin") {
           row.push_back(Table::num(steps.quantile(0.9), 0));

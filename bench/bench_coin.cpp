@@ -28,32 +28,50 @@ struct TossStats {
   RunningStat walk_steps;
 };
 
+/// What one toss trial produces; folded into TossStats in trial order by
+/// run_cells, so the tables match the old serial loop byte for byte.
+struct TossOutcome {
+  int heads = 0;
+  bool overflow = false;
+  std::uint64_t walk_steps = 0;
+};
+
 TossStats run_tosses(int n, int b, std::int64_t m_override,
                      const std::string& adversary, std::uint64_t trials) {
   TossStats st;
-  for (std::uint64_t seed = 0; seed < trials; ++seed) {
-    SimRuntime rt(n, make_adversary(adversary, seed * 131 + 7), seed);
-    CoinParams params = CoinParams::standard(n, b);
-    if (m_override >= 0) params.m = m_override;
-    SharedCoin coin(rt, params);
-    std::vector<CoinValue> results(static_cast<std::size_t>(n),
-                                   CoinValue::kUndecided);
-    for (ProcId p = 0; p < n; ++p) {
-      rt.spawn(p, [&coin, &results, p] {
-        results[static_cast<std::size_t>(p)] = coin.toss();
+  run_cells<TossOutcome>(
+      trials,
+      [&](std::uint64_t seed, SimReuse& reuse) {
+        // Not a consensus run — the trial spawns bare coin.toss() bodies —
+        // but the worker's recycled simulator serves it all the same.
+        SimRuntime& rt =
+            reuse.acquire(n, make_adversary(adversary, seed * 131 + 7), seed);
+        CoinParams params = CoinParams::standard(n, b);
+        if (m_override >= 0) params.m = m_override;
+        SharedCoin coin(rt, params);
+        std::vector<CoinValue> results(static_cast<std::size_t>(n),
+                                       CoinValue::kUndecided);
+        for (ProcId p = 0; p < n; ++p) {
+          rt.spawn(p, [&coin, &results, p] {
+            results[static_cast<std::size_t>(p)] = coin.toss();
+          });
+        }
+        const RunResult res = rt.run(kRunBudget);
+        BPRC_REQUIRE(res.reason == RunResult::Reason::kAllDone,
+                     "coin toss failed to finish in budget");
+        TossOutcome out;
+        for (const auto v : results) out.heads += v == CoinValue::kHeads;
+        out.overflow = coin.overflows() > 0;
+        out.walk_steps = coin.walk_steps();
+        return out;
+      },
+      [&](std::uint64_t, TossOutcome&& out) {
+        st.all_heads.add(out.heads == n);
+        st.all_tails.add(out.heads == 0);
+        st.disagree.add(out.heads != 0 && out.heads != n);
+        st.any_overflow.add(out.overflow);
+        st.walk_steps.add(static_cast<double>(out.walk_steps));
       });
-    }
-    const RunResult res = rt.run(kRunBudget);
-    BPRC_REQUIRE(res.reason == RunResult::Reason::kAllDone,
-                 "coin toss failed to finish in budget");
-    int heads = 0;
-    for (const auto v : results) heads += v == CoinValue::kHeads;
-    st.all_heads.add(heads == n);
-    st.all_tails.add(heads == 0);
-    st.disagree.add(heads != 0 && heads != n);
-    st.any_overflow.add(coin.overflows() > 0);
-    st.walk_steps.add(static_cast<double>(coin.walk_steps()));
-  }
   return st;
 }
 

@@ -33,15 +33,27 @@ void run() {
          {"random", "lockstep", "leader-suppress", "coin-bias"}) {
       Samples rounds;
       Samples steps;
-      for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        const auto res = run_consensus_sim(
-            bprc_factory(n), split_inputs(n),
-            make_adversary(adv, cell_seed(sweep_cell(n, adv), seed)),
-            seed, kRunBudget);
-        BPRC_REQUIRE(res.ok(), "consensus run failed");
-        rounds.add(static_cast<double>(res.max_round));
-        steps.add(static_cast<double>(res.total_steps));
-      }
+      const std::uint64_t cell = sweep_cell(n, adv);
+      run_cells<engine::TrialOutcome>(
+          trials,
+          [&](std::uint64_t seed, SimReuse& reuse) {
+            engine::TrialSpec spec;
+            spec.protocol = "bprc";
+            spec.factory = bprc_factory(n);
+            spec.inputs = split_inputs(n);
+            spec.adversary = adv;
+            spec.seed = seed;
+            spec.adversary_seed = cell_seed(cell, seed);
+            spec.max_steps = kRunBudget;
+            spec.record = false;
+            return engine::run_trial(spec, &reuse);
+          },
+          [&](std::uint64_t, engine::TrialOutcome&& out) {
+            const auto& res = out.result;
+            BPRC_REQUIRE(res.ok(), "consensus run failed");
+            rounds.add(static_cast<double>(res.max_round));
+            steps.add(static_cast<double>(res.total_steps));
+          });
       t.add_row({Table::num(n), adv, Table::num(rounds.mean(), 2),
                  Table::num(rounds.quantile(0.5), 1),
                  Table::num(rounds.quantile(0.95), 1),

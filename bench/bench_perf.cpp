@@ -34,6 +34,27 @@ void run() {
                           0)});
   }
   t.print();
+
+  std::printf(
+      "\ncampaign throughput: the identical n=8 sweep through the trial\n"
+      "engine (engine::TrialExecutor) — outcomes are byte-identical at\n"
+      "every jobs level; only the wall clock moves.\n\n");
+  const unsigned max_jobs = engine::default_jobs();
+  const std::uint64_t ctrials = scaled_trials(256);
+  Table ct({"jobs", "trials", "runs/sec", "speedup"});
+  const SweepPerf serial = measure_campaign_throughput(8, ctrials, 1);
+  ct.add_row({Table::num(1), Table::num(ctrials),
+              Table::num(serial.runs_per_sec, 0), Table::num(1.0, 2)});
+  if (max_jobs > 1) {
+    const SweepPerf wide = measure_campaign_throughput(8, ctrials, max_jobs);
+    ct.add_row({Table::num(static_cast<int>(max_jobs)), Table::num(ctrials),
+                Table::num(wide.runs_per_sec, 0),
+                Table::num(serial.runs_per_sec > 0.0
+                               ? wide.runs_per_sec / serial.runs_per_sec
+                               : 0.0,
+                           2)});
+  }
+  ct.print();
 }
 
 }  // namespace

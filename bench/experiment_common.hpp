@@ -2,12 +2,19 @@
 //
 // Every harness runs with no arguments in seconds on a single laptop core
 // and prints fixed-width tables; BPRC_SCALE multiplies the Monte-Carlo
-// trial counts for higher-fidelity runs. EXPERIMENTS.md is regenerated
-// from exactly this output.
+// trial counts for higher-fidelity runs, BPRC_JOBS sets the worker-thread
+// count for the Monte-Carlo cells (default: hardware concurrency).
+// EXPERIMENTS.md is regenerated from exactly this output — run_cells
+// delivers outcomes in trial order, so the tables are byte-identical at
+// every BPRC_JOBS level.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "consensus/abrahamson.hpp"
@@ -15,6 +22,9 @@
 #include "consensus/bprc.hpp"
 #include "consensus/driver.hpp"
 #include "consensus/strong_coin.hpp"
+#include "engine/adversaries.hpp"
+#include "engine/executor.hpp"
+#include "engine/trial.hpp"
 #include "runtime/adversary.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -77,18 +87,49 @@ inline ProtocolFactory strong_factory(std::uint64_t coin_seed) {
   };
 }
 
-/// Adversary factory keyed by name, freshly seeded per run.
+/// Adversary factory keyed by name, freshly seeded per run. Forwards to
+/// the engine registry (engine/adversaries.hpp) — the one name→adversary
+/// mapping the whole repo shares; BPRC_REQUIRE on unknown names.
 inline std::unique_ptr<Adversary> make_adversary(const std::string& name,
                                                  std::uint64_t seed) {
-  if (name == "random") return std::make_unique<RandomAdversary>(seed);
-  if (name == "round-robin") return std::make_unique<RoundRobinAdversary>();
-  if (name == "lockstep") return std::make_unique<LockstepAdversary>(seed);
-  if (name == "leader-suppress") {
-    return std::make_unique<LeaderSuppressAdversary>(seed);
-  }
-  if (name == "coin-bias") return std::make_unique<CoinBiasAdversary>(seed);
-  BPRC_REQUIRE(false, "unknown adversary name");
-  return nullptr;
+  return engine::make_adversary(name, seed);
+}
+
+/// Worker threads for the Monte-Carlo cells: BPRC_JOBS if set (>= 1),
+/// else hardware concurrency. BPRC_JOBS=1 is the exact serial path.
+inline unsigned bench_jobs() {
+  const std::int64_t v = env_int("BPRC_JOBS", 0);
+  return v >= 1 ? static_cast<unsigned>(v) : engine::default_jobs();
+}
+
+/// Engine-backed Monte-Carlo cell runner — the one trial loop every
+/// bench_* harness uses. Executes `trials` independent trials (indices
+/// 0..trials-1) across an engine::TrialExecutor worker pool and delivers
+/// each outcome to `grade` strictly in trial order, so every
+/// Samples/Proportion fold — and therefore every printed table — is
+/// byte-identical at any BPRC_JOBS level.
+///
+/// `execute` runs on a worker thread: it may use the worker's pinned
+/// SimReuse (or build its own SimRuntime) but must not touch shared
+/// mutable state. `grade` runs single-threaded.
+template <typename Outcome>
+inline void run_cells(
+    std::uint64_t trials,
+    const std::function<Outcome(std::uint64_t, SimReuse&)>& execute,
+    const std::function<void(std::uint64_t, Outcome&&)>& grade,
+    unsigned jobs = 0) {
+  engine::TrialExecutor executor({jobs == 0 ? bench_jobs() : jobs, 0});
+  std::uint64_t generated = 0;
+  executor.run_ordered<std::uint64_t, Outcome>(
+      [&]() -> std::optional<std::uint64_t> {
+        if (generated >= trials) return std::nullopt;
+        return generated++;
+      },
+      execute,
+      [&grade](std::size_t, const std::uint64_t& trial, Outcome&& out) {
+        grade(trial, std::move(out));
+        return true;
+      });
 }
 
 /// Split inputs 0,1,0,1,... — the hardest input pattern.

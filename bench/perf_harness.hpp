@@ -1,19 +1,25 @@
 // Measurement kernels shared by bench/bench_perf (human-readable tables)
 // and tools/bprc_bench (machine-readable BENCH_sim.json).
 //
-// Three metrics, all wall-clock (util/stats.hpp Throughput — strictly
+// Four metrics, all wall-clock (util/stats.hpp Throughput — strictly
 // outside the deterministic simulation):
 //   * ns/context-switch — raw fiber park/unpark round-trip cost;
 //   * ns/step           — total sweep wall time over total primitive
 //                         operations, INCLUDING per-trial runtime setup
 //                         (that is what a Monte-Carlo harness pays);
-//   * sim-runs/sec      — whole consensus instances per second.
+//   * sim-runs/sec      — whole consensus instances per second (serial);
+//   * campaign runs/sec — the same sweep pushed through the trial
+//                         engine's worker pool at a given jobs level —
+//                         the scaling number PERFORMANCE.md tracks.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "consensus/driver.hpp"
+#include "engine/executor.hpp"
+#include "engine/trial.hpp"
 #include "experiment_common.hpp"
 #include "runtime/adversary.hpp"
 #include "runtime/fiber.hpp"
@@ -66,6 +72,49 @@ inline SweepPerf measure_bprc_sweep(int n, std::uint64_t trials) {
     BPRC_REQUIRE(res.ok(), "bench run failed");
     out.total_steps += res.total_steps;
   }
+  const std::uint64_t ns = timer.elapsed_ns();
+  out.ns_per_step = out.total_steps == 0
+                        ? 0.0
+                        : static_cast<double>(ns) /
+                              static_cast<double>(out.total_steps);
+  out.runs_per_sec = ns == 0 ? 0.0
+                             : static_cast<double>(trials) * 1e9 /
+                                   static_cast<double>(ns);
+  return out;
+}
+
+/// The same BPRC/random sweep as measure_bprc_sweep, but pushed through
+/// engine::TrialExecutor at `jobs` workers (0 = hardware concurrency).
+/// The outcomes are identical to the serial sweep — this measures only
+/// how much faster the engine delivers them. jobs=1 vs jobs=max is the
+/// scaling ratio the acceptance gate and BENCH_sim.json record.
+inline SweepPerf measure_campaign_throughput(int n, std::uint64_t trials,
+                                             unsigned jobs) {
+  const auto inputs = split_inputs(n);
+  const std::uint64_t cell = sweep_cell(n, "random");
+  engine::TrialExecutor executor({jobs, 0});
+  SweepPerf out;
+  out.trials = trials;
+  std::uint64_t generated = 0;
+  Throughput timer;
+  executor.run_ordered<std::uint64_t, std::uint64_t>(
+      [&]() -> std::optional<std::uint64_t> {
+        if (generated >= trials) return std::nullopt;
+        return generated++;
+      },
+      [&](const std::uint64_t& t, SimReuse& reuse) -> std::uint64_t {
+        const auto res = run_consensus_sim(
+            bprc_factory(n), inputs,
+            std::make_unique<RandomAdversary>(cell_seed(cell ^ 0xADu, t)),
+            cell_seed(cell, t), kRunBudget, std::chrono::nanoseconds::zero(),
+            &reuse);
+        BPRC_REQUIRE(res.ok(), "bench run failed");
+        return res.total_steps;
+      },
+      [&](std::size_t, const std::uint64_t&, std::uint64_t&& steps) {
+        out.total_steps += steps;
+        return true;
+      });
   const std::uint64_t ns = timer.elapsed_ns();
   out.ns_per_step = out.total_steps == 0
                         ? 0.0

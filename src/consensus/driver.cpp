@@ -93,6 +93,16 @@ SimReuse::~SimReuse() = default;
 SimRuntime& SimReuse::acquire(int nprocs,
                               std::unique_ptr<Adversary> adversary,
                               std::uint64_t seed) {
+  // Single-owner contract: the pooled fiber stacks are thread-local, so
+  // a SimReuse touched from two threads would corrupt the pool silently.
+  // Fail loudly instead.
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+  } else {
+    BPRC_REQUIRE(owner_ == std::this_thread::get_id(),
+                 "SimReuse acquired from a second thread; it is "
+                 "single-owner — use one SimReuse per worker thread");
+  }
   if (runtime_ == nullptr) {
     runtime_ =
         std::make_unique<SimRuntime>(nprocs, std::move(adversary), seed);

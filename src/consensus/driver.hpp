@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consensus/protocol.hpp"
@@ -35,8 +36,14 @@ using ProtocolFactory =
 /// (fiber stacks, process tables) across run_consensus_sim calls instead
 /// of constructing a fresh one per trial. Strictly an allocator-level
 /// optimization: results are bit-identical with and without reuse
-/// (tests/test_replay.cpp pins this). One SimReuse per sweeping loop;
-/// not thread-safe, not usable for two concurrent runs.
+/// (tests/test_replay.cpp pins this).
+///
+/// A SimReuse is SINGLE-OWNER: exactly one thread may ever acquire() it
+/// (the fiber stacks it pools are thread-local, and the runtime is not
+/// synchronized). The owner is the first thread to call acquire(), and
+/// the contract is asserted on every subsequent acquire so misuse fails
+/// loudly instead of racing. Parallel sweeps get one SimReuse per worker
+/// thread — engine/executor.hpp does exactly that.
 class SimReuse {
  public:
   SimReuse();
@@ -45,12 +52,14 @@ class SimReuse {
   SimReuse& operator=(const SimReuse&) = delete;
 
   /// A runtime re-armed for (nprocs, adversary, seed); constructed on
-  /// first use, reset() thereafter.
+  /// first use, reset() thereafter. BPRC_REQUIREs that every call comes
+  /// from the same thread as the first.
   SimRuntime& acquire(int nprocs, std::unique_ptr<Adversary> adversary,
                       std::uint64_t seed);
 
  private:
   std::unique_ptr<SimRuntime> runtime_;
+  std::thread::id owner_;  ///< set by the first acquire()
 };
 
 /// Which correctness property a run violated, in decreasing severity.

@@ -1,0 +1,34 @@
+#include "engine/adversaries.hpp"
+
+#include "util/assert.hpp"
+
+namespace bprc::engine {
+
+const std::vector<std::string>& adversary_names() {
+  static const std::vector<std::string> names = {
+      "random",    "round-robin", "lockstep",    "leader-suppress",
+      "coin-bias", "crash-storm", "split-brain",
+  };
+  return names;
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "random") return std::make_unique<RandomAdversary>(seed);
+  if (name == "round-robin") return std::make_unique<RoundRobinAdversary>();
+  if (name == "lockstep") return std::make_unique<LockstepAdversary>(seed);
+  if (name == "leader-suppress") {
+    return std::make_unique<LeaderSuppressAdversary>(seed);
+  }
+  if (name == "coin-bias") return std::make_unique<CoinBiasAdversary>(seed);
+  if (name == "crash-storm") return std::make_unique<CrashStormAdversary>(seed);
+  if (name == "split-brain") return std::make_unique<SplitBrainAdversary>(seed);
+  BPRC_REQUIRE(false, "unknown adversary name");
+  __builtin_unreachable();
+}
+
+bool adversary_injects_crashes(const std::string& name) {
+  return name == "crash-storm";
+}
+
+}  // namespace bprc::engine

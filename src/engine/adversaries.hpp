@@ -1,0 +1,35 @@
+// Name-keyed adversary registry for the trial-execution engine.
+//
+// Campaigns, bench harnesses, repro artifacts, and the CLIs all refer to
+// adversaries by stable string names so a sweep definition written today
+// re-executes against the same strategy tomorrow. The registry lives in
+// the engine layer (below fault/ and bench/) so every sweeping caller
+// resolves names through exactly one table; `bprc::fault` re-exports it
+// under its historical names.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/adversary.hpp"
+
+namespace bprc::engine {
+
+/// Names the registry understands: the standard matrix (random,
+/// round-robin, lockstep, leader-suppress, coin-bias) plus the
+/// fault-injection pair (crash-storm, split-brain).
+const std::vector<std::string>& adversary_names();
+
+/// Instantiates a registered adversary; BPRC_REQUIRE on unknown names
+/// (sweep definitions are programmer input — CLIs validate before
+/// calling).
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed);
+
+/// True for adversaries that inject crash failures on their own (sweeps
+/// skip these for protocols registered as not crash-tolerant).
+bool adversary_injects_crashes(const std::string& name);
+
+}  // namespace bprc::engine

@@ -1,0 +1,192 @@
+// TrialExecutor: the one trial loop every sweep in the repo runs on.
+//
+// A sweep is a deterministic *generator* of specs plus a single-threaded
+// *sink* of outcomes. The executor pulls specs from the generator in
+// order, shards them over a pool of worker threads — one SimReuse pinned
+// per worker, so the simulator's recycled fiber stacks and process
+// tables never cross a thread — and delivers outcomes to the sink
+// **strictly in generation order**, one call at a time. Consequences:
+//
+//   * determinism: the sink observes the identical (index, spec, outcome)
+//     sequence at any --jobs level, so campaign logs, failure lists,
+//     table rows, and .bprc-repro artifacts are byte-identical whether a
+//     sweep ran on 1 worker or 64 (tests/test_engine.cpp pins this);
+//   * early stop: a sink returning false stops the sweep after a
+//     deterministic prefix — workers may have speculatively executed
+//     later specs, but those outcomes are discarded undelivered;
+//   * bounded memory: at most `window` specs are in flight, so a
+//     million-trial campaign never materializes a million outcomes.
+//
+// jobs <= 1 runs the exact serial path of the pre-engine harnesses: no
+// threads are spawned, the generator/executor/sink alternate on the
+// calling thread with one calling-thread SimReuse. Replay tooling must
+// use this mode (docs/TESTING.md): parallelism never changes results,
+// but it reorders *wall-clock* interleaving, which the watchdog reads.
+//
+// The generator and the sink always run under the executor lock (i.e.
+// single-threaded, mutually excluded); keep them to bookkeeping and do
+// the real work in the execute stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/trial.hpp"
+
+namespace bprc::engine {
+
+/// Worker-thread count for jobs=0 ("use the machine").
+inline unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct ExecutorConfig {
+  unsigned jobs = 0;       ///< worker threads; 0 = default_jobs(), 1 = serial
+  std::size_t window = 0;  ///< max specs in flight; 0 = 4 * jobs
+};
+
+class TrialExecutor {
+ public:
+  explicit TrialExecutor(ExecutorConfig config = {}) : config_(config) {
+    if (config_.jobs == 0) config_.jobs = default_jobs();
+    if (config_.window == 0) config_.window = 4 * config_.jobs;
+    if (config_.window < config_.jobs) config_.window = config_.jobs;
+  }
+
+  unsigned jobs() const { return config_.jobs; }
+
+  /// Generic ordered sweep: `next` yields specs (nullopt = end of
+  /// stream), `execute` runs one spec on a worker (its thread-pinned
+  /// SimReuse supplied), `sink` consumes outcomes in generation order
+  /// (return false to stop). Spec/Outcome are arbitrary movable types —
+  /// the consensus pipeline below is one instantiation, the coin-toss
+  /// bench another.
+  template <typename Spec, typename Outcome>
+  void run_ordered(
+      const std::function<std::optional<Spec>()>& next,
+      const std::function<Outcome(const Spec&, SimReuse&)>& execute,
+      const std::function<bool(std::size_t, const Spec&, Outcome&&)>& sink)
+      const {
+    if (config_.jobs <= 1) {
+      // The exact serial path: generate, execute, deliver, repeat.
+      SimReuse reuse;
+      for (std::size_t index = 0;; ++index) {
+        std::optional<Spec> spec = next();
+        if (!spec.has_value()) return;
+        Outcome out = execute(*spec, reuse);
+        if (!sink(index, *spec, std::move(out))) return;
+      }
+    }
+    run_parallel<Spec, Outcome>(next, execute, sink);
+  }
+
+  /// The consensus-trial instantiation: run_trial over TrialSpecs.
+  void run_trials(
+      const std::function<std::optional<TrialSpec>()>& next,
+      const std::function<bool(std::size_t, const TrialSpec&, TrialOutcome&&)>&
+          sink) const {
+    run_ordered<TrialSpec, TrialOutcome>(
+        next,
+        [](const TrialSpec& spec, SimReuse& reuse) {
+          return run_trial(spec, &reuse);
+        },
+        sink);
+  }
+
+ private:
+  template <typename Spec, typename Outcome>
+  struct Slot {
+    Spec spec;
+    std::optional<Outcome> outcome;
+    bool taken = false;  ///< a worker is executing it
+  };
+
+  template <typename Spec, typename Outcome>
+  void run_parallel(
+      const std::function<std::optional<Spec>()>& next,
+      const std::function<Outcome(const Spec&, SimReuse&)>& execute,
+      const std::function<bool(std::size_t, const Spec&, Outcome&&)>& sink)
+      const {
+    using S = Slot<Spec, Outcome>;
+    std::mutex m;
+    std::condition_variable cv;
+    // In-flight window. std::deque keeps element references stable across
+    // push_back/pop_front, so a worker can hold its claimed slot across
+    // the unlocked execute stage.
+    std::deque<S> window;
+    std::size_t window_base = 0;  ///< generation index of window.front()
+    bool exhausted = false;       ///< generator returned nullopt
+    bool stop = false;            ///< sink requested stop
+
+    auto worker = [&] {
+      SimReuse reuse;  // pinned to this worker thread for its lifetime
+      std::unique_lock<std::mutex> lk(m);
+      for (;;) {
+        if (stop) return;
+
+        // Claim the oldest unexecuted spec, if any.
+        S* claimed = nullptr;
+        for (S& slot : window) {
+          if (!slot.taken && !slot.outcome.has_value()) {
+            slot.taken = true;
+            claimed = &slot;
+            break;
+          }
+        }
+        if (claimed != nullptr) {
+          lk.unlock();
+          Outcome out = execute(claimed->spec, reuse);
+          lk.lock();
+          if (stop) return;
+          claimed->outcome.emplace(std::move(out));
+          // Deliver the completed prefix in order. Only the thread that
+          // just completed a slot drains, and it drains under the lock,
+          // so the sink is never entered concurrently.
+          while (!stop && !window.empty() &&
+                 window.front().outcome.has_value()) {
+            S& front = window.front();
+            const bool more =
+                sink(window_base, front.spec, std::move(*front.outcome));
+            window.pop_front();
+            ++window_base;
+            if (!more) stop = true;
+          }
+          cv.notify_all();
+          continue;
+        }
+
+        // No executable slot: refill the window from the generator.
+        if (!exhausted && window.size() < config_.window) {
+          std::optional<Spec> spec = next();
+          if (!spec.has_value()) {
+            exhausted = true;
+          } else {
+            window.push_back(S{std::move(*spec), std::nullopt, false});
+          }
+          cv.notify_all();
+          continue;
+        }
+
+        if (exhausted && window.empty()) return;  // fully drained
+        cv.wait(lk);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(config_.jobs);
+    for (unsigned i = 0; i < config_.jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  ExecutorConfig config_;
+};
+
+}  // namespace bprc::engine

@@ -1,0 +1,71 @@
+#include "engine/trial.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "engine/adversaries.hpp"
+#include "util/assert.hpp"
+
+namespace bprc::engine {
+
+namespace {
+
+/// Non-owning forwarder: lets run_trial keep the RecordingAdversary alive
+/// past run_consensus_sim (the SimRuntime destroys the adversary it owns
+/// before returning the result).
+class BorrowedAdversary final : public Adversary {
+ public:
+  explicit BorrowedAdversary(Adversary& inner) : inner_(inner) {}
+  ProcId pick(SimCtl& ctl) override { return inner_.pick(ctl); }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  Adversary& inner_;
+};
+
+}  // namespace
+
+TrialOutcome run_trial(const TrialSpec& spec, SimReuse* reuse) {
+  BPRC_REQUIRE(spec.factory != nullptr, "TrialSpec without a protocol factory");
+  const std::vector<bool>* flips =
+      spec.forced_flips.has_value() ? &*spec.forced_flips : nullptr;
+  TrialOutcome out;
+
+  if (spec.scripted) {
+    // Replay: fixed pick sequence + fixed crash events; nothing to record.
+    std::unique_ptr<Adversary> adv =
+        std::make_unique<ScriptedAdversary>(spec.schedule);
+    if (!spec.crash_plan.empty()) {
+      adv = std::make_unique<CrashPlanAdversary>(std::move(adv),
+                                                 spec.crash_plan);
+    }
+    out.result =
+        run_consensus_sim(spec.factory, spec.inputs, std::move(adv), spec.seed,
+                          spec.max_steps, spec.deadline, reuse, flips);
+    out.failure = out.result.failure();
+    return out;
+  }
+
+  std::unique_ptr<Adversary> adv =
+      make_adversary(spec.adversary, spec.adversary_seed.value_or(spec.seed));
+  if (!spec.crash_plan.empty()) {
+    adv = std::make_unique<CrashPlanAdversary>(std::move(adv), spec.crash_plan);
+  }
+  if (spec.record) {
+    RecordingAdversary recording(std::move(adv));
+    out.result = run_consensus_sim(
+        spec.factory, spec.inputs,
+        std::make_unique<BorrowedAdversary>(recording), spec.seed,
+        spec.max_steps, spec.deadline, reuse, flips);
+    out.schedule = recording.script();
+    out.crashes = recording.crashes();
+  } else {
+    out.result =
+        run_consensus_sim(spec.factory, spec.inputs, std::move(adv), spec.seed,
+                          spec.max_steps, spec.deadline, reuse, flips);
+  }
+  out.failure = out.result.failure();
+  return out;
+}
+
+}  // namespace bprc::engine

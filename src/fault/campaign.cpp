@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/adversaries.hpp"
+#include "engine/executor.hpp"
 #include "fault/protocols.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -10,81 +12,58 @@
 namespace bprc::fault {
 
 const std::vector<std::string>& torture_adversary_names() {
-  static const std::vector<std::string> names = {
-      "random",    "round-robin", "lockstep",    "leader-suppress",
-      "coin-bias", "crash-storm", "split-brain",
-  };
-  return names;
+  return engine::adversary_names();
 }
 
 std::unique_ptr<Adversary> make_adversary(const std::string& name,
                                           std::uint64_t seed) {
-  if (name == "random") return std::make_unique<RandomAdversary>(seed);
-  if (name == "round-robin") return std::make_unique<RoundRobinAdversary>();
-  if (name == "lockstep") return std::make_unique<LockstepAdversary>(seed);
-  if (name == "leader-suppress") {
-    return std::make_unique<LeaderSuppressAdversary>(seed);
-  }
-  if (name == "coin-bias") return std::make_unique<CoinBiasAdversary>(seed);
-  if (name == "crash-storm") return std::make_unique<CrashStormAdversary>(seed);
-  if (name == "split-brain") return std::make_unique<SplitBrainAdversary>(seed);
-  BPRC_REQUIRE(false, "unknown adversary name");
-  __builtin_unreachable();
+  return engine::make_adversary(name, seed);
 }
 
 bool adversary_injects_crashes(const std::string& name) {
-  return name == "crash-storm";
+  return engine::adversary_injects_crashes(name);
 }
 
-namespace {
-
-/// Non-owning forwarder: lets execute_run keep the RecordingAdversary
-/// alive past run_consensus_sim (the SimRuntime destroys the adversary it
-/// owns before returning the result).
-class BorrowedAdversary final : public Adversary {
- public:
-  explicit BorrowedAdversary(Adversary& inner) : inner_(inner) {}
-  ProcId pick(SimCtl& ctl) override { return inner_.pick(ctl); }
-  std::string name() const override { return inner_.name(); }
-
- private:
-  Adversary& inner_;
-};
-
-}  // namespace
+engine::TrialSpec to_trial_spec(const TortureRun& run,
+                                std::chrono::nanoseconds deadline,
+                                bool record) {
+  engine::TrialSpec spec;
+  spec.protocol = run.protocol;
+  spec.factory = make_protocol(run.protocol, run.n(), run.seed);
+  spec.inputs = run.inputs;
+  spec.adversary = run.adversary;
+  spec.crash_plan = run.crash_plan;
+  spec.seed = run.seed;
+  spec.max_steps = run.max_steps;
+  spec.deadline = deadline;
+  spec.record = record;
+  return spec;
+}
 
 ConsensusRunResult execute_run(
     const TortureRun& run, std::chrono::nanoseconds deadline,
     std::vector<ProcId>* schedule,
     std::vector<CrashPlanAdversary::Crash>* crashes, SimReuse* reuse) {
-  std::unique_ptr<Adversary> adv = make_adversary(run.adversary, run.seed);
-  if (!run.crash_plan.empty()) {
-    adv = std::make_unique<CrashPlanAdversary>(std::move(adv), run.crash_plan);
-  }
-  RecordingAdversary recording(std::move(adv));
-
-  const ConsensusRunResult result = run_consensus_sim(
-      make_protocol(run.protocol, run.n(), run.seed), run.inputs,
-      std::make_unique<BorrowedAdversary>(recording), run.seed, run.max_steps,
-      deadline, reuse);
-
-  if (schedule != nullptr) *schedule = recording.script();
-  if (crashes != nullptr) *crashes = recording.crashes();
-  return result;
+  const bool record = schedule != nullptr || crashes != nullptr;
+  engine::TrialOutcome out =
+      engine::run_trial(to_trial_spec(run, deadline, record), reuse);
+  if (schedule != nullptr) *schedule = std::move(out.schedule);
+  if (crashes != nullptr) *crashes = std::move(out.crashes);
+  return out.result;
 }
 
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
     const std::vector<CrashPlanAdversary::Crash>& crashes, SimReuse* reuse,
     const std::vector<bool>* forced_flips) {
-  std::unique_ptr<Adversary> adv = std::make_unique<ScriptedAdversary>(schedule);
-  if (!crashes.empty()) {
-    adv = std::make_unique<CrashPlanAdversary>(std::move(adv), crashes);
-  }
-  return run_consensus_sim(make_protocol(run.protocol, run.n(), run.seed),
-                           run.inputs, std::move(adv), run.seed, run.max_steps,
-                           std::chrono::nanoseconds::zero(), reuse,
-                           forced_flips);
+  // Scripted replay: the recorded crashes subsume the run's own plan.
+  engine::TrialSpec spec =
+      to_trial_spec(run, std::chrono::nanoseconds::zero(), /*record=*/false);
+  spec.scripted = true;
+  spec.schedule = schedule;
+  spec.crash_plan = crashes;
+  if (forced_flips != nullptr) spec.forced_flips = *forced_flips;
+  return engine::run_trial(spec, reuse).result;
 }
 
 namespace {
@@ -111,20 +90,20 @@ std::vector<CrashPlanAdversary::Crash> seeded_crash_plan(Rng& rng, int n) {
   return plan;
 }
 
-}  // namespace
-
-CampaignReport run_campaign(const CampaignConfig& config,
-                            const RunObserver& observer) {
+/// Enumerates the full sweep matrix up front, in the exact order the old
+/// serial loop visited it. Cheap relative to execution (a TortureRun is a
+/// few dozen bytes; campaigns are thousands of cells), and it makes the
+/// spec stream trivially deterministic: the engine's generator is just an
+/// index walk over this vector, at any jobs level.
+std::vector<TortureRun> enumerate_runs(const CampaignConfig& config,
+                                       std::uint64_t* skipped_crash_cells) {
   const std::vector<std::string> protocols =
       config.protocols.empty() ? protocol_names() : config.protocols;
   const std::vector<std::string> adversaries = config.adversaries.empty()
                                                    ? torture_adversary_names()
                                                    : config.adversaries;
-  const std::chrono::nanoseconds deadline = config.run_deadline;
-
-  CampaignReport report;
   Rng sweep_rng(config.seed0 ^ 0x70727475ULL);  // independent plan stream
-  SimReuse reuse;  // one recycled simulator for the whole sweep
+  std::vector<TortureRun> runs;
 
   for (const std::string& protocol : protocols) {
     const bool crash_tolerant = protocol_spec(protocol).crash_tolerant;
@@ -144,7 +123,7 @@ CampaignReport run_campaign(const CampaignConfig& config,
                 // Skip once per (adversary, plan) pair, not silently: the
                 // report carries the count so nobody mistakes a skipped
                 // cell for a covered one.
-                ++report.skipped_crash_cells;
+                ++*skipped_crash_cells;
                 continue;
               }
               TortureRun run;
@@ -157,35 +136,78 @@ CampaignReport run_campaign(const CampaignConfig& config,
                 run.crash_plan = seeded_crash_plan(sweep_rng, n);
                 if (run.crash_plan.empty()) continue;  // n == 1
               }
-
-              TortureFailure candidate;
-              const ConsensusRunResult result =
-                  execute_run(run, deadline, &candidate.schedule,
-                              &candidate.crashes, &reuse);
-              ++report.runs;
-              if (result.reason == RunResult::Reason::kDeadline) {
-                ++report.deadline_aborts;
-              } else if (result.reason == RunResult::Reason::kBudget) {
-                ++report.budget_aborts;
-              }
-              if (observer) observer(run, result);
-
-              if (!result.ok()) {
-                candidate.run = std::move(run);
-                candidate.failure = result.failure();
-                candidate.reason = result.reason;
-                candidate.result = result;
-                report.failures.push_back(std::move(candidate));
-                if (report.failures.size() >= config.max_failures) {
-                  return report;
-                }
-              }
+              runs.push_back(std::move(run));
             }
           }
         }
       }
     }
   }
+  return runs;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const RunObserver& observer) {
+  CampaignReport report;
+  std::vector<TortureRun> runs =
+      enumerate_runs(config, &report.skipped_crash_cells);
+
+  std::size_t next = 0;
+  const std::chrono::nanoseconds deadline = config.run_deadline;
+  const auto generator = [&]() -> std::optional<engine::TrialSpec> {
+    if (next >= runs.size()) return std::nullopt;
+    return to_trial_spec(runs[next++], deadline, /*record=*/true);
+  };
+
+  const auto sink = [&](std::size_t index, const engine::TrialSpec&,
+                        engine::TrialOutcome&& out) -> bool {
+    TortureRun& run = runs[index];
+    const ConsensusRunResult& result = out.result;
+    ++report.runs;
+    if (result.reason == RunResult::Reason::kDeadline) {
+      ++report.deadline_aborts;
+    } else if (result.reason == RunResult::Reason::kBudget) {
+      ++report.budget_aborts;
+    }
+    std::uint64_t h = report.summary_digest;
+    for (const ProcId p : out.schedule) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(p));
+    }
+    for (const auto& c : out.crashes) {
+      h = fnv_mix(h, c.at_step * 31 + static_cast<std::uint64_t>(c.victim));
+    }
+    for (const int d : result.decisions) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(d + 1));
+    }
+    h = fnv_mix(h, result.total_steps);
+    h = fnv_mix(h, static_cast<std::uint64_t>(result.failure()));
+    report.summary_digest = h;
+    if (observer) observer(run, result);
+
+    if (!result.ok()) {
+      TortureFailure failure;
+      failure.run = std::move(run);
+      failure.failure = result.failure();
+      failure.reason = result.reason;
+      failure.schedule = std::move(out.schedule);
+      failure.crashes = std::move(out.crashes);
+      failure.result = result;
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= config.max_failures) return false;
+    }
+    return true;
+  };
+
+  engine::TrialExecutor executor({config.jobs, 0});
+  executor.run_trials(generator, sink);
   return report;
 }
 

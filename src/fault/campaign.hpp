@@ -12,6 +12,12 @@
 // as a concrete (schedule, crash events) trace the shrinker
 // (fault/shrink.hpp) can delta-debug into a minimal ScriptedAdversary
 // script and the repro layer (fault/repro.hpp) can persist.
+//
+// The campaign itself is a thin sweep definition over the trial engine
+// (src/engine/): it enumerates the matrix into TortureRuns, streams them
+// through engine::TrialExecutor (CampaignConfig::jobs workers), and folds
+// the outcomes — delivered in generation order, so every report field is
+// byte-identical at every jobs level.
 #pragma once
 
 #include <chrono>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "consensus/driver.hpp"
+#include "engine/trial.hpp"
 #include "runtime/adversary.hpp"
 
 namespace bprc::fault {
@@ -60,6 +67,11 @@ struct CampaignConfig {
   std::chrono::milliseconds run_deadline{5000};  ///< 0 = watchdog off
   bool crash_plans = true;   ///< additionally sweep seeded crash plans
   std::size_t max_failures = 8;  ///< stop the sweep once collected
+  /// Worker threads for the sweep (engine::TrialExecutor). 1 = the exact
+  /// serial path; 0 = hardware concurrency. Every report field, failure,
+  /// and recorded trace is byte-identical at every jobs level — results
+  /// are delivered in generation order (tests/test_engine.cpp pins it).
+  unsigned jobs = 1;
 };
 
 struct CampaignReport {
@@ -69,13 +81,19 @@ struct CampaignReport {
   std::uint64_t skipped_crash_cells = 0;  ///< crash cells skipped because
                                           ///< the protocol is registered
                                           ///< as not crash-tolerant
+                                          ///< (counted over the whole
+                                          ///< configured matrix)
   std::vector<TortureFailure> failures;
+  /// FNV-1a over every delivered run's schedule, crashes, decisions, step
+  /// count, and failure class, in delivery (= generation) order: the
+  /// jobs-independence witness the CI digest comparison checks.
+  std::uint64_t summary_digest = 0xCBF29CE484222325ULL;
   bool ok() const { return failures.empty(); }
 };
 
-/// Names the campaign's adversary registry understands: the standard
-/// matrix (random, round-robin, lockstep, leader-suppress, coin-bias)
-/// plus the fault-injection pair (crash-storm, split-brain).
+/// Names the campaign's adversary registry understands. Forwarders to
+/// the engine-level registry (engine/adversaries.hpp), kept under their
+/// historical names for the CLI and the tests.
 const std::vector<std::string>& torture_adversary_names();
 
 /// Instantiates a registered adversary; BPRC_REQUIRE on unknown names.
@@ -85,6 +103,13 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
 /// True for adversaries that inject crash failures on their own (these
 /// are skipped for protocols registered as not crash-tolerant).
 bool adversary_injects_crashes(const std::string& name);
+
+/// Engine translation: the TrialSpec that executes `run` (generative,
+/// recording). Campaign, shrinker, and replay all round-trip through
+/// this so there is exactly one TortureRun→engine mapping.
+engine::TrialSpec to_trial_spec(const TortureRun& run,
+                                std::chrono::nanoseconds deadline,
+                                bool record = true);
 
 /// Executes one cell under recording. When non-null, `schedule`/`crashes`
 /// receive the full recorded trace (pre-planned crashes included — the

@@ -1,6 +1,9 @@
 #include "fault/shrink.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "engine/executor.hpp"
 
 namespace bprc::fault {
 
@@ -8,28 +11,86 @@ namespace {
 
 using Crash = CrashPlanAdversary::Crash;
 
-/// Bundles the fixed run parameters and the probe budget.
+/// Bundles the fixed run parameters and the probe budget. Every probe —
+/// sequential or batched — is a scripted-replay TrialSpec executed by the
+/// engine; the budget is charged per *delivered* probe, so the spent
+/// count (and therefore every later phase) is identical at every jobs
+/// level even though parallel batches may execute candidates
+/// speculatively past the first failure.
 class Shrinker {
  public:
-  Shrinker(const TortureRun& run, FailureClass target, int max_probes)
-      : run_(run), target_(target), max_probes_(max_probes) {}
+  Shrinker(const TortureRun& run, FailureClass target, int max_probes,
+           unsigned jobs)
+      : run_(run), target_(target), max_probes_(max_probes),
+        executor_({jobs, 0}) {}
 
   bool budget_left() const { return probes_ < max_probes_; }
   int probes() const { return probes_; }
 
-  /// Does this candidate still produce the target failure class?
+  /// Does this candidate still produce the target failure class? One
+  /// sequential probe on the calling thread (the search phases that need
+  /// the previous answer before forming the next candidate).
   bool fails(const std::vector<ProcId>& schedule,
              const std::vector<Crash>& crashes) {
     ++probes_;
-    return replay_run(run_, schedule, crashes, &reuse_).failure() == target_;
+    return engine::run_trial(replay_spec(schedule, crashes), &reuse_)
+               .failure == target_;
+  }
+
+  /// Batched probe: the lowest `i < count` whose candidate (produced by
+  /// `make(i)`, called in order) still fails with the target class, or
+  /// nullopt. Candidates are independent, so the batch fans out across
+  /// the executor's workers; ordered delivery + early stop make the
+  /// answer — and the probes charged — independent of jobs. Generation
+  /// is capped by the remaining budget, mirroring the serial loop's
+  /// per-candidate budget check.
+  std::optional<std::size_t> first_failing(
+      std::size_t count,
+      const std::function<std::pair<std::vector<ProcId>, std::vector<Crash>>(
+          std::size_t)>& make) {
+    std::size_t generated = 0;
+    const int budget_at_entry = probes_;
+    const auto generator = [&]() -> std::optional<engine::TrialSpec> {
+      if (generated >= count) return std::nullopt;
+      if (budget_at_entry + static_cast<int>(generated) >= max_probes_) {
+        return std::nullopt;  // out of probe budget
+      }
+      auto [schedule, crashes] = make(generated);
+      ++generated;
+      return replay_spec(std::move(schedule), std::move(crashes));
+    };
+    std::optional<std::size_t> hit;
+    const auto sink = [&](std::size_t index, const engine::TrialSpec&,
+                          engine::TrialOutcome&& out) -> bool {
+      ++probes_;
+      if (out.failure == target_) {
+        hit = index;
+        return false;
+      }
+      return true;
+    };
+    executor_.run_trials(generator, sink);
+    return hit;
   }
 
  private:
+  engine::TrialSpec replay_spec(std::vector<ProcId> schedule,
+                                std::vector<Crash> crashes) const {
+    engine::TrialSpec spec =
+        to_trial_spec(run_, std::chrono::nanoseconds::zero(),
+                      /*record=*/false);
+    spec.scripted = true;
+    spec.schedule = std::move(schedule);
+    spec.crash_plan = std::move(crashes);
+    return spec;
+  }
+
   const TortureRun& run_;
   FailureClass target_;
   int max_probes_;
   int probes_ = 0;
-  SimReuse reuse_;  ///< one simulator recycled across all probes
+  SimReuse reuse_;  ///< recycled across the sequential probes
+  engine::TrialExecutor executor_;  ///< batched probes (workers own reuse)
 };
 
 std::vector<ProcId> prefix(const std::vector<ProcId>& s, std::size_t len) {
@@ -38,7 +99,9 @@ std::vector<ProcId> prefix(const std::vector<ProcId>& s, std::size_t len) {
 
 /// Phase 2: shortest failing prefix. Failure need not be monotone in the
 /// prefix length (the round-robin completion changes the tail), so every
-/// candidate is verified and only verified prefixes are committed.
+/// candidate is verified and only verified prefixes are committed. A
+/// binary search is inherently sequential — each probe's answer decides
+/// the next candidate — so this phase stays on the one-probe path.
 void truncate_prefix(Shrinker& sh, std::vector<ProcId>& schedule,
                      const std::vector<Crash>& crashes) {
   std::size_t lo = 0, hi = schedule.size();
@@ -57,7 +120,8 @@ void truncate_prefix(Shrinker& sh, std::vector<ProcId>& schedule,
 
 /// Phase 3: drop crash events (latest first — later crashes are least
 /// likely to be load-bearing), then pull the survivors' trigger steps
-/// toward zero.
+/// toward zero. Each commit changes the baseline for the next candidate,
+/// so these chains stay sequential too.
 void minimize_crashes(Shrinker& sh, const std::vector<ProcId>& schedule,
                       std::vector<Crash>& crashes) {
   for (std::size_t i = crashes.size(); i-- > 0 && sh.budget_left();) {
@@ -87,7 +151,10 @@ void minimize_crashes(Shrinker& sh, const std::vector<ProcId>& schedule,
 
 /// Phase 4: ddmin chunk removal (Zeller–Hildebrandt). Granularity starts
 /// at 2 chunks and doubles whenever no chunk can be removed; any
-/// successful removal restarts the scan at the same granularity.
+/// successful removal restarts the scan at the same granularity. The
+/// candidates of one scan are independent (all derived from the current
+/// schedule), so each scan is one batched first_failing call — the
+/// shrinker's parallel hot spot.
 void ddmin(Shrinker& sh, std::vector<ProcId>& schedule,
            const std::vector<Crash>& crashes) {
   std::size_t chunks = 2;
@@ -95,39 +162,51 @@ void ddmin(Shrinker& sh, std::vector<ProcId>& schedule,
          sh.budget_left()) {
     const std::size_t chunk_len =
         (schedule.size() + chunks - 1) / chunks;  // ceil
-    bool removed = false;
-    for (std::size_t start = 0; start < schedule.size() && sh.budget_left();
-         start += chunk_len) {
-      std::vector<ProcId> candidate;
-      candidate.reserve(schedule.size());
+    const std::size_t candidates =
+        (schedule.size() + chunk_len - 1) / chunk_len;
+    const auto hit = sh.first_failing(
+        candidates,
+        [&](std::size_t ci)
+            -> std::pair<std::vector<ProcId>, std::vector<Crash>> {
+          const std::size_t start = ci * chunk_len;
+          std::vector<ProcId> candidate;
+          candidate.reserve(schedule.size());
+          for (std::size_t i = 0; i < schedule.size(); ++i) {
+            if (i < start || i >= start + chunk_len) {
+              candidate.push_back(schedule[i]);
+            }
+          }
+          return {std::move(candidate), crashes};
+        });
+    if (hit.has_value()) {
+      const std::size_t start = *hit * chunk_len;
+      std::vector<ProcId> shorter;
+      shorter.reserve(schedule.size());
       for (std::size_t i = 0; i < schedule.size(); ++i) {
-        if (i < start || i >= start + chunk_len) candidate.push_back(schedule[i]);
+        if (i < start || i >= start + chunk_len) shorter.push_back(schedule[i]);
       }
-      if (candidate.size() < schedule.size() && sh.fails(candidate, crashes)) {
-        schedule = std::move(candidate);
-        removed = true;
-        break;  // rescan at the same granularity on the shorter schedule
-      }
-    }
-    if (!removed) {
+      schedule = std::move(shorter);
+      // Rescan at the same granularity on the shorter schedule.
+      chunks = std::max<std::size_t>(
+          2, std::min(chunks, std::max<std::size_t>(schedule.size(), 1)));
+    } else {
       if (chunks >= schedule.size()) break;  // singleton granularity done
       chunks = std::min(chunks * 2, schedule.size());
-    } else {
-      chunks = std::max<std::size_t>(2, std::min(chunks, schedule.size()));
     }
   }
 }
 
 }  // namespace
 
-ShrinkOutcome shrink_failure(const TortureFailure& fail, int max_probes) {
+ShrinkOutcome shrink_failure(const TortureFailure& fail, int max_probes,
+                             unsigned jobs) {
   ShrinkOutcome out;
   out.failure = fail.failure;
   out.schedule = fail.schedule;
   out.crashes = fail.crashes;
   out.original_len = fail.schedule.size();
 
-  Shrinker sh(fail.run, fail.failure, max_probes);
+  Shrinker sh(fail.run, fail.failure, max_probes, jobs);
 
   // Phase 1: the recorded trace must reproduce its own failure. Watchdog
   // aborts (wall-clock) are inherently non-replayable; everything else in

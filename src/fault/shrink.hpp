@@ -19,6 +19,14 @@
 //
 // Each phase only commits a candidate after replaying it, so the output
 // is always a verified counterexample.
+//
+// Every probe goes through the trial engine (src/engine/). The sequential
+// phases (binary search, crash chains) replay one candidate at a time;
+// ddmin's per-granularity scans — whose candidates are all derived from
+// the same committed schedule — fan out over engine::TrialExecutor
+// workers. Ordered delivery with first-failure early stop keeps the
+// committed schedule, the probe count, and therefore the final artifact
+// byte-identical at every jobs level.
 #pragma once
 
 #include "fault/campaign.hpp"
@@ -35,7 +43,9 @@ struct ShrinkOutcome {
 };
 
 /// Shrinks `fail`'s trace; replays at most `max_probes` candidates.
+/// `jobs` parallelizes the ddmin candidate batches (1 = fully serial;
+/// 0 = hardware concurrency); the outcome is identical at every level.
 ShrinkOutcome shrink_failure(const TortureFailure& fail,
-                             int max_probes = 4000);
+                             int max_probes = 4000, unsigned jobs = 1);
 
 }  // namespace bprc::fault

@@ -191,6 +191,37 @@ int run(const Options& opt) {
                  static_cast<unsigned long long>(perf.total_steps));
   }
 
+  // Trial-engine scaling: the same n=8 sweep through engine::TrialExecutor
+  // at jobs=1 and jobs=hardware. Outcomes are byte-identical at both
+  // levels; the ratio of these two entries is the engine's speedup on
+  // this machine (the acceptance gate wants >= 3x on a 4+-core runner).
+  {
+    const int n = 8;
+    std::uint64_t trials = opt.smoke ? 32 : 512;
+    if (opt.trials_override != 0) trials = opt.trials_override;
+    const unsigned max_jobs = bprc::engine::default_jobs();
+    std::fprintf(stderr,
+                 "bprc_bench: campaign throughput n=%d (%llu trials, "
+                 "jobs=1 vs jobs=%u)...\n",
+                 n, static_cast<unsigned long long>(trials), max_jobs);
+    const SweepPerf serial = measure_campaign_throughput(n, trials, 1);
+    add("campaign_throughput_n8", "runs/sec@jobs1", serial.runs_per_sec,
+        "runs/s", n, trials);
+    const SweepPerf wide = max_jobs > 1
+                               ? measure_campaign_throughput(n, trials,
+                                                             max_jobs)
+                               : serial;
+    add("campaign_throughput_n8", "runs/sec@jobsmax", wide.runs_per_sec,
+        "runs/s", n, trials);
+    std::fprintf(stderr,
+                 "  jobs=1: %.0f runs/sec; jobs=%u: %.0f runs/sec "
+                 "(%.2fx)\n",
+                 serial.runs_per_sec, max_jobs, wide.runs_per_sec,
+                 serial.runs_per_sec > 0.0
+                     ? wide.runs_per_sec / serial.runs_per_sec
+                     : 0.0);
+  }
+
   std::vector<std::string> lines;
   if (!opt.out_path.empty()) {
     lines = keep_foreign_entries(opt.out_path, opt.label);

@@ -15,6 +15,14 @@
 //   bprc_torture --replay F      re-run an artifact; exit 0 iff the
 //                                recorded failure class reproduces
 //   bprc_torture --list          registered protocols and adversaries
+//   bprc_torture --jobs N        shard the sweep over N worker threads
+//                                (engine::TrialExecutor). Default:
+//                                hardware concurrency; --jobs 1 is the
+//                                exact serial path. Failure reports,
+//                                artifacts, and the summary digest are
+//                                byte-identical at every jobs level.
+//                                Forbidden with --replay (replay is
+//                                definitionally serial).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,8 +46,12 @@ struct Options {
   bool smoke = false;
   bool inject_bug = false;
   bool list = false;
+  bool list_protocols = false;
+  bool list_adversaries = false;
   bool quiet = false;
   bool verbose = false;
+  bool jobs_given = false;
+  unsigned jobs = 0;           // 0 = hardware concurrency
   std::string replay_path;
   std::string out_dir = ".";
   std::vector<std::string> protocols;
@@ -59,6 +71,10 @@ void usage(std::FILE* to) {
                "  --inject-bug       pipeline self-test on a seeded bug\n"
                "  --replay FILE      re-run a .bprc-repro artifact\n"
                "  --list             print protocols and adversaries\n"
+               "  --list-protocols   print protocol names, one per line\n"
+               "  --list-adversaries print adversary names, one per line\n"
+               "  --jobs N           worker threads for the sweep (default:\n"
+               "                     hardware concurrency; 1 = serial)\n"
                "  --protocol NAME    restrict to protocol (repeatable)\n"
                "  --adversary NAME   restrict to adversary (repeatable)\n"
                "  --n N              process count (repeatable)\n"
@@ -86,6 +102,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     if (arg == "--smoke") opt.smoke = true;
     else if (arg == "--inject-bug") opt.inject_bug = true;
     else if (arg == "--list") opt.list = true;
+    else if (arg == "--list-protocols") opt.list_protocols = true;
+    else if (arg == "--list-adversaries") opt.list_adversaries = true;
+    else if (arg == "--jobs") {
+      if (!(v = need_value(i))) return false;
+      opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      opt.jobs_given = true;
+    }
     else if (arg == "--quiet" || arg == "-q") opt.quiet = true;
     else if (arg == "--verbose" || arg == "-v") opt.verbose = true;
     else if (arg == "--replay") { if (!(v = need_value(i))) return false; opt.replay_path = v; }
@@ -134,6 +157,7 @@ CampaignConfig build_config(const Options& opt) {
   config.adversaries = opt.adversaries;
   config.seed0 = opt.seed0;
   config.max_failures = opt.max_failures;
+  config.jobs = opt.jobs;  // 0 = hardware concurrency (the CLI default)
   if (opt.smoke) {
     config.ns = {2, 3};
     config.seeds_per_cell = 1;
@@ -198,7 +222,8 @@ std::vector<std::string> process_failures(const Options& opt,
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < report.failures.size(); ++i) {
     TortureFailure& fail = report.failures[i];
-    const ShrinkOutcome shrunk = shrink_failure(fail);
+    const ShrinkOutcome shrunk =
+        shrink_failure(fail, /*max_probes=*/4000, opt.jobs);
     const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
     const std::string path = artifact_path(opt, fail, i);
     const bool saved = save_repro(path, repro);
@@ -257,7 +282,8 @@ int run_inject_bug(const Options& opt) {
   }
 
   const TortureFailure& fail = report.failures.front();
-  const ShrinkOutcome shrunk = shrink_failure(fail);
+  const ShrinkOutcome shrunk =
+      shrink_failure(fail, /*max_probes=*/4000, opt.jobs);
   if (!shrunk.reproduced) {
     std::fprintf(stderr, "inject-bug: recorded trace did not replay\n");
     return 1;
@@ -321,6 +347,10 @@ int run_campaign_mode(const Options& opt) {
       static_cast<unsigned long long>(report.budget_aborts),
       static_cast<unsigned long long>(report.deadline_aborts),
       static_cast<unsigned long long>(report.skipped_crash_cells));
+  // Jobs-independence witness: identical at every --jobs level (CI diffs
+  // --jobs 1 vs --jobs 2 on this line).
+  std::printf("digest=0x%016llx\n",
+              static_cast<unsigned long long>(report.summary_digest));
   return report.ok() ? 0 : 1;
 }
 
@@ -343,7 +373,30 @@ int main(int argc, char** argv) {
     std::printf("\n");
     return 0;
   }
-  if (!opt.replay_path.empty()) return run_replay(opt.replay_path);
+  if (opt.list_protocols || opt.list_adversaries) {
+    // Machine-readable (one name per line) for scripts and CI matrices.
+    if (opt.list_protocols) {
+      for (const auto& name : protocol_names(/*include_broken=*/true)) {
+        std::printf("%s\n", name.c_str());
+      }
+    }
+    if (opt.list_adversaries) {
+      for (const auto& name : torture_adversary_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+    }
+    return 0;
+  }
+  if (!opt.replay_path.empty()) {
+    // Replay is a single scripted run; sharding it is meaningless and
+    // would only invite divergent expectations. Refuse loudly.
+    if (opt.jobs_given) {
+      std::fprintf(stderr, "bprc_torture: --jobs cannot be combined with "
+                           "--replay (replay is a single serial run)\n");
+      return 2;
+    }
+    return run_replay(opt.replay_path);
+  }
   if (opt.inject_bug) return run_inject_bug(opt);
   return run_campaign_mode(opt);
 }
