@@ -55,6 +55,24 @@ void run() {
                            2)});
   }
   ct.print();
+
+  std::printf(
+      "\nprocess sharding: the same cell as a campaign across forked\n"
+      "worker processes (src/shard/) — the crash-isolated lane. The\n"
+      "digest is identical to the serial campaign; the speedup deficit\n"
+      "vs thread scaling is the fork + wire + supervision tax.\n\n");
+  Table st({"workers", "runs", "runs/sec", "speedup"});
+  const SweepPerf campaign1 = measure_sharded_throughput(8, ctrials, 1);
+  st.add_row({Table::num(1), Table::num(campaign1.trials),
+              Table::num(campaign1.runs_per_sec, 0), Table::num(1.0, 2)});
+  const SweepPerf sharded = measure_sharded_throughput(8, ctrials, 2);
+  st.add_row({Table::num(2), Table::num(sharded.trials),
+              Table::num(sharded.runs_per_sec, 0),
+              Table::num(campaign1.runs_per_sec > 0.0
+                             ? sharded.runs_per_sec / campaign1.runs_per_sec
+                             : 0.0,
+                         2)});
+  st.print();
 }
 
 }  // namespace

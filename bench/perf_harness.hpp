@@ -10,7 +10,11 @@
 //   * sim-runs/sec      — whole consensus instances per second (serial);
 //   * campaign runs/sec — the same sweep pushed through the trial
 //                         engine's worker pool at a given jobs level —
-//                         the scaling number PERFORMANCE.md tracks.
+//                         the scaling number PERFORMANCE.md tracks;
+//   * sharded runs/sec  — the sweep as a campaign across forked worker
+//                         processes (src/shard/): thread scaling plus
+//                         fork/pipe/supervision overhead — what a
+//                         crash-isolated `--workers N` run costs.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +25,10 @@
 #include "engine/executor.hpp"
 #include "engine/trial.hpp"
 #include "experiment_common.hpp"
+#include "fault/campaign.hpp"
 #include "runtime/adversary.hpp"
 #include "runtime/fiber.hpp"
+#include "shard/coordinator.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -122,6 +128,45 @@ inline SweepPerf measure_campaign_throughput(int n, std::uint64_t trials,
                               static_cast<double>(out.total_steps);
   out.runs_per_sec = ns == 0 ? 0.0
                              : static_cast<double>(trials) * 1e9 /
+                                   static_cast<double>(ns);
+  return out;
+}
+
+/// The BPRC/random sweep as a *campaign* (fault::CampaignConfig cell of
+/// `trials` seeds), executed across `workers` forked processes by the
+/// shard coordinator — or serially in-process when workers <= 1, which
+/// is the baseline the @workersN entries are compared against. The
+/// digest is identical either way (the coordinator's contract); the
+/// delta is fork + wire + supervision overhead, which this measures.
+inline SweepPerf measure_sharded_throughput(int n, std::uint64_t trials,
+                                            unsigned workers) {
+  fault::CampaignConfig config;
+  config.protocols = {"bprc"};
+  config.ns = {n};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = trials;
+  config.crash_plans = false;
+  config.max_steps = kRunBudget;
+  config.run_deadline = std::chrono::milliseconds::zero();
+  config.jobs = 1;
+  SweepPerf out;
+  Throughput timer;
+  fault::CampaignReport report;
+  if (workers <= 1) {
+    report = fault::run_campaign(config);
+  } else {
+    shard::ShardServiceConfig service;
+    service.campaign = config;
+    service.workers = workers;
+    report = shard::run_sharded_campaign(service);
+  }
+  const std::uint64_t ns = timer.elapsed_ns();
+  BPRC_REQUIRE(report.ok(), "bench campaign failed");
+  // The cell fans each seed out over its standard input patterns, so the
+  // executed run count exceeds `trials`; runs/sec counts what actually ran.
+  out.trials = report.runs;
+  out.runs_per_sec = ns == 0 ? 0.0
+                             : static_cast<double>(report.runs) * 1e9 /
                                    static_cast<double>(ns);
   return out;
 }

@@ -74,6 +74,7 @@ const char* to_string(FailureClass f) {
     case FailureClass::kValidity:      return "validity";
     case FailureClass::kBoundedMemory: return "bounded-memory";
     case FailureClass::kTermination:   return "termination";
+    case FailureClass::kWorkerCrash:   return "worker-crash";
   }
   return "?";
 }
@@ -81,7 +82,8 @@ const char* to_string(FailureClass f) {
 FailureClass failure_class_from_string(const std::string& name) {
   for (const FailureClass f :
        {FailureClass::kConsistency, FailureClass::kValidity,
-        FailureClass::kBoundedMemory, FailureClass::kTermination}) {
+        FailureClass::kBoundedMemory, FailureClass::kTermination,
+        FailureClass::kWorkerCrash}) {
     if (name == to_string(f)) return f;
   }
   return FailureClass::kNone;

@@ -75,6 +75,11 @@ enum class FailureClass : std::uint8_t {
   kValidity,       ///< decision outside the inputs / non-unanimous echo
   kBoundedMemory,  ///< a bounded protocol exceeded its static bound
   kTermination,    ///< a correct process failed to decide
+  /// The trial killed the OS process executing it (segfault, abort, …).
+  /// Never produced by ConsensusRunResult::failure() — the run never
+  /// came back to be graded; the shard coordinator (src/shard/) assigns
+  /// it when a spec index crashes its worker past the respawn budget.
+  kWorkerCrash,
 };
 
 const char* to_string(FailureClass f);

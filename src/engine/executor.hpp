@@ -101,6 +101,30 @@ class TrialExecutor {
         sink);
   }
 
+  /// Index-range sweep with resume: executes `spec_at(i)` for every i in
+  /// [begin, end), delivering outcomes to the sink keyed by the *global*
+  /// index i, in order. Because a sweep's matrix is enumerated up front
+  /// and specs are pure functions of their index, any sub-range is
+  /// independently executable — this is the primitive the shard layer
+  /// (src/shard/) builds on: shard i/k runs one contiguous range, and a
+  /// respawned worker resumes from its predecessor's first undelivered
+  /// index with nothing lost and nothing repeated.
+  void run_trials_range(
+      const std::function<TrialSpec(std::size_t)>& spec_at, std::size_t begin,
+      std::size_t end,
+      const std::function<bool(std::size_t, const TrialSpec&, TrialOutcome&&)>&
+          sink) const {
+    std::size_t next = begin;
+    run_trials(
+        [&]() -> std::optional<TrialSpec> {
+          if (next >= end) return std::nullopt;
+          return spec_at(next++);
+        },
+        [&](std::size_t local, const TrialSpec& spec, TrialOutcome&& out) {
+          return sink(begin + local, spec, std::move(out));
+        });
+  }
+
  private:
   template <typename Spec, typename Outcome>
   struct Slot {

@@ -1,6 +1,7 @@
 #include "fault/broken.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/assert.hpp"
 
@@ -48,6 +49,49 @@ int UnboundedHandoffConsensus::propose(int input) {
     const std::int64_t c = counter_.read();
     counter_.write(c + 1, c + 1);
     max_written_ = std::max(max_written_, c + 1);
+  }
+  decisions_[static_cast<std::size_t>(me)] = decided;
+  return decided;
+}
+
+WorkerKillerConsensus::WorkerKillerConsensus(Runtime& rt, bool lethal)
+    : rt_(rt),
+      lethal_(lethal),
+      decisions_(static_cast<std::size_t>(rt.nprocs()), -1) {
+  slots_.reserve(static_cast<std::size_t>(rt.nprocs()));
+  for (int p = 0; p < rt.nprocs(); ++p) {
+    slots_.push_back(std::make_unique<MRMWRegister<int>>(rt, /*initial=*/0));
+  }
+}
+
+int WorkerKillerConsensus::propose(int input) {
+  const ProcId me = rt_.self();
+  BPRC_REQUIRE(decisions_[static_cast<std::size_t>(me)] == -1,
+               "process proposed twice");
+  if (lethal_) {
+    // The seeded host-killer: take down the OS process executing this
+    // trial. volatile so no compiler reasons the dereference away.
+    volatile int* hole = nullptr;
+    *hole = 42;  // SIGSEGV
+  }
+  slots_[static_cast<std::size_t>(me)]->write(input + 1, input + 1);
+  // Spin until every slot is filled, then decide the maximum. Each read
+  // is a scheduling point, so a fair adversary completes this quickly; a
+  // process starved forever shows up as a budget abort, which is why the
+  // registry marks this protocol crash_tolerant=false.
+  int decided;
+  for (;;) {
+    int max_seen = 0;
+    bool all = true;
+    for (auto& slot : slots_) {
+      const int v = slot->read();
+      if (v == 0) { all = false; break; }
+      max_seen = std::max(max_seen, v);
+    }
+    if (all) {
+      decided = max_seen - 1;
+      break;
+    }
   }
   decisions_[static_cast<std::size_t>(me)] = decided;
   return decided;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "consensus/protocol.hpp"
@@ -93,6 +94,47 @@ class UnboundedHandoffConsensus final : public ConsensusProtocol {
   MRMWRegister<std::int64_t> counter_;
   std::vector<int> decisions_;
   std::int64_t max_written_ = 0;  ///< high-water mark of counter writes
+};
+
+/// "Consensus" whose bug lives in its *host*, not its transitions: when
+/// constructed lethal (a seeded subset of trials — see the registry), the
+/// first process to enter propose() dereferences null and takes the whole
+/// OS process down with it. This is the shard supervisor's acceptance
+/// target: a single-process campaign dies on the spot, while the
+/// coordinator (src/shard/) must detect the dead worker, respawn it,
+/// watch it die again on the same spec index, quarantine that index as
+/// FailureClass::kWorkerCrash, and finish the campaign degraded.
+///
+/// Non-lethal trials run a deliberately simple crash-free consensus:
+/// write your input to your own slot, spin until every slot is filled,
+/// decide the maximum. Correct (agreement + validity + termination)
+/// whenever no process stops being scheduled — so the protocol registers
+/// crash_tolerant=false and quarantine tests pair it with the fair
+/// adversaries. Registered with crashes_process=true, which keeps it out
+/// of every name listing: only an explicit --protocol broken-segv (or a
+/// test) can summon it.
+class WorkerKillerConsensus final : public ConsensusProtocol {
+ public:
+  WorkerKillerConsensus(Runtime& rt, bool lethal);
+
+  int propose(int input) override;
+  std::string name() const override { return "broken-segv"; }
+  int decision(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+  std::int64_t decision_round(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)] == -1 ? 0 : 1;
+  }
+  MemoryFootprint footprint() const override {
+    return MemoryFootprint{true, 0, 0, 0, 0};
+  }
+
+ private:
+  Runtime& rt_;
+  bool lethal_;
+  /// Slot p holds input+1 (0 = not yet written) so any int input works.
+  std::vector<std::unique_ptr<MRMWRegister<int>>> slots_;
+  std::vector<int> decisions_;
 };
 
 }  // namespace bprc::fault

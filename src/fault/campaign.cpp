@@ -90,13 +90,29 @@ std::vector<CrashPlanAdversary::Crash> seeded_crash_plan(Rng& rng, int n) {
   return plan;
 }
 
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+std::uint64_t fnv_mix_string(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = fnv_mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
 /// Enumerates the full sweep matrix up front, in the exact order the old
 /// serial loop visited it. Cheap relative to execution (a TortureRun is a
 /// few dozen bytes; campaigns are thousands of cells), and it makes the
 /// spec stream trivially deterministic: the engine's generator is just an
-/// index walk over this vector, at any jobs level.
-std::vector<TortureRun> enumerate_runs(const CampaignConfig& config,
-                                       std::uint64_t* skipped_crash_cells) {
+/// index walk over this vector, at any jobs level — and the shard
+/// coordinator's workers are just index *ranges* over it.
+std::vector<TortureRun> enumerate_campaign_runs(
+    const CampaignConfig& config, std::uint64_t* skipped_crash_cells) {
+  std::uint64_t skipped_local = 0;
+  if (skipped_crash_cells == nullptr) skipped_crash_cells = &skipped_local;
   const std::vector<std::string> protocols =
       config.protocols.empty() ? protocol_names() : config.protocols;
   const std::vector<std::string> adversaries = config.adversaries.empty()
@@ -146,19 +162,101 @@ std::vector<TortureRun> enumerate_runs(const CampaignConfig& config,
   return runs;
 }
 
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v;
-  h *= 0x100000001B3ULL;
+std::uint64_t outcome_digest(const engine::TrialOutcome& out) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const ProcId p : out.schedule) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(p));
+  }
+  for (const auto& c : out.crashes) {
+    h = fnv_mix(h, c.at_step * 31 + static_cast<std::uint64_t>(c.victim));
+  }
+  for (const int d : out.result.decisions) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(d + 1));
+  }
+  h = fnv_mix(h, out.result.total_steps);
+  h = fnv_mix(h, static_cast<std::uint64_t>(out.result.failure()));
   return h;
 }
 
-}  // namespace
+std::uint64_t quarantined_digest() {
+  // The shape of outcome_digest over an empty outcome, with kWorkerCrash
+  // as the failure class: no schedule, no crashes, no decisions, zero
+  // steps. Any coordinator that quarantines the same index folds the
+  // same value.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv_mix(h, 0);  // total_steps
+  h = fnv_mix(h, static_cast<std::uint64_t>(FailureClass::kWorkerCrash));
+  return h;
+}
+
+OutcomeRecord make_outcome_record(TortureRun&& run,
+                                  engine::TrialOutcome&& out) {
+  OutcomeRecord record;
+  record.digest = outcome_digest(out);
+  record.steps = out.result.total_steps;
+  record.reason = out.result.reason;
+  record.failure = out.result.failure();
+  if (!out.result.ok()) {
+    TortureFailure failure;
+    failure.run = std::move(run);
+    failure.failure = out.result.failure();
+    failure.reason = out.result.reason;
+    failure.schedule = std::move(out.schedule);
+    failure.crashes = std::move(out.crashes);
+    failure.result = std::move(out.result);
+    record.detail = std::move(failure);
+  }
+  return record;
+}
+
+bool fold_outcome_record(CampaignReport& report, OutcomeRecord&& record,
+                         std::size_t max_failures) {
+  ++report.runs;
+  if (record.reason == RunResult::Reason::kDeadline) {
+    ++report.deadline_aborts;
+  } else if (record.reason == RunResult::Reason::kBudget) {
+    ++report.budget_aborts;
+  }
+  report.summary_digest = fnv_mix(report.summary_digest, record.digest);
+  if (record.failure != FailureClass::kNone) {
+    // A failed run always carries its detail; a record stripped of it
+    // (a shard file past its detail cap) still counts and chains, it
+    // just cannot be shrunk/persisted — which the fold never needs,
+    // because it stops at max_failures detailed ones.
+    if (record.detail.has_value()) {
+      report.failures.push_back(std::move(*record.detail));
+    }
+    if (report.failures.size() >= max_failures) return false;
+  }
+  return true;
+}
+
+std::uint64_t campaign_matrix_fingerprint(
+    const CampaignConfig& config, const std::vector<TortureRun>& runs) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv_mix(h, runs.size());
+  h = fnv_mix(h, config.max_failures);
+  h = fnv_mix(h, static_cast<std::uint64_t>(config.run_deadline.count()));
+  for (const TortureRun& run : runs) {
+    h = fnv_mix_string(h, run.protocol);
+    for (const int v : run.inputs) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(v + 1));
+    }
+    h = fnv_mix_string(h, run.adversary);
+    for (const auto& c : run.crash_plan) {
+      h = fnv_mix(h, c.at_step * 31 + static_cast<std::uint64_t>(c.victim));
+    }
+    h = fnv_mix(h, run.seed);
+    h = fnv_mix(h, run.max_steps);
+  }
+  return h;
+}
 
 CampaignReport run_campaign(const CampaignConfig& config,
                             const RunObserver& observer) {
   CampaignReport report;
   std::vector<TortureRun> runs =
-      enumerate_runs(config, &report.skipped_crash_cells);
+      enumerate_campaign_runs(config, &report.skipped_crash_cells);
 
   std::size_t next = 0;
   const std::chrono::nanoseconds deadline = config.run_deadline;
@@ -169,41 +267,15 @@ CampaignReport run_campaign(const CampaignConfig& config,
 
   const auto sink = [&](std::size_t index, const engine::TrialSpec&,
                         engine::TrialOutcome&& out) -> bool {
+    if (config.stop_requested && config.stop_requested()) {
+      report.interrupted = true;
+      return false;
+    }
     TortureRun& run = runs[index];
-    const ConsensusRunResult& result = out.result;
-    ++report.runs;
-    if (result.reason == RunResult::Reason::kDeadline) {
-      ++report.deadline_aborts;
-    } else if (result.reason == RunResult::Reason::kBudget) {
-      ++report.budget_aborts;
-    }
-    std::uint64_t h = report.summary_digest;
-    for (const ProcId p : out.schedule) {
-      h = fnv_mix(h, static_cast<std::uint64_t>(p));
-    }
-    for (const auto& c : out.crashes) {
-      h = fnv_mix(h, c.at_step * 31 + static_cast<std::uint64_t>(c.victim));
-    }
-    for (const int d : result.decisions) {
-      h = fnv_mix(h, static_cast<std::uint64_t>(d + 1));
-    }
-    h = fnv_mix(h, result.total_steps);
-    h = fnv_mix(h, static_cast<std::uint64_t>(result.failure()));
-    report.summary_digest = h;
-    if (observer) observer(run, result);
-
-    if (!result.ok()) {
-      TortureFailure failure;
-      failure.run = std::move(run);
-      failure.failure = result.failure();
-      failure.reason = result.reason;
-      failure.schedule = std::move(out.schedule);
-      failure.crashes = std::move(out.crashes);
-      failure.result = result;
-      report.failures.push_back(std::move(failure));
-      if (report.failures.size() >= config.max_failures) return false;
-    }
-    return true;
+    if (observer) observer(run, out.result);
+    return fold_outcome_record(
+        report, make_outcome_record(std::move(run), std::move(out)),
+        config.max_failures);
   };
 
   engine::TrialExecutor executor({config.jobs, 0});

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,11 @@ struct CampaignConfig {
   /// and recorded trace is byte-identical at every jobs level — results
   /// are delivered in generation order (tests/test_engine.cpp pins it).
   unsigned jobs = 1;
+  /// Cooperative cancellation (SIGINT/SIGTERM in the CLI): polled between
+  /// deliveries; when it returns true the sweep stops after the current
+  /// delivery and the report is flagged `interrupted` with everything
+  /// folded so far intact — partial results flush instead of vanishing.
+  std::function<bool()> stop_requested;
 };
 
 struct CampaignReport {
@@ -84,12 +90,67 @@ struct CampaignReport {
                                           ///< (counted over the whole
                                           ///< configured matrix)
   std::vector<TortureFailure> failures;
-  /// FNV-1a over every delivered run's schedule, crashes, decisions, step
-  /// count, and failure class, in delivery (= generation) order: the
-  /// jobs-independence witness the CI digest comparison checks.
+  /// FNV-1a chain over every delivered run's outcome_digest (see below),
+  /// in delivery (= generation) order: the independence witness the CI
+  /// digest comparisons check across --jobs levels, --workers counts,
+  /// and --shard/--merge round trips.
   std::uint64_t summary_digest = 0xCBF29CE484222325ULL;
-  bool ok() const { return failures.empty(); }
+  bool interrupted = false;  ///< stop_requested fired before completion
+  bool ok() const { return failures.empty() && !interrupted; }
 };
+
+/// One delivered run reduced to what the campaign fold consumes: the
+/// per-run digest plus the classification counters, and (failures only)
+/// the full TortureFailure for shrinking/artifacts. This is the unit the
+/// shard wire protocol ships — a worker never streams raw schedules for
+/// passing runs, only their digests.
+struct OutcomeRecord {
+  std::uint64_t digest = 0;    ///< outcome_digest() of the run
+  std::uint64_t steps = 0;     ///< result.total_steps
+  RunResult::Reason reason = RunResult::Reason::kAllDone;
+  FailureClass failure = FailureClass::kNone;
+  /// Present iff failure != kNone (or the run was quarantined): the
+  /// complete failure, including the recorded trace, for the merge side
+  /// to shrink and persist.
+  std::optional<TortureFailure> detail;
+};
+
+/// FNV-1a over one outcome's schedule, crashes, decisions, step count,
+/// and failure class. The campaign digest is a chain of these per-run
+/// digests, which is what makes it mergeable: a shard ships 8 bytes per
+/// run instead of its multi-thousand-pick schedule.
+std::uint64_t outcome_digest(const engine::TrialOutcome& out);
+
+/// The digest contribution of a quarantined spec index (the trial killed
+/// its worker; there is no outcome). Pure function of the failure class,
+/// so every worker count folds the same value for the same index.
+std::uint64_t quarantined_digest();
+
+/// Reduces a delivered (run, outcome) pair to its fold unit. Consumes
+/// both (failure details move the run and trace in).
+OutcomeRecord make_outcome_record(TortureRun&& run,
+                                  engine::TrialOutcome&& out);
+
+/// Folds one record into the report: counters, digest chain, failure
+/// list. Returns false once max_failures failures are collected — the
+/// early-stop signal, identical in serial, threaded, and sharded runs
+/// because every path folds records in generation order.
+bool fold_outcome_record(CampaignReport& report, OutcomeRecord&& record,
+                         std::size_t max_failures);
+
+/// The campaign's deterministic trial matrix, in generation order. The
+/// index into this vector is the unit of sharding: shard i/k executes a
+/// contiguous index range and the coordinator re-folds records by index.
+/// `skipped_crash_cells` (nullable) receives the skip count the report
+/// carries.
+std::vector<TortureRun> enumerate_campaign_runs(
+    const CampaignConfig& config, std::uint64_t* skipped_crash_cells);
+
+/// FNV-1a fingerprint of the enumerated matrix (every run's parameters)
+/// plus the fold-relevant config. Shard files record it and the merge
+/// refuses to combine shards produced from different campaigns.
+std::uint64_t campaign_matrix_fingerprint(const CampaignConfig& config,
+                                          const std::vector<TortureRun>& runs);
 
 /// Names the campaign's adversary registry understands. Forwarders to
 /// the engine-level registry (engine/adversaries.hpp), kept under their

@@ -55,6 +55,20 @@ const std::vector<ProtocolSpec>& protocol_registry() {
            return std::make_unique<UnboundedHandoffConsensus>(rt);
          };
        }},
+      // Host-killer (crashes_process=true): lethal for half the seeds,
+      // where the first scheduled process segfaults the OS process
+      // executing the trial. The shard coordinator must quarantine those
+      // indices as kWorkerCrash and finish the campaign; everything
+      // single-process dies, by design. crash_tolerant=false: the benign
+      // path spins on all n slots, so starvation shows as budget aborts.
+      {"broken-segv", true, false,
+       [](int, std::uint64_t seed) -> ProtocolFactory {
+         const bool lethal = (seed % 2) == 0;
+         return [lethal](Runtime& rt) {
+           return std::make_unique<WorkerKillerConsensus>(rt, lethal);
+         };
+       },
+       /*crashes_process=*/true},
   };
   return registry;
 }
@@ -63,6 +77,7 @@ std::vector<std::string> protocol_names(bool include_broken) {
   std::vector<std::string> out;
   for (const ProtocolSpec& spec : protocol_registry()) {
     if (spec.broken && !include_broken) continue;
+    if (spec.crashes_process) continue;  // explicit lookup only
     out.push_back(spec.name);
   }
   return out;

@@ -29,6 +29,13 @@ struct ProtocolSpec {
   /// Builds a factory for an n-process instance; `seed` feeds protocol
   /// internals that want independent randomness (e.g. the strong coin).
   std::function<ProtocolFactory(int n, std::uint64_t seed)> make;
+  /// The protocol can kill the OS process executing it (the shard
+  /// supervisor's acceptance target, fault/broken.hpp). Excluded from
+  /// every name listing — protocol_names() never returns it, even with
+  /// include_broken — so sweeps that enumerate "all protocols" (explorer
+  /// smoke, default campaigns) never take down their own process. Only
+  /// an explicit name lookup (protocol_spec / --protocol) reaches it.
+  bool crashes_process = false;
 };
 
 /// Every protocol the harness can drive; real protocols first.

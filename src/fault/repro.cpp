@@ -33,6 +33,7 @@ std::string serialize_repro(const Repro& repro) {
   out << "max-steps " << repro.run.max_steps << "\n";
   out << "failure " << to_string(repro.failure) << "\n";
   if (!repro.note.empty()) out << "note " << repro.note << "\n";
+  if (repro.generative) out << "mode generative\n";
   for (const auto& crash : repro.run.crash_plan) {
     out << "plan-crash " << crash.at_step << " " << crash.victim << "\n";
   }
@@ -67,6 +68,35 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
     return std::nullopt;
   }
 
+  // A malformed artifact must be rejected, never mis-replayed: a schedule
+  // line that silently dropped its tail at the first garbage token would
+  // replay a *different* run and report its verdict as if it were the
+  // recorded one. Hence: every numeric list must consume its whole line,
+  // and single-valued sections may appear at most once.
+  const auto trailing_garbage = [](std::istringstream& fields) {
+    // operator>> stopped early: failbit without eof means a bad token.
+    return fields.fail() && !fields.eof();
+  };
+  const auto leftover = [](std::istringstream& fields) {
+    // Fixed-arity lines must consume the whole line: "seed 7 oops" (or a
+    // crash line with a third number) is a corrupt or mis-edited
+    // artifact, not a seed of 7.
+    std::string rest;
+    return static_cast<bool>(fields >> rest);
+  };
+  bool saw_protocol = false, saw_inputs = false, saw_adversary = false;
+  bool saw_seed = false, saw_max_steps = false, saw_failure = false;
+  bool saw_schedule = false, saw_flips = false, saw_note = false;
+  bool saw_mode = false;
+  const auto duplicate = [&](bool& flag, const char* what) {
+    if (flag) {
+      fail_with(err, std::string("duplicate ") + what + " section");
+      return true;
+    }
+    flag = true;
+    return false;
+  };
+
   bool saw_end = false;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -77,36 +107,61 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
       saw_end = true;
       break;
     } else if (key == "protocol") {
+      if (duplicate(saw_protocol, "protocol")) return std::nullopt;
       fields >> repro.run.protocol;
     } else if (key == "inputs") {
+      if (duplicate(saw_inputs, "inputs")) return std::nullopt;
       int v = 0;
-      repro.run.inputs.clear();
       while (fields >> v) repro.run.inputs.push_back(v);
+      if (trailing_garbage(fields)) {
+        fail_with(err, "malformed inputs line: " + line);
+        return std::nullopt;
+      }
     } else if (key == "adversary") {
+      if (duplicate(saw_adversary, "adversary")) return std::nullopt;
       fields >> repro.run.adversary;
     } else if (key == "seed") {
-      fields >> repro.run.seed;
+      if (duplicate(saw_seed, "seed")) return std::nullopt;
+      if (!(fields >> repro.run.seed) || leftover(fields)) {
+        fail_with(err, "malformed seed line: " + line);
+        return std::nullopt;
+      }
     } else if (key == "max-steps") {
-      fields >> repro.run.max_steps;
+      if (duplicate(saw_max_steps, "max-steps")) return std::nullopt;
+      if (!(fields >> repro.run.max_steps) || leftover(fields)) {
+        fail_with(err, "malformed max-steps line: " + line);
+        return std::nullopt;
+      }
     } else if (key == "failure") {
+      if (duplicate(saw_failure, "failure")) return std::nullopt;
       std::string name;
       fields >> name;
       repro.failure = failure_class_from_string(name);
     } else if (key == "note") {
+      if (duplicate(saw_note, "note")) return std::nullopt;
       std::getline(fields, repro.note);
       if (!repro.note.empty() && repro.note.front() == ' ') {
         repro.note.erase(repro.note.begin());
       }
+    } else if (key == "mode") {
+      if (duplicate(saw_mode, "mode")) return std::nullopt;
+      std::string mode;
+      fields >> mode;
+      if (mode != "generative") {
+        fail_with(err, "unknown replay mode: " + line);
+        return std::nullopt;
+      }
+      repro.generative = true;
     } else if (key == "plan-crash" || key == "crash") {
       CrashPlanAdversary::Crash crash{};
-      if (!(fields >> crash.at_step >> crash.victim)) {
+      if (!(fields >> crash.at_step >> crash.victim) || leftover(fields)) {
         fail_with(err, "malformed crash line: " + line);
         return std::nullopt;
       }
       (key == "crash" ? repro.crashes : repro.run.crash_plan).push_back(crash);
     } else if (key == "flips") {
+      if (duplicate(saw_flips, "flips")) return std::nullopt;
       int b = 0;
-      repro.flips.clear();
       while (fields >> b) {
         if (b != 0 && b != 1) {
           fail_with(err, "malformed flips line (bits only): " + line);
@@ -114,10 +169,18 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
         }
         repro.flips.push_back(b == 1);
       }
+      if (trailing_garbage(fields)) {
+        fail_with(err, "malformed flips line (bits only): " + line);
+        return std::nullopt;
+      }
     } else if (key == "schedule") {
+      if (duplicate(saw_schedule, "schedule")) return std::nullopt;
       ProcId p = -1;
-      repro.schedule.clear();
       while (fields >> p) repro.schedule.push_back(p);
+      if (trailing_garbage(fields)) {
+        fail_with(err, "malformed schedule line: " + line);
+        return std::nullopt;
+      }
     }
     // Unknown keys: skipped for forward compatibility.
   }
@@ -178,6 +241,12 @@ std::optional<Repro> load_repro(const std::string& path, std::string* err) {
 }
 
 ConsensusRunResult replay_repro(const Repro& repro) {
+  if (repro.generative) {
+    // Re-execute with the original adversary and seed — the only faithful
+    // replay when no schedule could be recorded (worker-killing trials).
+    return execute_run(repro.run, std::chrono::nanoseconds::zero(),
+                       /*schedule=*/nullptr, /*crashes=*/nullptr);
+  }
   return replay_run(repro.run, repro.schedule, repro.crashes,
                     /*reuse=*/nullptr,
                     repro.flips.empty() ? nullptr : &repro.flips);
@@ -191,6 +260,14 @@ Repro make_repro(const TortureFailure& fail,
   repro.failure = fail.failure;
   repro.schedule = schedule;
   repro.crashes = crashes;
+  if (fail.failure == FailureClass::kWorkerCrash) {
+    // The trial killed its worker before any trace could be streamed
+    // back; only a generative re-execution reproduces it.
+    repro.generative = true;
+    repro.note = "trial killed its worker process (quarantined); "
+                 "generative replay will re-trigger the crash";
+    return repro;
+  }
   std::string note = "reason=";
   note += to_string(fail.reason);
   note += " decisions=";

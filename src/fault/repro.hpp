@@ -42,6 +42,13 @@ struct Repro {
   std::vector<ProcId> schedule;
   std::vector<bool> flips;  ///< forced flip prefix; empty = seed-derived
   std::string note;  ///< free-form one-liner about the observed violation
+  /// Generative replay (`mode generative` line): re-execute the run with
+  /// its original adversary and seed instead of a scripted schedule. This
+  /// is how kWorkerCrash quarantine artifacts stay replayable — the trial
+  /// killed the process that would have recorded its schedule, but
+  /// (adversary, seed) regenerate the identical run. Replaying one is
+  /// expected to re-kill the replayer; that is the reproduction.
+  bool generative = false;
 };
 
 std::string serialize_repro(const Repro& repro);

@@ -206,6 +206,11 @@ ShrinkOutcome shrink_failure(const TortureFailure& fail, int max_probes,
   out.crashes = fail.crashes;
   out.original_len = fail.schedule.size();
 
+  // A worker-killing trial has no recorded trace to shrink, and probing
+  // it in-process would re-trigger the crash *here*. Its artifact is the
+  // generative repro (fault/repro.cpp); hand the failure back untouched.
+  if (fail.failure == FailureClass::kWorkerCrash) return out;
+
   Shrinker sh(fail.run, fail.failure, max_probes, jobs);
 
   // Phase 1: the recorded trace must reproduce its own failure. Watchdog

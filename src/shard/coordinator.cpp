@@ -1,0 +1,455 @@
+#include "shard/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "shard/supervise.hpp"
+#include "shard/worker.hpp"
+#include "util/assert.hpp"
+
+namespace bprc::shard {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Coordinator-side state of one worker slot. The slot's partition range
+/// is fixed; the process occupying it changes across respawns.
+struct Slot {
+  unsigned id = 0;
+  IndexRange range;
+  /// First index no complete frame has arrived for — where a respawned
+  /// worker resumes.
+  std::size_t next_expected = 0;
+  pid_t pid = -1;
+  int fd = -1;
+  FrameReader reader;
+  Clock::time_point last_frame;    ///< any frame (liveness)
+  Clock::time_point last_outcome;  ///< outcome frames only (progress)
+  bool done = false;           ///< every record of the range arrived
+  bool done_frame = false;     ///< the worker announced completion
+  bool reaper_pending = false; ///< our own chaos kill is in flight
+  int attempts = 0;            ///< deaths charged to next_expected
+};
+
+fault::OutcomeRecord quarantine_record(const fault::TortureRun& run) {
+  fault::OutcomeRecord rec;
+  rec.digest = fault::quarantined_digest();
+  rec.steps = 0;
+  rec.reason = RunResult::Reason::kAllDone;
+  rec.failure = FailureClass::kWorkerCrash;
+  fault::TortureFailure f;
+  f.run = run;
+  f.failure = FailureClass::kWorkerCrash;
+  f.reason = RunResult::Reason::kAllDone;
+  rec.detail = std::move(f);
+  return rec;
+}
+
+class Coordinator {
+ public:
+  Coordinator(const ShardServiceConfig& config,
+              std::vector<fault::TortureRun>&& runs,
+              std::uint64_t skipped_crash_cells)
+      : config_(config), runs_(std::move(runs)) {
+    report_.skipped_crash_cells = skipped_crash_cells;
+    stall_timeout_ = config.stall_timeout;
+    if (stall_timeout_.count() == 0 &&
+        config.campaign.run_deadline.count() > 0) {
+      stall_timeout_ = 4 * config.campaign.run_deadline +
+                       std::chrono::milliseconds(1000);
+    }
+  }
+
+  fault::CampaignReport run() {
+    const std::size_t total = runs_.size();
+    if (total == 0) return report_;
+    const std::size_t k =
+        std::min<std::size_t>(config_.workers, total);
+    reap_plan_ = reaper_schedule(config_.reaper_kills,
+                                 static_cast<unsigned>(k),
+                                 config_.reaper_seed, total);
+    slots_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      Slot& slot = slots_[i];
+      slot.id = static_cast<unsigned>(i);
+      slot.range = shard_range(i, k, total);
+      slot.next_expected = slot.range.begin;
+      if (slot.range.empty()) {
+        slot.done = true;
+      } else {
+        spawn(slot);
+      }
+    }
+    fire_due_reaps();  // a threshold of 0 kills before any delivery
+
+    while (fold_next_ < total) {
+      if (config_.campaign.stop_requested &&
+          config_.campaign.stop_requested()) {
+        report_.interrupted = true;
+        shutdown(SIGTERM);
+        return report_;
+      }
+      poll_workers();
+      if (!fold_ready()) {  // early stop: max_failures reached
+        shutdown(SIGTERM);
+        return report_;
+      }
+      check_watchdogs();
+    }
+    // All records folded; collect the survivors' kDone/EOF.
+    shutdown(SIGTERM);
+    return report_;
+  }
+
+ private:
+  void logf(const std::string& msg) {
+    if (config_.log) config_.log(msg);
+  }
+
+  void spawn(Slot& slot) {
+    int fds[2];
+    BPRC_REQUIRE(::pipe(fds) == 0, "pipe() failed");
+    const pid_t pid = ::fork();
+    BPRC_REQUIRE(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      // Child: drop every coordinator-side read end (its own pipe's and
+      // the sibling slots') so worker EOFs stay crisp, then run.
+      ::close(fds[0]);
+      for (const Slot& other : slots_) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      worker_process_main(fds[1], config_.campaign, runs_,
+                          IndexRange{slot.next_expected, slot.range.end},
+                          config_.heartbeat_interval);
+    }
+    ::close(fds[1]);
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.reader = FrameReader();  // a dead predecessor's partial frame dies
+    slot.last_frame = slot.last_outcome = Clock::now();
+    slot.done_frame = false;
+  }
+
+  void reap(Slot& slot) {
+    if (slot.fd >= 0) {
+      ::close(slot.fd);
+      slot.fd = -1;
+    }
+    if (slot.pid > 0) {
+      int status = 0;
+      while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      slot.pid = -1;
+    }
+  }
+
+  /// Terminates and reaps every live worker (normal completion, early
+  /// stop, and interruption all funnel through here).
+  void shutdown(int sig) {
+    for (Slot& slot : slots_) {
+      if (slot.pid > 0) ::kill(slot.pid, sig);
+    }
+    for (Slot& slot : slots_) reap(slot);
+  }
+
+  void poll_workers() {
+    std::vector<pollfd> fds;
+    std::vector<Slot*> owners;
+    for (Slot& slot : slots_) {
+      if (slot.fd >= 0) {
+        fds.push_back(pollfd{slot.fd, POLLIN, 0});
+        owners.push_back(&slot);
+      }
+    }
+    if (fds.empty()) {
+      // Nothing readable but records missing: only possible transiently
+      // (a death handled below respawns synchronously), so just yield.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return;
+    }
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/20);
+    if (rc < 0) {
+      BPRC_REQUIRE(errno == EINTR, "poll() failed");
+      return;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      drain(*owners[i]);
+    }
+  }
+
+  void drain(Slot& slot) {
+    char buf[65536];
+    const ssize_t n = ::read(slot.fd, buf, sizeof buf);
+    if (n < 0) {
+      BPRC_REQUIRE(errno == EINTR, "read() from worker pipe failed");
+      return;
+    }
+    if (n == 0) {
+      on_death(slot);
+      return;
+    }
+    slot.reader.feed(buf, static_cast<std::size_t>(n));
+    const Clock::time_point now = Clock::now();
+    slot.last_frame = now;
+    while (std::optional<Frame> frame = slot.reader.next()) {
+      switch (frame->type) {
+        case MsgType::kHeartbeat:
+          break;
+        case MsgType::kDone:
+          slot.done_frame = true;
+          break;
+        case MsgType::kOutcome: {
+          std::string err;
+          std::optional<IndexedRecord> rec = parse_record(frame->payload, &err);
+          BPRC_REQUIRE(rec.has_value(), "worker sent a malformed record");
+          BPRC_REQUIRE(rec->first == slot.next_expected,
+                       "worker delivered records out of order");
+          slot.last_outcome = now;
+          slot.attempts = 0;  // progress clears the respawn charge
+          pending_.emplace(rec->first, std::move(rec->second));
+          ++slot.next_expected;
+          ++received_;
+          // Chaos triggers key off *receipt*, not fold position: the
+          // fold trails in index order, so a fold-based trigger would
+          // mostly kill workers that already finished.
+          fire_due_reaps();
+          break;
+        }
+      }
+    }
+    if (slot.next_expected >= slot.range.end && !slot.done) {
+      slot.done = true;  // all records in; EOF is mere cleanup now
+    }
+  }
+
+  void on_death(Slot& slot) {
+    reap(slot);
+    if (slot.done || slot.done_frame ||
+        slot.next_expected >= slot.range.end) {
+      slot.done = true;
+      return;
+    }
+    const std::size_t idx = slot.next_expected;
+    if (slot.reaper_pending) {
+      // Chaos kill: our own doing, never charged. Resume immediately.
+      slot.reaper_pending = false;
+      logf("worker " + std::to_string(slot.id) +
+           " reaped by chaos schedule; respawning at index " +
+           std::to_string(idx));
+      spawn(slot);
+      return;
+    }
+    ++slot.attempts;
+    if (slot.attempts > config_.max_respawns) {
+      logf("index " + std::to_string(idx) + " killed worker " +
+           std::to_string(slot.id) + " " + std::to_string(slot.attempts) +
+           " times; quarantining as " +
+           to_string(FailureClass::kWorkerCrash));
+      pending_.emplace(idx, quarantine_record(runs_[idx]));
+      ++slot.next_expected;
+      ++received_;
+      slot.attempts = 0;
+      if (slot.next_expected >= slot.range.end) {
+        slot.done = true;
+        return;
+      }
+      spawn(slot);
+      return;
+    }
+    const std::chrono::milliseconds delay = respawn_backoff(
+        slot.attempts, config_.backoff_base, config_.backoff_cap);
+    logf("worker " + std::to_string(slot.id) + " died at index " +
+         std::to_string(idx) + " (attempt " + std::to_string(slot.attempts) +
+         "/" + std::to_string(config_.max_respawns + 1) + "); respawning in " +
+         std::to_string(delay.count()) + "ms");
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    spawn(slot);
+  }
+
+  /// Folds the contiguous pending prefix. Returns false on max_failures
+  /// early stop — the same deterministic prefix a serial run stops at.
+  bool fold_ready() {
+    auto it = pending_.find(fold_next_);
+    while (it != pending_.end()) {
+      if (!fold_outcome_record(report_, std::move(it->second),
+                               config_.campaign.max_failures)) {
+        pending_.erase(it);
+        return false;
+      }
+      pending_.erase(it);
+      ++fold_next_;
+      it = pending_.find(fold_next_);
+    }
+    return true;
+  }
+
+  void fire_due_reaps() {
+    while (next_reap_ < reap_plan_.size() &&
+           received_ >= reap_plan_[next_reap_].after_delivered) {
+      const ReapEvent& ev = reap_plan_[next_reap_];
+      // The scheduled victim may have finished already (fast shards
+      // outrun the fold); re-target the next live worker so the kill
+      // still lands whenever anyone is genuinely mid-shard. If nobody
+      // can take the kill right now (every unfinished worker is already
+      // dying), defer the event instead of dropping it — it fires at a
+      // later fold, e.g. on the respawned worker. Events that never find
+      // a victim expire with the campaign: nothing was left to disrupt.
+      const std::size_t k = slots_.size();
+      Slot* victim = nullptr;
+      for (std::size_t off = 0; off < k && victim == nullptr; ++off) {
+        Slot& s = slots_[(ev.victim_slot + off) % k];
+        if (s.pid > 0 && !s.done && !s.done_frame && !s.reaper_pending) {
+          victim = &s;
+        }
+      }
+      if (victim == nullptr) return;  // defer; retry on the next fold
+      ++next_reap_;
+      logf("reaper: SIGKILL worker " + std::to_string(victim->id) +
+           " after " + std::to_string(received_) + " records received");
+      victim->reaper_pending = true;
+      ::kill(victim->pid, SIGKILL);
+    }
+  }
+
+  void check_watchdogs() {
+    const Clock::time_point now = Clock::now();
+    for (Slot& slot : slots_) {
+      if (slot.pid <= 0 || slot.done || slot.done_frame) continue;
+      const bool silent =
+          now - slot.last_frame > config_.heartbeat_timeout;
+      const bool stalled =
+          stall_timeout_.count() > 0 &&
+          now - slot.last_outcome > stall_timeout_;
+      if (!silent && !stalled) continue;
+      logf("worker " + std::to_string(slot.id) +
+           (silent ? " stopped heartbeating" : " made no trial progress") +
+           "; killing");
+      // Charged like any crash: a trial that wedges its worker should
+      // burn through the respawn budget and quarantine.
+      ::kill(slot.pid, SIGKILL);
+      // The EOF arrives on the next poll and on_death takes over.
+    }
+  }
+
+  const ShardServiceConfig& config_;
+  std::vector<fault::TortureRun> runs_;
+  fault::CampaignReport report_;
+  std::vector<Slot> slots_;
+  /// Records waiting for their index's turn in the fold, keyed by index.
+  std::map<std::size_t, fault::OutcomeRecord> pending_;
+  std::size_t fold_next_ = 0;
+  /// Records received (frames parsed + quarantines), across all slots —
+  /// the chaos reaper's clock. Distinct from fold_next_: receipt tracks
+  /// wall progress, the fold trails in index order.
+  std::uint64_t received_ = 0;
+  std::vector<ReapEvent> reap_plan_;
+  std::size_t next_reap_ = 0;
+  std::chrono::milliseconds stall_timeout_{0};
+};
+
+}  // namespace
+
+fault::CampaignReport run_sharded_campaign(const ShardServiceConfig& config) {
+  BPRC_REQUIRE(config.workers >= 1, "need at least one worker");
+  BPRC_REQUIRE(config.max_respawns >= 0, "max_respawns must be >= 0");
+  std::uint64_t skipped = 0;
+  std::vector<fault::TortureRun> runs =
+      fault::enumerate_campaign_runs(config.campaign, &skipped);
+  Coordinator coordinator(config, std::move(runs), skipped);
+  return coordinator.run();
+}
+
+ShardFile run_shard(const fault::CampaignConfig& campaign,
+                    std::size_t shard_index, std::size_t shard_count) {
+  BPRC_REQUIRE(shard_count >= 1 && shard_index < shard_count,
+               "shard index out of range");
+  std::uint64_t skipped = 0;
+  std::vector<fault::TortureRun> runs =
+      fault::enumerate_campaign_runs(campaign, &skipped);
+  ShardFile shard;
+  shard.fingerprint = fault::campaign_matrix_fingerprint(campaign, runs);
+  shard.total_runs = runs.size();
+  shard.max_failures = campaign.max_failures;
+  shard.skipped_crash_cells = skipped;
+  const IndexRange range = shard_range(shard_index, shard_count, runs.size());
+  shard.begin = range.begin;
+  shard.end = range.end;
+  execute_index_range(
+      campaign, runs, range, campaign.max_failures, campaign.jobs,
+      [&](std::size_t index, fault::OutcomeRecord&& record) {
+        if (campaign.stop_requested && campaign.stop_requested()) {
+          shard.end = index;  // truncate: still a valid file
+          return false;
+        }
+        shard.records.emplace_back(index, std::move(record));
+        return true;
+      });
+  return shard;
+}
+
+MergeResult merge_shard_files(const std::vector<ShardFile>& shards) {
+  MergeResult result;
+  if (shards.empty()) {
+    result.error = "no shard files to merge";
+    return result;
+  }
+  std::vector<const ShardFile*> order;
+  order.reserve(shards.size());
+  for (const ShardFile& s : shards) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const ShardFile* a, const ShardFile* b) {
+              return a->begin < b->begin;
+            });
+  const ShardFile& first = *order.front();
+  for (const ShardFile* s : order) {
+    if (s->fingerprint != first.fingerprint ||
+        s->total_runs != first.total_runs ||
+        s->max_failures != first.max_failures ||
+        s->skipped_crash_cells != first.skipped_crash_cells) {
+      result.error = "shards come from different campaigns";
+      return result;
+    }
+  }
+  std::size_t expect = 0;
+  for (const ShardFile* s : order) {
+    if (s->begin != expect) {
+      result.error = "shards do not tile the index range: expected a shard "
+                     "starting at " +
+                     std::to_string(expect) + ", got " +
+                     std::to_string(s->begin);
+      return result;
+    }
+    expect = s->end;
+  }
+  if (expect != first.total_runs) {
+    result.error = "shards cover only [0, " + std::to_string(expect) +
+                   ") of " + std::to_string(first.total_runs) + " runs";
+    return result;
+  }
+  result.report.skipped_crash_cells = first.skipped_crash_cells;
+  bool stopped = false;
+  for (const ShardFile* s : order) {
+    if (stopped) break;
+    for (const IndexedRecord& rec : s->records) {
+      fault::OutcomeRecord copy = rec.second;
+      if (!fold_outcome_record(result.report, std::move(copy),
+                               first.max_failures)) {
+        stopped = true;  // max_failures: same stop point as a serial run
+        break;
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace bprc::shard

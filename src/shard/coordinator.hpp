@@ -1,0 +1,104 @@
+// Coordinator of the fault-tolerant sharded campaign service.
+//
+// run_sharded_campaign() splits a campaign's deterministic spec index
+// range over fork()ed worker processes, reads their record streams off
+// pipes (shard/wire.hpp), and folds records strictly in index order —
+// so the merged CampaignReport, its summary_digest above all, is
+// byte-identical to a serial `run_campaign` of the same config.
+//
+// The robustness contract (the reason this exists):
+//
+//   * crash detection — a worker that exits, segfaults, or is SIGKILLed
+//     surfaces as EOF on its pipe; a worker whose process wedges stops
+//     heartbeating and is SIGKILLed by the liveness watchdog; a worker
+//     that heartbeats but makes no trial progress trips the stall
+//     watchdog (armed only when the campaign has a run_deadline: the
+//     per-trial watchdog bounds honest trial time, so 4x that without a
+//     record means a hard-hung trial loop);
+//   * resume — the dead worker's completed prefix is whatever complete
+//     frames arrived (a partial trailing frame is discarded); a fresh
+//     worker is forked over the remaining range after capped
+//     exponential backoff, and determinism makes re-executed records
+//     identical, so nothing is lost and nothing double-folds;
+//   * quarantine — when the same spec index kills its worker more than
+//     `max_respawns` times, that single trial is written off as a
+//     FailureClass::kWorkerCrash finding (digest contribution
+//     fault::quarantined_digest(), detail carrying the TortureRun for a
+//     generative .bprc-repro artifact) and the campaign completes
+//     degraded instead of dying with it;
+//   * chaos — the WorkerReaper (reaper_kills > 0) SIGKILLs workers
+//     mid-shard on a seeded schedule; reaper kills are the
+//     coordinator's own doing and are never charged against a spec
+//     index's respawn budget, so chaos can slow a campaign but never
+//     quarantine a healthy trial;
+//   * interruption — when campaign.stop_requested() fires, workers get
+//     SIGTERM, are reaped, and the report flushes everything folded so
+//     far with `interrupted` set.
+//
+// run_shard()/merge_shard_files() are the offline halves of the same
+// machine: `bprc_torture --shard i/k` executes one range in-process and
+// writes a ShardFile; `--merge` re-folds any full set of shard files
+// into the identical report.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "shard/wire.hpp"
+
+namespace bprc::shard {
+
+struct ShardServiceConfig {
+  fault::CampaignConfig campaign;
+  unsigned workers = 2;
+  /// Deaths the same spec index may cause before it is quarantined.
+  int max_respawns = 2;
+  /// Respawn backoff curve (supervise.hpp): base, doubling, capped.
+  std::chrono::milliseconds backoff_base{25};
+  std::chrono::milliseconds backoff_cap{500};
+  /// Worker heartbeat cadence, and how long a silent worker lives.
+  std::chrono::milliseconds heartbeat_interval{100};
+  std::chrono::milliseconds heartbeat_timeout{5000};
+  /// No-progress watchdog: a worker heartbeating but delivering no
+  /// record for this long is killed (and charged). 0 derives
+  /// 4 * campaign.run_deadline + 1s, or disables it when the campaign
+  /// runs without a per-trial watchdog.
+  std::chrono::milliseconds stall_timeout{0};
+  /// WorkerReaper chaos harness: SIGKILL this many workers mid-shard on
+  /// a schedule seeded by reaper_seed (supervise.hpp). Never affects the
+  /// merged digest.
+  std::uint64_t reaper_kills = 0;
+  std::uint64_t reaper_seed = 0x5EED;
+  /// Supervision event log (respawns, quarantines, reaper kills);
+  /// nullable.
+  std::function<void(const std::string&)> log;
+};
+
+/// Runs the campaign across forked workers; see the file comment for the
+/// supervision contract. The returned report is byte-identical to the
+/// serial run whenever no trial kills its worker.
+fault::CampaignReport run_sharded_campaign(const ShardServiceConfig& config);
+
+/// Executes shard `shard_index` of `shard_count` in-process and returns
+/// its ShardFile. Honors campaign.stop_requested by truncating: the
+/// returned range end is the first unexecuted index, so a partial shard
+/// is still a valid (merge-refusing) file instead of a corrupt one.
+ShardFile run_shard(const fault::CampaignConfig& campaign,
+                    std::size_t shard_index, std::size_t shard_count);
+
+struct MergeResult {
+  bool ok = false;     ///< shards were consistent and covered the matrix
+  std::string error;   ///< why not, when !ok
+  fault::CampaignReport report;
+};
+
+/// Re-folds a full set of shards (any order; must tile [0, total_runs)
+/// exactly and agree on the campaign fingerprint) into the report a
+/// serial run would have produced.
+MergeResult merge_shard_files(const std::vector<ShardFile>& shards);
+
+}  // namespace bprc::shard

@@ -1,0 +1,93 @@
+// Supervision policy of the shard coordinator, factored out as pure
+// functions so tests can pin the partition math, the backoff curve, and
+// the chaos-reaper schedule without forking anything.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bprc::shard {
+
+/// A contiguous half-open slice of the campaign's spec index space.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Shard i of k over `total` indices: contiguous ranges, the first
+/// (total % k) shards one index larger, so every index is covered exactly
+/// once and |size(i) - size(j)| <= 1.
+inline IndexRange shard_range(std::size_t i, std::size_t k,
+                              std::size_t total) {
+  const std::size_t base = total / k;
+  const std::size_t extra = total % k;
+  const std::size_t begin = i * base + std::min(i, extra);
+  const std::size_t size = base + (i < extra ? 1 : 0);
+  return IndexRange{begin, begin + size};
+}
+
+/// Capped exponential backoff before respawning a crashed worker:
+/// attempt 1 waits `base`, each further attempt doubles, clamped to
+/// `cap`. Attempt 0 (and negative) waits nothing — the first spawn is
+/// not a retry.
+inline std::chrono::milliseconds respawn_backoff(
+    int attempt, std::chrono::milliseconds base,
+    std::chrono::milliseconds cap) {
+  if (attempt <= 0 || base.count() <= 0) {
+    return std::chrono::milliseconds::zero();
+  }
+  std::chrono::milliseconds delay = base;
+  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2;
+  return std::min(delay, cap);
+}
+
+/// One scheduled chaos kill: once the coordinator has received
+/// `after_delivered` records (across all workers), SIGKILL the worker in
+/// `victim_slot` — or, if that one already finished, the next live
+/// worker; events nobody can take are deferred to a later receipt.
+struct ReapEvent {
+  std::uint64_t after_delivered = 0;
+  unsigned victim_slot = 0;
+};
+
+/// Seeded WorkerReaper schedule: `kills` SIGKILLs spread over the first
+/// three quarters of the campaign's record receipts, thresholds strictly
+/// increasing. Deterministic in (kills, workers, seed, total_runs); the
+/// *timing* of each kill still depends on scheduling, but the merged
+/// digest never does — a killed worker's range is re-executed and folds
+/// identically.
+inline std::vector<ReapEvent> reaper_schedule(std::uint64_t kills,
+                                              unsigned workers,
+                                              std::uint64_t seed,
+                                              std::uint64_t total_runs) {
+  std::vector<ReapEvent> plan;
+  if (kills == 0 || workers == 0 || total_runs == 0) return plan;
+  Rng rng(seed ^ 0x5EAFED5EAFED5EAFULL);
+  const std::uint64_t span = std::max<std::uint64_t>(1, total_runs * 3 / 4);
+  std::vector<std::uint64_t> thresholds;
+  thresholds.reserve(kills);
+  for (std::uint64_t i = 0; i < kills; ++i) {
+    thresholds.push_back(rng.below(span));
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  for (std::uint64_t i = 1; i < thresholds.size(); ++i) {
+    // Strictly increasing so two kills never race for the same delivery.
+    thresholds[i] = std::max(thresholds[i], thresholds[i - 1] + 1);
+  }
+  for (std::uint64_t i = 0; i < kills; ++i) {
+    plan.push_back(ReapEvent{
+        thresholds[i],
+        static_cast<unsigned>(rng.below(workers))});
+  }
+  return plan;
+}
+
+}  // namespace bprc::shard

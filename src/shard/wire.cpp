@@ -1,0 +1,413 @@
+#include "shard/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/assert.hpp"
+
+namespace bprc::shard {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 5;  // 1 type byte + u32le length
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t wrote = ::write(fd, data, len);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(wrote);
+    len -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool reason_from_string(const std::string& name, RunResult::Reason* out) {
+  for (const RunResult::Reason r :
+       {RunResult::Reason::kAllDone, RunResult::Reason::kBudget,
+        RunResult::Reason::kNoRunnable, RunResult::Reason::kDeadline}) {
+    if (name == to_string(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool class_from_string(const std::string& name, FailureClass* out) {
+  // failure_class_from_string maps unknown names to kNone; distinguish a
+  // genuine "none" from garbage by round-tripping.
+  const FailureClass f = failure_class_from_string(name);
+  if (f == FailureClass::kNone && name != to_string(FailureClass::kNone)) {
+    return false;
+  }
+  *out = f;
+  return true;
+}
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what;
+}
+
+/// Line-level parse state shared by parse_record and parse_shard_file.
+struct LineParser {
+  std::istringstream in;
+  std::string line;
+
+  explicit LineParser(const std::string& text) : in(text) {}
+
+  bool next_line() { return static_cast<bool>(std::getline(in, line)); }
+
+  /// True when `line` parsed fully as `key` + the fields the caller
+  /// consumed; callers check fields themselves via this stream.
+  std::istringstream fields_after(const std::string& key) {
+    std::istringstream fields(line);
+    std::string k;
+    fields >> k;
+    BPRC_REQUIRE(k == key, "wire parse state confusion");
+    return fields;
+  }
+};
+
+bool trailing_garbage(std::istringstream& fields) {
+  std::string extra;
+  return static_cast<bool>(fields >> extra);
+}
+
+void emit_vec_line(std::ostringstream& out, const char* key,
+                   const std::vector<int>& v) {
+  out << key;
+  for (const int x : v) out << ' ' << x;
+  out << '\n';
+}
+
+// ---- failure block -------------------------------------------------------
+
+void serialize_failure(std::ostringstream& out, const fault::TortureFailure& f) {
+  out << "failure-begin\n";
+  out << "protocol " << f.run.protocol << '\n';
+  emit_vec_line(out, "inputs", f.run.inputs);
+  out << "adversary " << f.run.adversary << '\n';
+  for (const auto& c : f.run.crash_plan) {
+    out << "plan-crash " << c.at_step << ' ' << c.victim << '\n';
+  }
+  out << "seed " << f.run.seed << '\n';
+  out << "max-steps " << f.run.max_steps << '\n';
+  out << "fail-class " << to_string(f.failure) << '\n';
+  out << "fail-reason " << to_string(f.reason) << '\n';
+  out << "schedule";
+  for (const ProcId p : f.schedule) out << ' ' << p;
+  out << '\n';
+  for (const auto& c : f.crashes) {
+    out << "crash " << c.at_step << ' ' << c.victim << '\n';
+  }
+  const ConsensusRunResult& r = f.result;
+  out << "res-flags " << r.all_decided << ' ' << r.consistent << ' '
+      << r.valid << ' ' << r.bounded_ok << '\n';
+  emit_vec_line(out, "res-decisions", r.decisions);
+  out << "res-rounds";
+  for (const std::int64_t x : r.decision_rounds) out << ' ' << x;
+  out << '\n';
+  out << "res-steps " << r.total_steps << ' ' << r.max_proc_steps << '\n';
+  out << "res-max-round " << r.max_round << '\n';
+  out << "res-footprint " << r.footprint.bounded << ' '
+      << r.footprint.max_round_stored << ' ' << r.footprint.max_counter << ' '
+      << r.footprint.coin_locations << ' ' << r.footprint.static_bound << '\n';
+  out << "res-reason " << to_string(r.reason) << '\n';
+  out << "failure-end\n";
+}
+
+/// Parses the lines after a `failure-begin` up to `failure-end`. The wire
+/// peers are the same binary, so unknown keys are an error, not a skip.
+bool parse_failure(LineParser& p, fault::TortureFailure* f, std::string* err) {
+  while (p.next_line()) {
+    std::istringstream fields(p.line);
+    std::string key;
+    if (!(fields >> key)) continue;  // blank line
+    if (key == "failure-end") return true;
+    bool bad = false;
+    if (key == "protocol") {
+      bad = !(fields >> f->run.protocol) || trailing_garbage(fields);
+    } else if (key == "inputs") {
+      int x = 0;
+      while (fields >> x) f->run.inputs.push_back(x);
+      bad = fields.fail() && !fields.eof();
+    } else if (key == "adversary") {
+      bad = !(fields >> f->run.adversary) || trailing_garbage(fields);
+    } else if (key == "plan-crash") {
+      CrashPlanAdversary::Crash c{};
+      bad = !(fields >> c.at_step >> c.victim) || trailing_garbage(fields);
+      if (!bad) f->run.crash_plan.push_back(c);
+    } else if (key == "seed") {
+      bad = !(fields >> f->run.seed) || trailing_garbage(fields);
+    } else if (key == "max-steps") {
+      bad = !(fields >> f->run.max_steps) || trailing_garbage(fields);
+    } else if (key == "fail-class") {
+      std::string name;
+      bad = !(fields >> name) || trailing_garbage(fields) ||
+            !class_from_string(name, &f->failure);
+    } else if (key == "fail-reason") {
+      std::string name;
+      bad = !(fields >> name) || trailing_garbage(fields) ||
+            !reason_from_string(name, &f->reason);
+    } else if (key == "schedule") {
+      ProcId x = 0;
+      while (fields >> x) f->schedule.push_back(x);
+      bad = fields.fail() && !fields.eof();
+    } else if (key == "crash") {
+      CrashPlanAdversary::Crash c{};
+      bad = !(fields >> c.at_step >> c.victim) || trailing_garbage(fields);
+      if (!bad) f->crashes.push_back(c);
+    } else if (key == "res-flags") {
+      ConsensusRunResult& r = f->result;
+      bad = !(fields >> r.all_decided >> r.consistent >> r.valid >>
+              r.bounded_ok) ||
+            trailing_garbage(fields);
+    } else if (key == "res-decisions") {
+      int x = 0;
+      while (fields >> x) f->result.decisions.push_back(x);
+      bad = fields.fail() && !fields.eof();
+    } else if (key == "res-rounds") {
+      std::int64_t x = 0;
+      while (fields >> x) f->result.decision_rounds.push_back(x);
+      bad = fields.fail() && !fields.eof();
+    } else if (key == "res-steps") {
+      bad = !(fields >> f->result.total_steps >> f->result.max_proc_steps) ||
+            trailing_garbage(fields);
+    } else if (key == "res-max-round") {
+      bad = !(fields >> f->result.max_round) || trailing_garbage(fields);
+    } else if (key == "res-footprint") {
+      MemoryFootprint& fp = f->result.footprint;
+      bad = !(fields >> fp.bounded >> fp.max_round_stored >> fp.max_counter >>
+              fp.coin_locations >> fp.static_bound) ||
+            trailing_garbage(fields);
+    } else if (key == "res-reason") {
+      std::string name;
+      bad = !(fields >> name) || trailing_garbage(fields) ||
+            !reason_from_string(name, &f->result.reason);
+    } else {
+      set_err(err, "unknown key in failure block: " + key);
+      return false;
+    }
+    if (bad) {
+      set_err(err, "malformed failure line: " + p.line);
+      return false;
+    }
+  }
+  set_err(err, "failure block not terminated (missing failure-end)");
+  return false;
+}
+
+/// Parses one `outcome ...` line (already in p.line); if a failure block
+/// follows, consumes it too.
+bool parse_record_at(LineParser& p, IndexedRecord* out, std::string* err) {
+  std::istringstream fields = p.fields_after("outcome");
+  fault::OutcomeRecord rec;
+  std::size_t index = 0;
+  std::string reason_name;
+  std::string class_name;
+  if (!(fields >> index >> rec.digest >> rec.steps >> reason_name >>
+        class_name) ||
+      trailing_garbage(fields) ||
+      !reason_from_string(reason_name, &rec.reason) ||
+      !class_from_string(class_name, &rec.failure)) {
+    set_err(err, "malformed outcome line: " + p.line);
+    return false;
+  }
+  // Peek: does a failure block follow? (Only ever directly after its
+  // outcome line.)
+  const std::streampos before = p.in.tellg();
+  if (p.next_line()) {
+    if (p.line == "failure-begin") {
+      fault::TortureFailure f;
+      if (!parse_failure(p, &f, err)) return false;
+      rec.detail = std::move(f);
+    } else {
+      // Not ours; rewind so the caller sees this line again.
+      p.in.clear();
+      p.in.seekg(before);
+    }
+  } else {
+    p.in.clear();  // EOF right after the outcome line is fine
+  }
+  *out = {index, std::move(rec)};
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, MsgType type, const std::string& payload) {
+  BPRC_REQUIRE(payload.size() <= 0xFFFFFFFFu, "frame payload too large");
+  char header[kHeaderBytes];
+  header[0] = static_cast<char>(type);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  header[1] = static_cast<char>(len & 0xFF);
+  header[2] = static_cast<char>((len >> 8) & 0xFF);
+  header[3] = static_cast<char>((len >> 16) & 0xFF);
+  header[4] = static_cast<char>((len >> 24) & 0xFF);
+  // Two write calls: the frame need not be atomic on the pipe because
+  // each fd has exactly one reader buffering into a FrameReader, and
+  // writers on the same fd hold a mutex around the whole call.
+  if (!write_all(fd, header, kHeaderBytes)) return false;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buf_.size() < kHeaderBytes) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[i]));
+  };
+  const std::uint32_t len = b(1) | (b(2) << 8) | (b(3) << 16) | (b(4) << 24);
+  if (buf_.size() < kHeaderBytes + len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<MsgType>(b(0));
+  frame.payload = buf_.substr(kHeaderBytes, len);
+  buf_.erase(0, kHeaderBytes + len);
+  return frame;
+}
+
+std::string serialize_record(std::size_t index,
+                             const fault::OutcomeRecord& record) {
+  std::ostringstream out;
+  out << "outcome " << index << ' ' << record.digest << ' ' << record.steps
+      << ' ' << to_string(record.reason) << ' ' << to_string(record.failure)
+      << '\n';
+  if (record.detail.has_value()) serialize_failure(out, *record.detail);
+  return out.str();
+}
+
+std::optional<IndexedRecord> parse_record(const std::string& text,
+                                          std::string* err) {
+  LineParser p(text);
+  if (!p.next_line() || p.line.rfind("outcome ", 0) != 0) {
+    set_err(err, "record does not start with an outcome line");
+    return std::nullopt;
+  }
+  IndexedRecord rec;
+  if (!parse_record_at(p, &rec, err)) return std::nullopt;
+  // Anything after the record is garbage.
+  while (p.next_line()) {
+    if (!p.line.empty()) {
+      set_err(err, "trailing data after record: " + p.line);
+      return std::nullopt;
+    }
+  }
+  return rec;
+}
+
+std::string serialize_shard_file(const ShardFile& shard) {
+  std::ostringstream out;
+  out << "bprc-shard v1\n";
+  out << "fingerprint " << shard.fingerprint << '\n';
+  out << "total-runs " << shard.total_runs << '\n';
+  out << "max-failures " << shard.max_failures << '\n';
+  out << "skipped-crash-cells " << shard.skipped_crash_cells << '\n';
+  out << "range " << shard.begin << ' ' << shard.end << '\n';
+  for (const IndexedRecord& rec : shard.records) {
+    out << serialize_record(rec.first, rec.second);
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ShardFile> parse_shard_file(const std::string& text,
+                                          std::string* err) {
+  LineParser p(text);
+  ShardFile shard;
+  if (!p.next_line() || p.line != "bprc-shard v1") {
+    set_err(err, "not a bprc-shard v1 file");
+    return std::nullopt;
+  }
+  // Fixed header order — this is machine output, not hand-written.
+  const auto header_u64 = [&](const char* key, std::uint64_t* out) {
+    if (!p.next_line()) return false;
+    std::istringstream fields(p.line);
+    std::string k;
+    return static_cast<bool>(fields >> k) && k == key &&
+           static_cast<bool>(fields >> *out) && !trailing_garbage(fields);
+  };
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool ok = header_u64("fingerprint", &shard.fingerprint) &&
+            header_u64("total-runs", &shard.total_runs) &&
+            header_u64("max-failures", &shard.max_failures) &&
+            header_u64("skipped-crash-cells", &shard.skipped_crash_cells);
+  if (ok) {
+    ok = p.next_line();
+    if (ok) {
+      std::istringstream fields(p.line);
+      std::string k;
+      ok = static_cast<bool>(fields >> k) && k == "range" &&
+           static_cast<bool>(fields >> begin >> end) &&
+           !trailing_garbage(fields) && begin <= end &&
+           end <= shard.total_runs;
+    }
+  }
+  if (!ok) {
+    set_err(err, "malformed shard header at: " + p.line);
+    return std::nullopt;
+  }
+  shard.begin = static_cast<std::size_t>(begin);
+  shard.end = static_cast<std::size_t>(end);
+
+  bool terminated = false;
+  std::size_t expect = shard.begin;
+  while (p.next_line()) {
+    if (p.line.empty()) continue;
+    if (p.line == "end") {
+      terminated = true;
+      break;
+    }
+    if (p.line.rfind("outcome ", 0) != 0) {
+      set_err(err, "expected an outcome line, got: " + p.line);
+      return std::nullopt;
+    }
+    IndexedRecord rec;
+    if (!parse_record_at(p, &rec, err)) return std::nullopt;
+    if (rec.first != expect) {
+      set_err(err, "record index " + std::to_string(rec.first) +
+                       " out of order (expected " + std::to_string(expect) +
+                       ")");
+      return std::nullopt;
+    }
+    ++expect;
+    shard.records.push_back(std::move(rec));
+  }
+  if (!terminated) {
+    set_err(err, "shard file truncated (missing end marker)");
+    return std::nullopt;
+  }
+  if (expect != shard.end) {
+    set_err(err, "shard covers [" + std::to_string(shard.begin) + ", " +
+                     std::to_string(shard.end) + ") but has records up to " +
+                     std::to_string(expect));
+    return std::nullopt;
+  }
+  return shard;
+}
+
+bool save_shard_file(const std::string& path, const ShardFile& shard) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << serialize_shard_file(shard);
+  return static_cast<bool>(out.flush());
+}
+
+std::optional<ShardFile> load_shard_file(const std::string& path,
+                                         std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_err(err, "cannot open shard file: " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_shard_file(text.str(), err);
+}
+
+}  // namespace bprc::shard

@@ -5,20 +5,30 @@
 // higher-fidelity runs (e.g. BPRC_SCALE=10 for publication-grade CIs).
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace bprc {
 
 /// Reads an integer environment variable, returning `fallback` when unset
-/// or unparsable.
+/// or empty. An unparseable value (BPRC_JOBS=banana, trailing garbage,
+/// out-of-range) aborts with a diagnostic: a knob the user bothered to
+/// set and got wrong must not silently degrade to the default — that
+/// turns "I benchmarked at 8 jobs" into a lie.
 inline std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s='%s' is not a valid integer\n", name, raw);
+    std::fflush(stderr);
+    std::abort();
+  }
   return v;
 }
 

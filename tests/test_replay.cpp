@@ -279,5 +279,152 @@ TEST(Repro, ExactlyBitmaskWidthProcessesStillParses) {
   EXPECT_TRUE(parse_repro(text, &err).has_value()) << err;
 }
 
+// ---- malformed-artifact fixtures ------------------------------------------
+//
+// Every fixture below is a corruption a real artifact can suffer (torn
+// write, hand-edit typo, version skew). Each must be *rejected with a
+// diagnostic*, never replayed as a different run than the one recorded.
+
+namespace {
+// A well-formed artifact the corruption fixtures mutate.
+const char kGoodRepro[] =
+    "bprc-repro v1\n"
+    "protocol broken-racy\n"
+    "inputs 0 1\n"
+    "adversary round-robin\n"
+    "seed 7\n"
+    "max-steps 100\n"
+    "failure consistency\n"
+    "crash 5 1\n"
+    "schedule 0 1 0 1\n"
+    "end\n";
+
+std::string expect_rejected(const std::string& text) {
+  std::string err;
+  EXPECT_FALSE(parse_repro(text, &err).has_value()) << text;
+  EXPECT_FALSE(err.empty()) << "rejection must carry a diagnostic";
+  return err;
+}
+}  // namespace
+
+TEST(Repro, BaselineFixtureParses) {
+  std::string err;
+  ASSERT_TRUE(parse_repro(kGoodRepro, &err).has_value()) << err;
+}
+
+TEST(Repro, TruncatedFileIsRejected) {
+  // A torn write drops the trailing `end` guard (possibly mid-line): the
+  // parser must treat the file as incomplete, not replay the prefix.
+  std::string text(kGoodRepro);
+  text.resize(text.size() - 4);  // drop "end\n"
+  std::string err = expect_rejected(text);
+  EXPECT_NE(err.find("missing 'end'"), std::string::npos) << err;
+  // Mid-line EOF inside the schedule line.
+  err = expect_rejected(text.substr(0, text.find("schedule 0 1") + 10));
+  EXPECT_NE(err.find("missing 'end'"), std::string::npos) << err;
+}
+
+TEST(Repro, DuplicateSectionsAreRejected) {
+  for (const char* line :
+       {"protocol bprc\n", "inputs 1 0\n", "adversary random\n", "seed 9\n",
+        "max-steps 50\n", "schedule 1 0\n", "mode generative\n"}) {
+    // Insert the duplicate right before `end`; `mode` duplicates against
+    // an inserted first copy instead (the baseline has none).
+    std::string text(kGoodRepro);
+    const std::string dup =
+        (std::string(line).rfind("mode ", 0) == 0 ? std::string(line) : "") +
+        line;
+    text.insert(text.find("end\n"), dup);
+    const std::string err = expect_rejected(text);
+    EXPECT_NE(err.find("duplicate"), std::string::npos)
+        << "line=" << line << " err=" << err;
+  }
+}
+
+TEST(Repro, TrailingGarbageOnNumericLinesIsRejected) {
+  // operator>> stopping early must not silently drop the tail — a
+  // half-read schedule replays a different run.
+  struct Case {
+    const char* from;
+    const char* to;
+    const char* diag;
+  };
+  const Case cases[] = {
+      {"seed 7\n", "seed 7 oops\n", "malformed seed"},
+      {"seed 7\n", "seed banana\n", "malformed seed"},
+      {"max-steps 100\n", "max-steps 1e6\n", "malformed max-steps"},
+      {"inputs 0 1\n", "inputs 0 one\n", "malformed inputs"},
+      {"crash 5 1\n", "crash 5\n", "malformed crash"},
+      {"crash 5 1\n", "crash 5 1 9\n", "malformed crash"},
+      {"schedule 0 1 0 1\n", "schedule 0 1 x 1\n", "malformed schedule"},
+  };
+  for (const Case& c : cases) {
+    std::string text(kGoodRepro);
+    const std::size_t at = text.find(c.from);
+    ASSERT_NE(at, std::string::npos) << c.from;
+    text.replace(at, std::string(c.from).size(), c.to);
+    const std::string err = expect_rejected(text);
+    EXPECT_NE(err.find(c.diag), std::string::npos)
+        << "fixture=" << c.to << " err=" << err;
+  }
+}
+
+TEST(Repro, OutOfRangeEntriesAreRejected) {
+  // Schedule picks and crash victims beyond n (here n=2).
+  std::string text(kGoodRepro);
+  text.replace(text.find("schedule 0 1 0 1\n"), 17, "schedule 0 1 2 1\n");
+  std::string err = expect_rejected(text);
+  EXPECT_NE(err.find("schedule entry out of range"), std::string::npos) << err;
+
+  text = kGoodRepro;
+  text.replace(text.find("crash 5 1\n"), 10, "crash 5 2\n");
+  err = expect_rejected(text);
+  EXPECT_NE(err.find("crash victim out of range"), std::string::npos) << err;
+}
+
+TEST(Repro, OutOfRangeFlipBitsAreRejected) {
+  std::string text(kGoodRepro);
+  text.insert(text.find("schedule"), "flips 0 1 2\n");
+  const std::string err = expect_rejected(text);
+  EXPECT_NE(err.find("bits only"), std::string::npos) << err;
+}
+
+TEST(Repro, UnknownModeAndVersionAreRejected) {
+  std::string text(kGoodRepro);
+  text.insert(text.find("crash"), "mode interpretive-dance\n");
+  std::string err = expect_rejected(text);
+  EXPECT_NE(err.find("unknown replay mode"), std::string::npos) << err;
+
+  text = kGoodRepro;
+  text.replace(0, 12, "bprc-repro v9");
+  err = expect_rejected(text);
+  EXPECT_NE(err.find("unsupported"), std::string::npos) << err;
+}
+
+TEST(Repro, GenerativeModeRoundTrips) {
+  // kWorkerCrash artifacts have no recorded schedule — `mode generative`
+  // flags that replay re-executes (adversary, seed) from scratch. The
+  // flag must survive a serialize/parse round trip, or a worker-crash
+  // artifact would silently replay as a zero-step scripted run.
+  TortureFailure fail;
+  fail.run.protocol = "broken-segv";
+  fail.run.inputs = {0, 1};
+  fail.run.adversary = "random";
+  fail.run.seed = 8;
+  fail.run.max_steps = 1000;
+  fail.failure = FailureClass::kWorkerCrash;
+  const Repro repro = make_repro(fail, fail.schedule, fail.crashes);
+  ASSERT_TRUE(repro.generative);
+  EXPECT_NE(serialize_repro(repro).find("mode generative\n"),
+            std::string::npos);
+  std::string err;
+  const auto parsed = parse_repro(serialize_repro(repro), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(parsed->generative);
+  EXPECT_EQ(parsed->failure, FailureClass::kWorkerCrash);
+  EXPECT_EQ(parsed->run.seed, 8u);
+  EXPECT_TRUE(parsed->schedule.empty());
+}
+
 }  // namespace
 }  // namespace bprc::fault

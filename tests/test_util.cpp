@@ -218,10 +218,26 @@ TEST(Env, ScaledTrialsHonorsVariable) {
 TEST(Env, IntParsesAndFallsBack) {
   setenv("BPRC_TEST_ENV_INT", "17", 1);
   EXPECT_EQ(env_int("BPRC_TEST_ENV_INT", 5), 17);
-  setenv("BPRC_TEST_ENV_INT", "junk", 1);
-  EXPECT_EQ(env_int("BPRC_TEST_ENV_INT", 5), 5);
+  setenv("BPRC_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(env_int("BPRC_TEST_ENV_INT", 5), -3);
+  // Unset and empty mean "use the default" — the user said nothing.
   unsetenv("BPRC_TEST_ENV_INT");
   EXPECT_EQ(env_int("BPRC_TEST_ENV_INT", 5), 5);
+  setenv("BPRC_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(env_int("BPRC_TEST_ENV_INT", 5), 5);
+  unsetenv("BPRC_TEST_ENV_INT");
+}
+
+TEST(Env, UnparseableValueAborts) {
+  // A knob the user set and got wrong must abort with a diagnostic, not
+  // silently degrade to the default ("I benchmarked at 8 jobs" — no).
+  setenv("BPRC_TEST_ENV_INT", "banana", 1);
+  EXPECT_DEATH(env_int("BPRC_TEST_ENV_INT", 5), "not a valid integer");
+  setenv("BPRC_TEST_ENV_INT", "8jobs", 1);  // trailing garbage
+  EXPECT_DEATH(env_int("BPRC_TEST_ENV_INT", 5), "not a valid integer");
+  setenv("BPRC_TEST_ENV_INT", "999999999999999999999", 1);  // out of range
+  EXPECT_DEATH(env_int("BPRC_TEST_ENV_INT", 5), "not a valid integer");
+  unsetenv("BPRC_TEST_ENV_INT");
 }
 
 }  // namespace

@@ -220,6 +220,28 @@ int run(const Options& opt) {
                  serial.runs_per_sec > 0.0
                      ? wide.runs_per_sec / serial.runs_per_sec
                      : 0.0);
+
+    // Process-sharding lane: the same cell as a campaign across 2 forked
+    // workers (src/shard/). Compared against its own serial-campaign
+    // baseline, the delta is the crash-isolation tax: fork + wire +
+    // supervision.
+    std::fprintf(stderr,
+                 "bprc_bench: sharded campaign n=%d (%llu trials, "
+                 "workers=1 vs workers=2)...\n",
+                 n, static_cast<unsigned long long>(trials));
+    const SweepPerf campaign1 = measure_sharded_throughput(n, trials, 1);
+    add("campaign_throughput_n8", "runs/sec@workers1", campaign1.runs_per_sec,
+        "runs/s", n, campaign1.trials);
+    const SweepPerf sharded = measure_sharded_throughput(n, trials, 2);
+    add("campaign_throughput_n8", "runs/sec@workers2", sharded.runs_per_sec,
+        "runs/s", n, sharded.trials);
+    std::fprintf(stderr,
+                 "  workers=1: %.0f runs/sec; workers=2: %.0f runs/sec "
+                 "(%.2fx)\n",
+                 campaign1.runs_per_sec, sharded.runs_per_sec,
+                 campaign1.runs_per_sec > 0.0
+                     ? sharded.runs_per_sec / campaign1.runs_per_sec
+                     : 0.0);
   }
 
   std::vector<std::string> lines;

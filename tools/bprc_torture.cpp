@@ -23,11 +23,32 @@
 //                                byte-identical at every jobs level.
 //                                Forbidden with --replay (replay is
 //                                definitionally serial).
+//   bprc_torture --workers N     shard the sweep over N forked worker
+//                                *processes* under the fault-tolerant
+//                                coordinator (src/shard/): a trial that
+//                                crashes its worker is retried and, past
+//                                the respawn budget, quarantined as a
+//                                worker-crash finding instead of killing
+//                                the campaign. Digest identical to the
+//                                serial run. --reap K turns on the
+//                                WorkerReaper chaos harness (SIGKILLs K
+//                                workers mid-sweep; digest unaffected).
+//   bprc_torture --shard I/K     execute shard I of K in-process and
+//                                write a mergeable .bprc-shard file
+//   bprc_torture --merge F...    re-fold a full set of shard files into
+//                                the exact serial report
+//
+// SIGINT/SIGTERM anywhere in a sweep flush the partial report — failures
+// found so far are shrunk and persisted, the summary and digest print —
+// before exiting 130; the coordinator forwards the signal to its workers
+// and reaps them first.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +56,7 @@
 #include "fault/protocols.hpp"
 #include "fault/repro.hpp"
 #include "fault/shrink.hpp"
+#include "shard/coordinator.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -62,6 +84,18 @@ struct Options {
   std::uint64_t budget = 0;    // 0 = mode default
   std::int64_t deadline_ms = -1;  // <0 = mode default
   std::size_t max_failures = 8;
+  // Process sharding (src/shard/).
+  bool workers_given = false;
+  unsigned workers = 0;            // coordinator mode worker count
+  std::uint64_t reap = 0;          // WorkerReaper kill count
+  std::uint64_t reap_seed = 0x5EED;
+  int max_respawns = 2;
+  std::int64_t heartbeat_ms = -1;  // <0 = coordinator default
+  bool shard_given = false;
+  std::size_t shard_index = 0;     // --shard I/K
+  std::size_t shard_count = 0;
+  std::string shard_out;           // --shard-out FILE
+  std::vector<std::string> merge_paths;  // --merge F1 F2 ...
 };
 
 void usage(std::FILE* to) {
@@ -75,6 +109,21 @@ void usage(std::FILE* to) {
                "  --list-adversaries print adversary names, one per line\n"
                "  --jobs N           worker threads for the sweep (default:\n"
                "                     hardware concurrency; 1 = serial)\n"
+               "  --workers N        worker *processes* under the crash-\n"
+               "                     surviving coordinator (digest-identical\n"
+               "                     to the serial run)\n"
+               "  --reap K           chaos: SIGKILL K workers mid-sweep on a\n"
+               "                     seeded schedule (requires --workers)\n"
+               "  --reap-seed S      seed for the reaper schedule\n"
+               "  --max-respawns N   worker deaths a single trial may cause\n"
+               "                     before quarantine (default 2)\n"
+               "  --heartbeat-ms MS  worker liveness timeout (coordinator)\n"
+               "  --shard I/K        run shard I of K (0-based) and write a\n"
+               "                     mergeable shard file\n"
+               "  --shard-out FILE   shard file path (default\n"
+               "                     shard-I-of-K.bprc-shard)\n"
+               "  --merge FILES...   re-fold shard files into the serial\n"
+               "                     report (consumes remaining arguments)\n"
                "  --protocol NAME    restrict to protocol (repeatable)\n"
                "  --adversary NAME   restrict to adversary (repeatable)\n"
                "  --n N              process count (repeatable)\n"
@@ -121,6 +170,37 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--budget") { if (!(v = need_value(i))) return false; opt.budget = std::strtoull(v, nullptr, 10); }
     else if (arg == "--deadline-ms") { if (!(v = need_value(i))) return false; opt.deadline_ms = std::atoll(v); }
     else if (arg == "--max-failures") { if (!(v = need_value(i))) return false; opt.max_failures = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--workers") {
+      if (!(v = need_value(i))) return false;
+      opt.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      opt.workers_given = true;
+    }
+    else if (arg == "--reap") { if (!(v = need_value(i))) return false; opt.reap = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--reap-seed") { if (!(v = need_value(i))) return false; opt.reap_seed = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--max-respawns") { if (!(v = need_value(i))) return false; opt.max_respawns = std::atoi(v); }
+    else if (arg == "--heartbeat-ms") { if (!(v = need_value(i))) return false; opt.heartbeat_ms = std::atoll(v); }
+    else if (arg == "--shard") {
+      if (!(v = need_value(i))) return false;
+      unsigned long long si = 0;
+      unsigned long long sk = 0;
+      if (std::sscanf(v, "%llu/%llu", &si, &sk) != 2 || sk == 0 || si >= sk) {
+        std::fprintf(stderr,
+                     "bprc_torture: --shard wants I/K with 0 <= I < K\n");
+        return false;
+      }
+      opt.shard_index = static_cast<std::size_t>(si);
+      opt.shard_count = static_cast<std::size_t>(sk);
+      opt.shard_given = true;
+    }
+    else if (arg == "--shard-out") { if (!(v = need_value(i))) return false; opt.shard_out = v; }
+    else if (arg == "--merge") {
+      // Greedy: every remaining argument is a shard file.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bprc_torture: --merge needs shard files\n");
+        return false;
+      }
+      while (i + 1 < argc) opt.merge_paths.push_back(argv[++i]);
+    }
     else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
     else {
       std::fprintf(stderr, "bprc_torture: unknown option %s\n", arg.c_str());
@@ -132,10 +212,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
 }
 
 bool validate_names(const Options& opt) {
-  const auto known_protocols = protocol_names(/*include_broken=*/true);
+  // Straight off the registry, not protocol_names(): the listings hide
+  // crashes_process protocols (broken-segv) so no sweep stumbles into
+  // them, but naming one explicitly is exactly how the shard
+  // supervisor's quarantine path is exercised.
   for (const std::string& p : opt.protocols) {
-    if (std::find(known_protocols.begin(), known_protocols.end(), p) ==
-        known_protocols.end()) {
+    bool known = false;
+    for (const ProtocolSpec& spec : protocol_registry()) {
+      if (spec.name == p) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
       std::fprintf(stderr, "bprc_torture: unknown protocol '%s'\n", p.c_str());
       return false;
     }
@@ -149,6 +238,20 @@ bool validate_names(const Options& opt) {
     }
   }
   return true;
+}
+
+// Cooperative interruption: the handler only sets a flag; every sweep
+// mode polls it via CampaignConfig::stop_requested and flushes whatever
+// it has folded so far (failures shrunk and persisted, summary + digest
+// printed) before exiting 130. The coordinator additionally SIGTERMs and
+// reaps its workers on the way out.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 }
 
 CampaignConfig build_config(const Options& opt) {
@@ -175,6 +278,7 @@ CampaignConfig build_config(const Options& opt) {
   if (opt.deadline_ms >= 0) {
     config.run_deadline = std::chrono::milliseconds(opt.deadline_ms);
   }
+  config.stop_requested = [] { return g_stop != 0; };
   return config;
 }
 
@@ -327,16 +431,9 @@ RunObserver make_verbose_observer(Throughput& timer) {
   };
 }
 
-int run_campaign_mode(const Options& opt) {
-  const CampaignConfig config = build_config(opt);
-  const auto started = std::chrono::steady_clock::now();
-  Throughput run_timer;
-  CampaignReport report = run_campaign(
-      config, opt.verbose ? make_verbose_observer(run_timer) : RunObserver{});
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
-          .count();
-
+/// Common tail of every sweep-producing mode: persist failures, print the
+/// summary and the digest witness, map the report to an exit code.
+int finish_report(const Options& opt, CampaignReport& report, double secs) {
   process_failures(opt, report);
   std::printf(
       "torture: %llu runs in %.1fs — %zu failure(s), %llu budget abort(s), "
@@ -347,11 +444,101 @@ int run_campaign_mode(const Options& opt) {
       static_cast<unsigned long long>(report.budget_aborts),
       static_cast<unsigned long long>(report.deadline_aborts),
       static_cast<unsigned long long>(report.skipped_crash_cells));
-  // Jobs-independence witness: identical at every --jobs level (CI diffs
-  // --jobs 1 vs --jobs 2 on this line).
+  // Independence witness: identical at every --jobs level, every
+  // --workers count, and across --shard/--merge round trips (CI diffs
+  // this line).
   std::printf("digest=0x%016llx\n",
               static_cast<unsigned long long>(report.summary_digest));
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "torture: interrupted — partial results flushed\n");
+    return 130;
+  }
   return report.ok() ? 0 : 1;
+}
+
+int run_campaign_mode(const Options& opt) {
+  const CampaignConfig config = build_config(opt);
+  const auto started = std::chrono::steady_clock::now();
+  Throughput run_timer;
+  CampaignReport report = run_campaign(
+      config, opt.verbose ? make_verbose_observer(run_timer) : RunObserver{});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return finish_report(opt, report, secs);
+}
+
+/// --workers N: the fault-tolerant multi-process coordinator.
+int run_workers_mode(const Options& opt) {
+  shard::ShardServiceConfig config;
+  config.campaign = build_config(opt);
+  config.workers = opt.workers;
+  config.max_respawns = opt.max_respawns;
+  config.reaper_kills = opt.reap;
+  config.reaper_seed = opt.reap_seed;
+  if (opt.heartbeat_ms >= 0) {
+    config.heartbeat_timeout = std::chrono::milliseconds(opt.heartbeat_ms);
+  }
+  if (!opt.quiet) {
+    config.log = [](const std::string& msg) {
+      std::fprintf(stderr, "supervisor: %s\n", msg.c_str());
+    };
+  }
+  const auto started = std::chrono::steady_clock::now();
+  CampaignReport report = shard::run_sharded_campaign(config);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return finish_report(opt, report, secs);
+}
+
+/// --shard I/K: execute one range in-process, write the shard file.
+int run_shard_mode(const Options& opt) {
+  const CampaignConfig config = build_config(opt);
+  std::string path = opt.shard_out;
+  if (path.empty()) {
+    path = "shard-" + std::to_string(opt.shard_index) + "-of-" +
+           std::to_string(opt.shard_count) + ".bprc-shard";
+  }
+  const shard::ShardFile file =
+      shard::run_shard(config, opt.shard_index, opt.shard_count);
+  if (!shard::save_shard_file(path, file)) {
+    std::fprintf(stderr, "bprc_torture: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf("shard %zu/%zu: %zu of %llu runs -> %s\n", opt.shard_index,
+              opt.shard_count, file.records.size(),
+              static_cast<unsigned long long>(file.total_runs), path.c_str());
+  if (g_stop != 0) {
+    std::fprintf(stderr,
+                 "torture: interrupted — shard truncated at index %zu\n",
+                 file.end);
+    return 130;
+  }
+  return 0;
+}
+
+/// --merge F...: re-fold a full shard set into the serial report.
+int run_merge_mode(const Options& opt) {
+  std::vector<shard::ShardFile> shards;
+  for (const std::string& path : opt.merge_paths) {
+    std::string err;
+    std::optional<shard::ShardFile> file = shard::load_shard_file(path, &err);
+    if (!file) {
+      std::fprintf(stderr, "bprc_torture: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    shards.push_back(std::move(*file));
+  }
+  shard::MergeResult merged = shard::merge_shard_files(shards);
+  if (!merged.ok) {
+    std::fprintf(stderr, "bprc_torture: merge refused: %s\n",
+                 merged.error.c_str());
+    return 2;
+  }
+  return finish_report(opt, merged.report, 0.0);
 }
 
 }  // namespace
@@ -360,6 +547,39 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
   if (!validate_names(opt)) return 2;
+
+  // Mode conflicts, refused before any work starts.
+  const int exclusive_modes = (opt.workers_given ? 1 : 0) +
+                              (opt.shard_given ? 1 : 0) +
+                              (!opt.merge_paths.empty() ? 1 : 0) +
+                              (!opt.replay_path.empty() ? 1 : 0) +
+                              (opt.inject_bug ? 1 : 0);
+  if (exclusive_modes > 1) {
+    std::fprintf(stderr,
+                 "bprc_torture: --workers, --shard, --merge, --replay and "
+                 "--inject-bug are mutually exclusive\n");
+    return 2;
+  }
+  if (opt.workers_given && opt.jobs_given) {
+    std::fprintf(stderr,
+                 "bprc_torture: --workers (processes) and --jobs (threads) "
+                 "cannot be combined; pick one sharding axis\n");
+    return 2;
+  }
+  if (opt.workers_given && opt.workers == 0) {
+    std::fprintf(stderr, "bprc_torture: --workers wants N >= 1\n");
+    return 2;
+  }
+  if (opt.reap != 0 && !opt.workers_given) {
+    std::fprintf(stderr,
+                 "bprc_torture: --reap only makes sense with --workers\n");
+    return 2;
+  }
+  if (!opt.shard_out.empty() && !opt.shard_given) {
+    std::fprintf(stderr,
+                 "bprc_torture: --shard-out only makes sense with --shard\n");
+    return 2;
+  }
 
   if (opt.list) {
     std::printf("protocols:");
@@ -398,5 +618,9 @@ int main(int argc, char** argv) {
     return run_replay(opt.replay_path);
   }
   if (opt.inject_bug) return run_inject_bug(opt);
+  install_signal_handlers();
+  if (!opt.merge_paths.empty()) return run_merge_mode(opt);
+  if (opt.shard_given) return run_shard_mode(opt);
+  if (opt.workers_given) return run_workers_mode(opt);
   return run_campaign_mode(opt);
 }
