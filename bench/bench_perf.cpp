@@ -4,6 +4,7 @@
 //
 // Machine-readable twin: tools/bprc_bench (emits BENCH_sim.json). Keep
 // the two in sync — this one is for eyeballs, that one for trajectories.
+#include <algorithm>
 #include <cstdio>
 
 #include "experiment_common.hpp"
@@ -39,21 +40,22 @@ void run() {
       "\ncampaign throughput: the identical n=8 sweep through the trial\n"
       "engine (engine::TrialExecutor) — outcomes are byte-identical at\n"
       "every jobs level; only the wall clock moves.\n\n");
-  const unsigned max_jobs = engine::default_jobs();
+  // bench_jobs() honors BPRC_JOBS; the wide lane is always its own
+  // measurement (min jobs=2) so the table never shows a copied row even
+  // on a single-core machine.
+  const unsigned max_jobs = std::max(2u, bench_jobs());
   const std::uint64_t ctrials = scaled_trials(256);
   Table ct({"jobs", "trials", "runs/sec", "speedup"});
   const SweepPerf serial = measure_campaign_throughput(8, ctrials, 1);
   ct.add_row({Table::num(1), Table::num(ctrials),
               Table::num(serial.runs_per_sec, 0), Table::num(1.0, 2)});
-  if (max_jobs > 1) {
-    const SweepPerf wide = measure_campaign_throughput(8, ctrials, max_jobs);
-    ct.add_row({Table::num(static_cast<int>(max_jobs)), Table::num(ctrials),
-                Table::num(wide.runs_per_sec, 0),
-                Table::num(serial.runs_per_sec > 0.0
-                               ? wide.runs_per_sec / serial.runs_per_sec
-                               : 0.0,
-                           2)});
-  }
+  const SweepPerf wide = measure_campaign_throughput(8, ctrials, max_jobs);
+  ct.add_row({Table::num(static_cast<int>(max_jobs)), Table::num(ctrials),
+              Table::num(wide.runs_per_sec, 0),
+              Table::num(serial.runs_per_sec > 0.0
+                             ? wide.runs_per_sec / serial.runs_per_sec
+                             : 0.0,
+                         2)});
   ct.print();
 
   std::printf(
@@ -73,6 +75,27 @@ void run() {
                              : 0.0,
                          2)});
   st.print();
+
+  std::printf(
+      "\nexhaustive exploration: one bprc n=3 input cell through the\n"
+      "bounded model checker — serial leaf grading vs the engine-batched\n"
+      "pipeline. The schedule digest is byte-identical at every jobs\n"
+      "level; only states/sec moves.\n\n");
+  const std::uint64_t edepth = 14;
+  Table et({"jobs", "states", "states/sec", "speedup"});
+  const ExplorePerf eserial = measure_explore_throughput(1, edepth);
+  et.add_row({Table::num(1), Table::num(eserial.states),
+              Table::num(eserial.states_per_sec, 0), Table::num(1.0, 2)});
+  const ExplorePerf ewide = measure_explore_throughput(max_jobs, edepth);
+  BPRC_REQUIRE(ewide.digest == eserial.digest,
+               "explore digest must not depend on the jobs level");
+  et.add_row({Table::num(static_cast<int>(max_jobs)), Table::num(ewide.states),
+              Table::num(ewide.states_per_sec, 0),
+              Table::num(eserial.states_per_sec > 0.0
+                             ? ewide.states_per_sec / eserial.states_per_sec
+                             : 0.0,
+                         2)});
+  et.print();
 }
 
 }  // namespace

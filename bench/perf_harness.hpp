@@ -25,6 +25,7 @@
 #include "engine/executor.hpp"
 #include "engine/trial.hpp"
 #include "experiment_common.hpp"
+#include "explore/consensus_explore.hpp"
 #include "fault/campaign.hpp"
 #include "runtime/adversary.hpp"
 #include "runtime/fiber.hpp"
@@ -168,6 +169,49 @@ inline SweepPerf measure_sharded_throughput(int n, std::uint64_t trials,
   out.runs_per_sec = ns == 0 ? 0.0
                              : static_cast<double>(report.runs) * 1e9 /
                                    static_cast<double>(ns);
+  return out;
+}
+
+/// One exhaustive-exploration measurement (explore_states_per_sec in
+/// BENCH_sim.json). The digest lets callers assert that two jobs levels
+/// explored the identical tree — the explorer's byte-equality contract.
+struct ExplorePerf {
+  double states_per_sec = 0.0;
+  double execs_per_sec = 0.0;
+  std::uint64_t states = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Exhaustive bounded sweep of one bprc n=3 input cell through the
+/// exploration driver with `jobs` leaf-grading workers. Wall-clock
+/// states/sec is the deep-scale scaling number (PERFORMANCE.md "explorer
+/// deep-scale"); results are byte-identical at every jobs level, so the
+/// jobs=1 and jobs=max entries differ only in wall time.
+inline ExplorePerf measure_explore_throughput(unsigned jobs,
+                                              std::uint64_t depth) {
+  explore::ConsensusExploreConfig config;
+  config.protocol = "bprc";
+  config.inputs = {0, 1, 1};
+  config.seed = 1;
+  config.limits.branch_depth = depth;
+  config.limits.max_coin_flips = 2;
+  config.limits.max_violations = 1;
+  config.limits.grade_jobs = jobs;
+  Throughput timer;
+  const explore::ConsensusExploreReport report = explore_consensus(config);
+  const std::uint64_t ns = timer.elapsed_ns();
+  BPRC_REQUIRE(report.ok() && report.stats.complete,
+               "explore bench sweep must finish clean");
+  ExplorePerf out;
+  out.states = report.stats.states_visited;
+  out.executions = report.stats.executions;
+  out.digest = report.stats.schedule_digest;
+  const double secs = static_cast<double>(ns) / 1e9;
+  if (secs > 0.0) {
+    out.states_per_sec = static_cast<double>(out.states) / secs;
+    out.execs_per_sec = static_cast<double>(out.executions) / secs;
+  }
   return out;
 }
 

@@ -87,13 +87,33 @@ class ConsensusTarget final : public ExploreTarget {
 
 }  // namespace
 
-ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config) {
+std::uint64_t consensus_target_fingerprint(
+    const ConsensusExploreConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : config.protocol) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  h = fnv_mix(h, config.inputs.size());
+  for (const int input : config.inputs) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(input) + 1);
+  }
+  return h;
+}
+
+ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config,
+                                         const FrontierOptions* frontier) {
   BPRC_REQUIRE(!config.inputs.empty(), "explore_consensus needs inputs");
   const int n = static_cast<int>(config.inputs.size());
   ConsensusTarget target(fault::make_protocol(config.protocol, n, config.seed),
                          config.inputs);
+  std::optional<FrontierOptions> options;
+  if (frontier != nullptr) {
+    options = *frontier;
+    options->target_fingerprint = consensus_target_fingerprint(config);
+  }
   ExploreResult result =
-      explore(target, config.limits, config.seed, config.reuse_runtime);
+      explore(target, config.limits, config.seed, config.reuse_runtime,
+              options.has_value() ? &*options : nullptr);
   ConsensusExploreReport report;
   report.config = config;
   report.stats = result.stats;

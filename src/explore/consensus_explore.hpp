@@ -30,9 +30,17 @@ struct ConsensusExploreReport {
   bool ok() const { return violations.empty(); }
 };
 
+/// Target identity folded into frontier fingerprints: protocol name plus
+/// the input vector. Together with the limits/seed fold the explorer
+/// adds, this pins a `.bprc-frontier` file to one exploration cell.
+std::uint64_t consensus_target_fingerprint(const ConsensusExploreConfig& config);
+
 /// Explores every bounded-scope schedule of one (protocol, inputs, seed)
-/// cell.
-ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config);
+/// cell. `frontier` (optional) enables checkpoint/resume; its
+/// target_fingerprint is filled in from the config — callers only supply
+/// paths and cadence.
+ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config,
+                                         const FrontierOptions* frontier = nullptr);
 
 /// Sweeps all 2^n input vectors of one protocol at n processes (exhaustive
 /// in inputs as well as schedules), one report per input cell, each seeded

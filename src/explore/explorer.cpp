@@ -1,11 +1,23 @@
 #include "explore/explorer.hpp"
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
-#include <unordered_map>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "engine/executor.hpp"
+#include "explore/frontier.hpp"
+#include "explore/leaf_grader.hpp"
+#include "explore/seen_cache.hpp"
 #include "runtime/adversary.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "util/assert.hpp"
@@ -62,37 +74,309 @@ struct Node {
   std::vector<OpDesc> ops;  ///< pending op per process (dependence check)
 };
 
+/// Bounded handoff between the enumerating coordinator and the grading
+/// pump (the TrialExecutor's generator pops from here). Backpressure on
+/// push keeps at most capacity + executor-window leaves in flight.
+class LeafQueue {
+ public:
+  explicit LeafQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while full; false once abort()ed (sink stopped the sweep).
+  bool push(LeafSpec&& spec) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return aborted_ || q_.size() < capacity_; });
+    if (aborted_) return false;
+    q_.push_back(std::move(spec));
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Blocks while empty; nullopt once closed-and-drained or abort()ed.
+  std::optional<LeafSpec> pop() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return aborted_ || closed_ || !q_.empty(); });
+    if (aborted_ || q_.empty()) return std::nullopt;
+    LeafSpec spec = std::move(q_.front());
+    q_.pop_front();
+    cv_.notify_all();
+    return spec;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  void abort() {
+    std::lock_guard<std::mutex> lk(m_);
+    aborted_ = true;
+    q_.clear();
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<LeafSpec> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+// --- pipe wire helpers for the isolated (fork-per-execution) mode ---
+
+void pipe_write(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t w = ::write(fd, p, len);
+    if (w <= 0) _exit(3);  // parent treats a short report as a crash
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+bool pipe_read(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t r = ::read(fd, p, len);
+    if (r <= 0) return false;
+    p += r;
+    len -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+template <typename T>
+void pipe_write_pod(int fd, const T& v) {
+  pipe_write(fd, &v, sizeof v);
+}
+
+template <typename T>
+bool pipe_read_pod(int fd, T* v) {
+  return pipe_read(fd, v, sizeof *v);
+}
+
+/// Everything an isolated child must hand back so the parent's DFS state
+/// evolves exactly as if it had executed the run itself: the outcome, the
+/// trail extension, the seen-cache visits (replayed on the parent's
+/// cache), and the tree-shape counter deltas.
+struct IsolatedReport {
+  bool pruned = false;
+  bool complete = false;
+  std::optional<Violation> violation;
+  std::uint64_t steps = 0;
+  std::vector<std::uint8_t> events;
+  std::vector<bool> flips;
+  std::vector<Node> new_nodes;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> visits;
+  std::uint64_t d_states_visited = 0;
+  std::uint64_t d_states_merged = 0;
+  std::uint64_t d_sleep_blocked = 0;
+  std::uint64_t d_coin_branches = 0;
+};
+
+void send_report(int fd, const IsolatedReport& rep, int nprocs) {
+  std::uint8_t flags = 0;
+  if (rep.pruned) flags |= 1;
+  if (rep.complete) flags |= 2;
+  if (rep.violation.has_value()) flags |= 4;
+  pipe_write_pod(fd, flags);
+  const std::uint8_t failure = static_cast<std::uint8_t>(
+      rep.violation ? rep.violation->failure : FailureClass::kNone);
+  pipe_write_pod(fd, failure);
+  const std::uint32_t note_len = static_cast<std::uint32_t>(
+      rep.violation ? rep.violation->note.size() : 0);
+  pipe_write_pod(fd, note_len);
+  if (note_len > 0) pipe_write(fd, rep.violation->note.data(), note_len);
+  pipe_write_pod(fd, rep.steps);
+  pipe_write_pod<std::uint64_t>(fd, rep.events.size());
+  if (!rep.events.empty()) pipe_write(fd, rep.events.data(), rep.events.size());
+  pipe_write_pod<std::uint64_t>(fd, rep.flips.size());
+  for (const bool b : rep.flips) {
+    pipe_write_pod<std::uint8_t>(fd, b ? 1 : 0);
+  }
+  pipe_write_pod<std::uint64_t>(fd, rep.new_nodes.size());
+  for (const Node& node : rep.new_nodes) {
+    pipe_write_pod<std::uint8_t>(fd, node.is_coin ? 1 : 0);
+    if (node.is_coin) continue;  // created coin nodes are (false, taken=1)
+    pipe_write_pod<std::int32_t>(fd, node.chosen);
+    pipe_write_pod(fd, node.candidates);
+    pipe_write_pod(fd, node.sleep);
+    for (int p = 0; p < nprocs; ++p) {
+      const OpDesc& op = node.ops[static_cast<std::size_t>(p)];
+      pipe_write_pod<std::uint8_t>(fd, static_cast<std::uint8_t>(op.kind));
+      pipe_write_pod<std::int32_t>(fd, op.object);
+      pipe_write_pod<std::int64_t>(fd, op.payload);
+    }
+  }
+  pipe_write_pod<std::uint64_t>(fd, rep.visits.size());
+  for (const auto& [key, depth] : rep.visits) {
+    pipe_write_pod(fd, key);
+    pipe_write_pod(fd, depth);
+  }
+  pipe_write_pod(fd, rep.d_states_visited);
+  pipe_write_pod(fd, rep.d_states_merged);
+  pipe_write_pod(fd, rep.d_sleep_blocked);
+  pipe_write_pod(fd, rep.d_coin_branches);
+}
+
+bool recv_report(int fd, IsolatedReport* rep, int nprocs) {
+  std::uint8_t flags = 0;
+  std::uint8_t failure = 0;
+  std::uint32_t note_len = 0;
+  if (!pipe_read_pod(fd, &flags)) return false;
+  if (!pipe_read_pod(fd, &failure)) return false;
+  if (!pipe_read_pod(fd, &note_len)) return false;
+  if (note_len > (1u << 20)) return false;  // corrupt length = crash
+  std::string note(note_len, '\0');
+  if (note_len > 0 && !pipe_read(fd, note.data(), note_len)) return false;
+  if (!pipe_read_pod(fd, &rep->steps)) return false;
+  std::uint64_t count = 0;
+  if (!pipe_read_pod(fd, &count) || count > (1ull << 30)) return false;
+  rep->events.resize(static_cast<std::size_t>(count));
+  if (count > 0 && !pipe_read(fd, rep->events.data(), rep->events.size())) {
+    return false;
+  }
+  if (!pipe_read_pod(fd, &count) || count > (1ull << 20)) return false;
+  rep->flips.resize(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < rep->flips.size(); ++i) {
+    std::uint8_t b = 0;
+    if (!pipe_read_pod(fd, &b)) return false;
+    rep->flips[i] = b != 0;
+  }
+  if (!pipe_read_pod(fd, &count) || count > (1ull << 20)) return false;
+  rep->new_nodes.resize(static_cast<std::size_t>(count));
+  for (Node& node : rep->new_nodes) {
+    std::uint8_t is_coin = 0;
+    if (!pipe_read_pod(fd, &is_coin)) return false;
+    node.is_coin = is_coin != 0;
+    node.taken = 1;
+    if (node.is_coin) continue;
+    std::int32_t chosen = 0;
+    if (!pipe_read_pod(fd, &chosen)) return false;
+    node.chosen = static_cast<ProcId>(chosen);
+    if (!pipe_read_pod(fd, &node.candidates)) return false;
+    if (!pipe_read_pod(fd, &node.sleep)) return false;
+    node.ops.resize(static_cast<std::size_t>(nprocs));
+    for (int p = 0; p < nprocs; ++p) {
+      OpDesc& op = node.ops[static_cast<std::size_t>(p)];
+      std::uint8_t kind = 0;
+      std::int32_t object = 0;
+      std::int64_t payload = 0;
+      if (!pipe_read_pod(fd, &kind)) return false;
+      if (!pipe_read_pod(fd, &object)) return false;
+      if (!pipe_read_pod(fd, &payload)) return false;
+      op.kind = static_cast<OpDesc::Kind>(kind);
+      op.object = object;
+      op.payload = payload;
+    }
+  }
+  if (!pipe_read_pod(fd, &count) || count > (1ull << 30)) return false;
+  rep->visits.resize(static_cast<std::size_t>(count));
+  for (auto& [key, depth] : rep->visits) {
+    if (!pipe_read_pod(fd, &key)) return false;
+    if (!pipe_read_pod(fd, &depth)) return false;
+  }
+  if (!pipe_read_pod(fd, &rep->d_states_visited)) return false;
+  if (!pipe_read_pod(fd, &rep->d_states_merged)) return false;
+  if (!pipe_read_pod(fd, &rep->d_sleep_blocked)) return false;
+  if (!pipe_read_pod(fd, &rep->d_coin_branches)) return false;
+  if ((flags & 4) != 0) {
+    Violation v;
+    v.failure = static_cast<FailureClass>(failure);
+    v.note = std::move(note);
+    rep->violation = std::move(v);
+  }
+  rep->pruned = (flags & 1) != 0;
+  rep->complete = (flags & 2) != 0;
+  return true;
+}
+
 class Explorer final : public FlipTape, public TraceSink {
  public:
   Explorer(ExploreTarget& target, const ExploreLimits& limits,
-           std::uint64_t seed, bool reuse_runtime)
+           std::uint64_t seed, bool reuse_runtime,
+           const FrontierOptions* frontier)
       : target_(target),
         limits_(limits),
         seed_(seed),
         reuse_(reuse_runtime),
-        nprocs_(target.nprocs()) {
+        nprocs_(target.nprocs()),
+        frontier_(frontier != nullptr ? *frontier : FrontierOptions{}),
+        seen_(limits.compact_cache ? SeenCache::Layout::kCompact
+                                   : SeenCache::Layout::kMap,
+              limits.max_cache_bytes) {
     BPRC_REQUIRE(nprocs_ > 0, "explore target needs at least one process");
     BPRC_REQUIRE(nprocs_ <= kRunnableMaskBits,
                  "explorer masks cap the process count");
+    BPRC_REQUIRE(!limits_.state_cache || limits_.branch_depth <= 255,
+                 "seen-state depth tags are 8-bit: branch_depth <= 255");
+    BPRC_REQUIRE(!limits_.isolate_leaves || limits_.grade_jobs <= 1,
+                 "isolated leaf grading forks: grade_jobs must be 1");
+    if (limits_.split_count > 1) {
+      BPRC_REQUIRE(limits_.split_index < limits_.split_count,
+                   "frontier split index out of range");
+      BPRC_REQUIRE(limits_.branch_depth >= 1,
+                   "frontier split needs a branch region");
+    }
+    if (limits_.isolate_leaves) {
+      mode_ = Mode::kIsolate;
+    } else if (limits_.grade_jobs > 1) {
+      mode_ = Mode::kBatched;
+    }
+    config_fp_ = config_fingerprint();
   }
 
   ExploreResult run() {
-    const auto t0 = std::chrono::steady_clock::now();
-    while (true) {
+    t0_ = std::chrono::steady_clock::now();
+    bool pending_backtrack = false;
+    if (frontier_.resume != nullptr) {
+      const Frontier& f = *frontier_.resume;
+      BPRC_REQUIRE(f.fingerprint == config_fp_,
+                   "frontier does not match this exploration configuration");
+      if (f.complete) {
+        // Nothing left to explore: the saved result is the result.
+        return ExploreResult{f.stats, f.violations};
+      }
+      restore(f);
+      pending_backtrack = true;  // saved trail is a post-execution snapshot
+    }
+
+    if (mode_ == Mode::kBatched) start_pump();
+    bool more = true;
+    if (pending_backtrack) more = backtrack();
+    while (more) {
       execute_once();
-      if (violations_.size() >= limits_.max_violations ||
+      const bool stopped_by_violations =
+          mode_ == Mode::kBatched
+              ? stop_requested_.load(std::memory_order_relaxed)
+              : violations_.size() >= limits_.max_violations;
+      if (stopped_by_violations ||
           (limits_.max_executions != 0 &&
-           stats_.executions >= limits_.max_executions) ||
+           enumerated_ >= limits_.max_executions) ||
           (limits_.max_states != 0 &&
            stats_.states_visited >= limits_.max_states)) {
         stats_.complete = false;
         break;
       }
-      if (!backtrack()) break;  // bounded tree exhausted
+      if (frontier_.checkpoint_every != 0 &&
+          !frontier_.checkpoint_path.empty() &&
+          enumerated_ % frontier_.checkpoint_every == 0) {
+        if (mode_ == Mode::kBatched) drain_pump();
+        save_checkpoint(/*complete=*/false);
+        if (mode_ == Mode::kBatched) start_pump();
+      }
+      more = backtrack();
     }
-    stats_.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    if (mode_ == Mode::kBatched) drain_pump();
+    if (checkpoint_unsafe_) stats_.complete = false;
+
+    finalize_stats();
+    if (!frontier_.checkpoint_path.empty() && !checkpoint_unsafe_) {
+      save_checkpoint(stats_.complete);
+    }
     return ExploreResult{stats_, std::move(violations_)};
   }
 
@@ -104,7 +388,15 @@ class Explorer final : public FlipTape, public TraceSink {
     if (cursor_ < trail_.size()) return replay_pick(runnable);
 
     const std::uint64_t depth = exec_schedule_.size();
-    if (depth >= limits_.branch_depth) return tail_pick(runnable);
+    if (depth >= limits_.branch_depth) {
+      if (mode_ == Mode::kBatched) {
+        // The leaf is fully determined by its prefix: cut here and let
+        // the grading pipeline replay prefix + deterministic tail.
+        cut_ = true;
+        return -1;
+      }
+      return tail_pick(runnable);
+    }
 
     // Frontier. Seen-state check first: a state already expanded at this
     // depth or shallower has had its whole (bounded) subtree explored.
@@ -112,20 +404,30 @@ class Explorer final : public FlipTape, public TraceSink {
       std::uint64_t key = fingerprint(ctl);
       key = fnv_mix(key, cur_sleep_);
       key = fnv_mix(key, coins_used_);
-      const auto [it, inserted] = seen_.try_emplace(key, depth);
-      if (!inserted) {
-        if (it->second <= depth) {
-          ++stats_.states_merged;
-          pruned_ = true;
-          return -1;
-        }
-        it->second = depth;  // shallower revisit: deeper subtree, redo
+      if (key == 0) key = kSeenZeroKey;  // 0 marks empty compact slots
+      if (visit_log_ != nullptr) {
+        visit_log_->emplace_back(key, static_cast<std::uint8_t>(depth));
+      }
+      const SeenCache::Visit visit =
+          seen_.visit(key, static_cast<std::uint8_t>(depth));
+      if (visit == SeenCache::Visit::kMerged) {
+        ++stats_.states_merged;
+        pruned_ = true;
+        return -1;
       }
     }
 
     Node node;
     node.candidates = runnable;
-    node.sleep = limits_.sleep_sets ? (cur_sleep_ & runnable) : 0;
+    if (limits_.split_count > 1 && trail_.empty()) {
+      node.candidates = split_candidates(runnable);
+      if (node.candidates == 0) {
+        // This slice owns none of the root's branches.
+        pruned_ = true;
+        return -1;
+      }
+    }
+    node.sleep = limits_.sleep_sets ? (cur_sleep_ & node.candidates) : 0;
     node.ops.resize(static_cast<std::size_t>(nprocs_));
     for (ProcId p = 0; p < nprocs_; ++p) {
       node.ops[static_cast<std::size_t>(p)] = ctl.view(p).pending;
@@ -233,14 +535,31 @@ class Explorer final : public FlipTape, public TraceSink {
   }
 
  private:
-  enum : std::uint64_t { kDigestFlipFalse = 0xF0, kDigestFlipTrue = 0xF1,
-                         kDigestRunEnd = 0xE0D };
+  enum : std::uint64_t { kDigestRunEnd = 0xE0D };
+  enum class Mode { kInline, kBatched, kIsolate };
 
   std::uint64_t runnable_set(const SimCtl& ctl) const {
     if (const std::uint64_t* mask = ctl.runnable_mask()) return *mask;
     std::uint64_t out = 0;
     for (ProcId p = 0; p < nprocs_; ++p) {
       if (ctl.view(p).runnable) out |= bit_of(p);
+    }
+    return out;
+  }
+
+  /// Root slice for --frontier-split: keep the candidates whose rank
+  /// (position among set bits) lands on this slice.
+  std::uint64_t split_candidates(std::uint64_t runnable) const {
+    std::uint64_t out = 0;
+    std::uint32_t rank = 0;
+    std::uint64_t rest = runnable;
+    while (rest != 0) {
+      const int p = std::countr_zero(rest);
+      rest &= rest - 1;
+      if (rank % limits_.split_count == limits_.split_index) {
+        out |= bit_of(static_cast<ProcId>(p));
+      }
+      ++rank;
     }
     return out;
   }
@@ -298,8 +617,15 @@ class Explorer final : public FlipTape, public TraceSink {
     BPRC_REQUIRE(!node.is_coin,
                  "exploration diverged: schedule point where a flip was "
                  "recorded");
-    BPRC_REQUIRE(node.candidates == runnable,
-                 "exploration diverged: runnable set changed under replay");
+    if (limits_.split_count > 1 && cursor_ == 0) {
+      // The root node holds this slice's candidates, a subset of the
+      // runnable set.
+      BPRC_REQUIRE((node.candidates & ~runnable) == 0,
+                   "exploration diverged: runnable set changed under replay");
+    } else {
+      BPRC_REQUIRE(node.candidates == runnable,
+                   "exploration diverged: runnable set changed under replay");
+    }
     ++cursor_;
     cur_sleep_ = child_sleep(node, node.chosen);
     record_pick(node.chosen);
@@ -308,7 +634,8 @@ class Explorer final : public FlipTape, public TraceSink {
 
   /// Deterministic completion past the branch region: round-robin from
   /// the last scheduled process. With seed-derived coins this makes every
-  /// leaf a finished run the full oracle can grade.
+  /// leaf a finished run the full oracle can grade. The parallel grading
+  /// path replays exactly this tail (leaf_grader.cpp's LeafAdversary).
   ProcId tail_pick(std::uint64_t runnable) {
     const ProcId last = exec_schedule_.empty() ? -1 : exec_schedule_.back();
     for (int i = 1; i <= nprocs_; ++i) {
@@ -323,8 +650,7 @@ class Explorer final : public FlipTape, public TraceSink {
 
   void record_pick(ProcId p) {
     exec_schedule_.push_back(p);
-    stats_.schedule_digest =
-        fnv_mix(stats_.schedule_digest, static_cast<std::uint64_t>(p) + 1);
+    exec_events_.push_back(static_cast<std::uint8_t>(p + 1));
   }
 
   void record_flip(bool value, bool forced) {
@@ -332,11 +658,91 @@ class Explorer final : public FlipTape, public TraceSink {
     const ProcId p = runtime_->self();
     auto& h = proc_hash_[static_cast<std::size_t>(p)];
     h = fnv_mix(h, value ? 0x431 : 0x430);
-    stats_.schedule_digest = fnv_mix(stats_.schedule_digest,
-                                     value ? kDigestFlipTrue : kDigestFlipFalse);
+    exec_events_.push_back(value ? kEventFlipTrue : kEventFlipFalse);
+  }
+
+  /// Folds one graded execution into the result — digest, counters,
+  /// violation list — in generation order. Every mode funnels through
+  /// here, which is what makes jobs levels byte-identical: the serial
+  /// path delivers inline, the batched path from the engine's ordered
+  /// sink, the isolated path after each fork.
+  void deliver(const LeafSpec& spec, LeafOutcome&& out) {
+    for (const std::uint8_t b : out.events) {
+      stats_.schedule_digest = fnv_mix(stats_.schedule_digest, b);
+    }
+    stats_.schedule_digest = fnv_mix(stats_.schedule_digest, kDigestRunEnd);
+    ++stats_.executions;
+    stats_.total_steps += out.steps;
+    if (out.pruned) {
+      ++stats_.pruned_runs;
+    } else if (out.crashed) {
+      ++stats_.worker_crashes;
+    } else if (out.complete) {
+      ++stats_.complete_runs;
+    } else {
+      ++stats_.truncated_runs;
+    }
+    if (out.violation.has_value()) {
+      ExploreViolation v;
+      v.failure = out.violation->failure;
+      v.note = std::move(out.violation->note);
+      // The full pick sequence (prefix + graded tail) comes back in the
+      // event stream; a crashed worker never reported one, so its
+      // artifact carries the prefix that provokes the crash.
+      v.schedule = out.crashed ? spec.schedule : decode_schedule(out.events);
+      v.flips = spec.flips;
+      violations_.push_back(std::move(v));
+    }
   }
 
   void execute_once() {
+    if (mode_ == Mode::kIsolate) {
+      execute_isolated();
+      return;
+    }
+    const RunResult run = run_core();
+    ++enumerated_;
+    stats_.max_trail_depth =
+        std::max(stats_.max_trail_depth,
+                 static_cast<std::uint64_t>(trail_.size()));
+
+    if (mode_ == Mode::kInline) {
+      LeafSpec spec;
+      spec.flips = exec_flips_;
+      LeafOutcome out;
+      out.events = std::move(exec_events_);
+      out.steps = run.steps;
+      if (pruned_) {
+        out.pruned = true;
+      } else {
+        out.complete = run.reason == RunResult::Reason::kAllDone;
+        out.violation = instance_->check(*runtime_, run, out.complete);
+      }
+      instance_.reset();  // destroy shared state before the next reset()
+      deliver(spec, std::move(out));
+      return;
+    }
+
+    instance_.reset();
+    LeafSpec spec;
+    spec.pruned = pruned_;
+    spec.steps = run.steps;
+    spec.events = std::move(exec_events_);
+    if (!pruned_) {
+      spec.schedule = exec_schedule_;
+      spec.flips = exec_flips_;
+    }
+    if (!queue_->push(std::move(spec))) {
+      // abort()ed: the sink stopped the sweep; the run loop breaks on
+      // stop_requested_ right after this call.
+    }
+  }
+
+  /// Runs one execution on the simulator: runtime setup, the run itself,
+  /// and the end-reason checks. The DFS side effects (trail extension,
+  /// cache visits, event recording) happen in the pick()/on_flip()
+  /// callbacks this triggers.
+  RunResult run_core() {
     auto shim = std::make_unique<ExploreShim>(*this);
     if (runtime_ == nullptr) {
       runtime_ = std::make_unique<SimRuntime>(nprocs_, std::move(shim), seed_);
@@ -364,43 +770,148 @@ class Explorer final : public FlipTape, public TraceSink {
     coins_used_ = 0;
     cur_sleep_ = 0;  // the root has an empty sleep set
     pruned_ = false;
+    cut_ = false;
     exec_schedule_.clear();
     exec_flips_.clear();
+    exec_events_.clear();
 
     const RunResult run = rt.run(limits_.max_run_steps);
     rt.set_flip_tape(nullptr);
     rt.set_trace_sink(nullptr);
 
-    ++stats_.executions;
-    stats_.total_steps += run.steps;
-    stats_.max_trail_depth =
-        std::max(stats_.max_trail_depth,
-                 static_cast<std::uint64_t>(trail_.size()));
-    stats_.schedule_digest = fnv_mix(stats_.schedule_digest, kDigestRunEnd);
-
-    if (pruned_) {
-      ++stats_.pruned_runs;
+    if (pruned_ || cut_) {
       BPRC_REQUIRE(run.reason == RunResult::Reason::kNoRunnable,
                    "pruned execution ended for an unexpected reason");
     } else {
-      const bool complete = run.reason == RunResult::Reason::kAllDone;
-      if (complete) {
-        ++stats_.complete_runs;
+      BPRC_REQUIRE(run.reason == RunResult::Reason::kAllDone ||
+                       run.reason == RunResult::Reason::kBudget,
+                   "exploration run ended for an unexpected reason");
+    }
+    return run;
+  }
+
+  static LeafOutcome passthrough(const LeafSpec& spec) {
+    LeafOutcome out;
+    out.pruned = true;
+    out.events = spec.events;
+    out.steps = spec.steps;
+    return out;
+  }
+
+  /// kIsolate: the whole execution — enumeration run *and* grading — in a
+  /// fork()ed child, so a protocol that kills its host process (e.g.
+  /// broken-segv, which dies on the first propose() step, inside the
+  /// branch region) cannot take the DFS coordinator down. The child hands
+  /// back everything the parent needs to evolve its DFS state exactly as
+  /// if it had run the execution itself; a dead child quarantines its
+  /// whole current branch as one kWorkerCrash finding and the sweep
+  /// backtracks past it.
+  void execute_isolated() {
+    int fds[2];
+    BPRC_REQUIRE(::pipe(fds) == 0, "pipe() failed for isolated exploration");
+    const pid_t pid = ::fork();
+    BPRC_REQUIRE(pid >= 0, "fork() failed for isolated exploration");
+    if (pid == 0) {
+      ::close(fds[0]);
+      child_run_and_report(fds[1]);  // _exits
+    }
+    ::close(fds[1]);
+    IsolatedReport rep;
+    const bool reported = recv_report(fds[0], &rep, nprocs_);
+    ::close(fds[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+    }
+    ++enumerated_;
+    const bool clean =
+        reported && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (clean) {
+      for (Node& node : rep.new_nodes) trail_.push_back(std::move(node));
+      for (const auto& [key, depth] : rep.visits) seen_.visit(key, depth);
+      stats_.states_visited += rep.d_states_visited;
+      stats_.states_merged += rep.d_states_merged;
+      stats_.sleep_blocked += rep.d_sleep_blocked;
+      stats_.coin_branches += rep.d_coin_branches;
+      stats_.max_trail_depth =
+          std::max(stats_.max_trail_depth,
+                   static_cast<std::uint64_t>(trail_.size()));
+      LeafSpec spec;
+      spec.flips = std::move(rep.flips);
+      LeafOutcome out;
+      out.events = std::move(rep.events);
+      out.steps = rep.steps;
+      out.pruned = rep.pruned;
+      out.complete = rep.complete;
+      out.violation = std::move(rep.violation);
+      deliver(spec, std::move(out));
+      return;
+    }
+
+    // The child died before reporting. The parent cannot know how the
+    // child extended the trail (computing that would mean executing the
+    // killer protocol here), so it quarantines the whole current branch:
+    // the replay prefix it *does* know — the trail's chosen picks and
+    // coin values, in trail order — becomes the artifact, and backtrack()
+    // moves past the poisoned subtree.
+    LeafSpec spec;
+    LeafOutcome out;
+    for (const Node& node : trail_) {
+      if (node.is_coin) {
+        out.events.push_back(node.coin_value ? kEventFlipTrue
+                                             : kEventFlipFalse);
+        spec.flips.push_back(node.coin_value);
       } else {
-        BPRC_REQUIRE(run.reason == RunResult::Reason::kBudget,
-                     "exploration run ended for an unexpected reason");
-        ++stats_.truncated_runs;
-      }
-      if (auto v = instance_->check(rt, run, complete)) {
-        ExploreViolation out;
-        out.failure = v->failure;
-        out.note = std::move(v->note);
-        out.schedule = exec_schedule_;
-        out.flips = exec_flips_;
-        violations_.push_back(std::move(out));
+        out.events.push_back(static_cast<std::uint8_t>(node.chosen + 1));
+        spec.schedule.push_back(node.chosen);
       }
     }
-    instance_.reset();  // destroy shared state before the next reset()
+    out.events.push_back(kEventWorkerCrash);
+    out.crashed = true;
+    out.crash_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    Violation v;
+    v.failure = FailureClass::kWorkerCrash;
+    v.note = "exploration worker died (";
+    if (WIFSIGNALED(status)) {
+      v.note += "signal " + std::to_string(WTERMSIG(status));
+    } else if (WIFEXITED(status)) {
+      v.note += "exit " + std::to_string(WEXITSTATUS(status));
+    } else {
+      v.note += "unknown";
+    }
+    v.note += ")";
+    out.violation = std::move(v);
+    stats_.max_trail_depth =
+        std::max(stats_.max_trail_depth,
+                 static_cast<std::uint64_t>(trail_.size()));
+    deliver(spec, std::move(out));
+  }
+
+  /// Child side of execute_isolated: run + grade inline, report the DFS
+  /// delta, and exit without running any parent-side teardown.
+  [[noreturn]] void child_run_and_report(int fd) {
+    const std::size_t base_nodes = trail_.size();
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> visits;
+    visit_log_ = &visits;
+    const ExploreStats before = stats_;
+    const RunResult run = run_core();
+    IsolatedReport rep;
+    rep.pruned = pruned_;
+    rep.steps = run.steps;
+    rep.events = std::move(exec_events_);
+    rep.flips = std::move(exec_flips_);
+    if (!pruned_) {
+      rep.complete = run.reason == RunResult::Reason::kAllDone;
+      rep.violation = instance_->check(*runtime_, run, rep.complete);
+    }
+    rep.new_nodes.assign(trail_.begin() + static_cast<std::ptrdiff_t>(base_nodes),
+                         trail_.end());
+    rep.visits = std::move(visits);
+    rep.d_states_visited = stats_.states_visited - before.states_visited;
+    rep.d_states_merged = stats_.states_merged - before.states_merged;
+    rep.d_sleep_blocked = stats_.sleep_blocked - before.sleep_blocked;
+    rep.d_coin_branches = stats_.coin_branches - before.coin_branches;
+    send_report(fd, rep, nprocs_);
+    _exit(0);
   }
 
   /// Advances the trail to the next unexplored branch; false = done.
@@ -430,26 +941,153 @@ class Explorer final : public FlipTape, public TraceSink {
     return false;
   }
 
+  // --- grading pump (kBatched): TrialExecutor on a helper thread, fed
+  // from the bounded queue, delivering to deliver() in generation order.
+  void start_pump() {
+    const std::size_t window = 4 * static_cast<std::size_t>(limits_.grade_jobs);
+    queue_ = std::make_unique<LeafQueue>(window);
+    pump_ = std::thread([this] { pump_main(); });
+  }
+
+  void pump_main() {
+    const engine::TrialExecutor executor(
+        engine::ExecutorConfig{limits_.grade_jobs, 0});
+    executor.run_ordered<LeafSpec, LeafOutcome>(
+        [this]() -> std::optional<LeafSpec> { return queue_->pop(); },
+        [this](const LeafSpec& spec, SimReuse& reuse) -> LeafOutcome {
+          if (spec.pruned) return passthrough(spec);
+          return grade_leaf(target_, limits_, seed_, spec, reuse);
+        },
+        [this](std::size_t, const LeafSpec& spec, LeafOutcome&& out) {
+          deliver(spec, std::move(out));
+          if (violations_.size() >= limits_.max_violations) {
+            // Stop after a deterministic prefix — same cutoff the serial
+            // loop applies. Enumeration-side counters may have run a
+            // window ahead; the digest and violation list have not.
+            stop_requested_.store(true, std::memory_order_relaxed);
+            checkpoint_unsafe_ = true;
+            queue_->abort();
+            return false;
+          }
+          return true;
+        });
+  }
+
+  void drain_pump() {
+    if (!pump_.joinable()) return;
+    queue_->close();
+    pump_.join();
+  }
+
+  // --- checkpoint / resume ---
+
+  std::uint64_t config_fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv_mix(h, frontier_.target_fingerprint);
+    h = fnv_mix(h, seed_);
+    h = fnv_mix(h, static_cast<std::uint64_t>(nprocs_));
+    h = fnv_mix(h, limits_.branch_depth);
+    h = fnv_mix(h, limits_.max_coin_flips);
+    h = fnv_mix(h, limits_.max_run_steps);
+    h = fnv_mix(h, static_cast<std::uint64_t>(limits_.max_violations));
+    h = fnv_mix(h, static_cast<std::uint64_t>(limits_.sleep_sets));
+    h = fnv_mix(h, static_cast<std::uint64_t>(limits_.state_cache));
+    h = fnv_mix(h, static_cast<std::uint64_t>(limits_.compact_cache));
+    h = fnv_mix(h, limits_.max_cache_bytes);
+    h = fnv_mix(h, static_cast<std::uint64_t>(limits_.isolate_leaves));
+    h = fnv_mix(h, limits_.split_index);
+    h = fnv_mix(h, limits_.split_count);
+    return h;
+  }
+
+  void restore(const Frontier& f) {
+    stats_ = f.stats;
+    stats_.complete = true;  // recomputed by this continuation
+    base_seconds_ = f.stats.seconds;
+    stats_.seconds = 0.0;
+    base_evictions_ = f.stats.cache_evictions;
+    base_peak_bytes_ = f.stats.peak_cache_bytes;
+    violations_ = f.violations;
+    enumerated_ = f.stats.executions;
+    trail_.clear();
+    trail_.reserve(f.trail.size());
+    for (const FrontierNode& fn : f.trail) {
+      Node node;
+      node.is_coin = fn.is_coin;
+      node.coin_value = fn.coin_value;
+      node.chosen = fn.chosen;
+      node.taken = fn.taken;
+      node.candidates = fn.candidates;
+      node.sleep = fn.sleep;
+      node.ops = fn.ops;
+      trail_.push_back(std::move(node));
+    }
+    seen_.restore(f.cache);
+  }
+
+  void finalize_stats() {
+    stats_.seconds =
+        base_seconds_ +
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    stats_.cache_entries = seen_.entries();
+    stats_.peak_cache_bytes = std::max(base_peak_bytes_, seen_.peak_bytes());
+    stats_.cache_evictions = base_evictions_ + seen_.evictions();
+  }
+
+  void save_checkpoint(bool complete) {
+    Frontier f;
+    f.fingerprint = config_fp_;
+    f.complete = complete;
+    finalize_stats();
+    f.stats = stats_;
+    f.stats.complete = complete;
+    f.trail.reserve(trail_.size());
+    for (const Node& node : trail_) {
+      FrontierNode fn;
+      fn.is_coin = node.is_coin;
+      fn.coin_value = node.coin_value;
+      fn.chosen = node.chosen;
+      fn.taken = node.taken;
+      fn.candidates = node.candidates;
+      fn.sleep = node.sleep;
+      fn.ops = node.ops;
+      f.trail.push_back(std::move(fn));
+    }
+    f.violations = violations_;
+    seen_.snapshot(&f.cache);
+    BPRC_REQUIRE(save_frontier(frontier_.checkpoint_path, f),
+                 "cannot write frontier checkpoint");
+  }
+
   ExploreTarget& target_;
   const ExploreLimits limits_;
   const std::uint64_t seed_;
   const bool reuse_;
   const int nprocs_;
+  const FrontierOptions frontier_;
+  Mode mode_ = Mode::kInline;
+  std::uint64_t config_fp_ = 0;
 
   std::unique_ptr<SimRuntime> runtime_;
   std::unique_ptr<ExploreTarget::Instance> instance_;
 
   // DFS state (persists across executions).
   std::vector<Node> trail_;
-  std::unordered_map<std::uint64_t, std::uint64_t> seen_;  ///< key → min depth
+  SeenCache seen_;  ///< fingerprint → shallowest expansion depth
 
   // Per-execution state.
   std::size_t cursor_ = 0;          ///< next trail node to replay
   std::uint64_t coins_used_ = 0;    ///< coin nodes passed on this path
   std::uint64_t cur_sleep_ = 0;     ///< sleep set inherited by the frontier
   bool pruned_ = false;
+  bool cut_ = false;                ///< leaf shipped to the grading pipeline
   std::vector<ProcId> exec_schedule_;
   std::vector<bool> exec_flips_;
+  std::vector<std::uint8_t> exec_events_;  ///< leaf_grader.hpp encoding
+  /// When set (isolated child), every seen-cache visit is logged so the
+  /// parent can replay it on its own cache.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>>* visit_log_ = nullptr;
 
   // Fingerprint state (reset per execution).
   int next_object_ = 0;
@@ -457,6 +1095,21 @@ class Explorer final : public FlipTape, public TraceSink {
   std::uint64_t objects_fold_ = 0;          ///< XOR of entry hashes
   std::vector<std::uint64_t> proc_hash_;    ///< per-process history hash
   std::vector<std::uint64_t> proc_writes_;
+
+  // Grading pump (kBatched).
+  std::unique_ptr<LeafQueue> queue_;
+  std::thread pump_;
+  std::atomic<bool> stop_requested_{false};
+  bool checkpoint_unsafe_ = false;  ///< trail ran ahead of deliveries
+
+  // Enumeration-side progress (== stats_.executions once drained).
+  std::uint64_t enumerated_ = 0;
+
+  // Resume bases (stats_ fields restart from the restored snapshot).
+  double base_seconds_ = 0.0;
+  std::uint64_t base_evictions_ = 0;
+  std::uint64_t base_peak_bytes_ = 0;
+  std::chrono::steady_clock::time_point t0_;
 
   ExploreStats stats_;
   std::vector<ExploreViolation> violations_;
@@ -467,8 +1120,9 @@ ProcId ExploreShim::pick(SimCtl& ctl) { return explorer_.pick(ctl); }
 }  // namespace
 
 ExploreResult explore(ExploreTarget& target, const ExploreLimits& limits,
-                      std::uint64_t seed, bool reuse_runtime) {
-  Explorer explorer(target, limits, seed, reuse_runtime);
+                      std::uint64_t seed, bool reuse_runtime,
+                      const FrontierOptions* frontier) {
+  Explorer explorer(target, limits, seed, reuse_runtime, frontier);
   return explorer.run();
 }
 

@@ -71,6 +71,30 @@ struct ExploreLimits {
   /// CLI's --no-* flags compare configurations).
   bool sleep_sets = true;
   bool state_cache = true;
+  /// Worker threads grading completed leaves through the trial engine
+  /// (enumeration stays serial on the calling thread). <=1 grades inline
+  /// — the exact serial path; >1 is byte-identical to it by the engine's
+  /// generation-order delivery (docs/PERFORMANCE.md "explorer
+  /// deep-scale").
+  unsigned grade_jobs = 1;
+  /// Seen-state cache layout: the compact open-addressing table
+  /// (default) or the legacy unordered_map. Merge decisions are
+  /// bit-identical either way; the determinism tests cross them.
+  bool compact_cache = true;
+  /// Cache memory budget in bytes (compact layout only; 0 = unbounded).
+  /// Over budget the cache evicts deep entries instead of growing —
+  /// sound (fewer prunes, never a skipped state), bounded.
+  std::uint64_t max_cache_bytes = 0;
+  /// Grade each leaf in a fork()ed child so a process-killing protocol
+  /// (broken-segv) surfaces as kWorkerCrash instead of taking the DFS
+  /// down. Forces grade_jobs <= 1 (fork and worker threads do not mix).
+  bool isolate_leaves = false;
+  /// Frontier split: restrict the root scheduling point to candidates
+  /// whose rank satisfies rank % split_count == split_index, so k
+  /// invocations cover the full tree (offline sharding; union of slices
+  /// covers every root branch, digests are per-slice). 0/1 = off.
+  std::uint32_t split_index = 0;
+  std::uint32_t split_count = 0;
 };
 
 struct ExploreStats {
@@ -85,6 +109,10 @@ struct ExploreStats {
   std::uint64_t coin_branches = 0;   ///< coin flips branched both ways
   std::uint64_t max_trail_depth = 0;
   std::uint64_t total_steps = 0;     ///< simulator steps over all runs
+  std::uint64_t worker_crashes = 0;  ///< isolated grading workers that died
+  std::uint64_t cache_entries = 0;      ///< seen-state entries at the end
+  std::uint64_t peak_cache_bytes = 0;   ///< high-water cache footprint
+  std::uint64_t cache_evictions = 0;    ///< budget-forced depth evictions
   /// FNV-1a over every executed pick and forced flip of every execution,
   /// in DFS order. Two explorations that visit the same tree the same way
   /// — e.g. fresh-runtime vs SimRuntime::reset() reuse — match digests.
@@ -145,13 +173,35 @@ struct ExploreResult {
   bool ok() const { return violations.empty(); }
 };
 
+struct Frontier;  // explore/frontier.hpp
+
+/// Checkpoint/resume plumbing for one exploration. The explorer folds
+/// `target_fingerprint` (the caller's identity for the target — protocol
+/// name, inputs, n) with its own limits and seed into the frontier's
+/// config fingerprint; resume refuses a mismatch.
+struct FrontierOptions {
+  /// Parsed frontier to continue from (caller loads and owns it); null =
+  /// fresh start. A complete frontier returns its saved result directly.
+  const Frontier* resume = nullptr;
+  /// Where to write checkpoints; empty = never write. A checkpoint is
+  /// written when the exploration ends (complete or valve-stopped) and,
+  /// if checkpoint_every > 0, after every that-many enumerated
+  /// executions. Checkpoints are taken at drained pipeline boundaries,
+  /// so a resumed run reproduces the uninterrupted schedule_digest.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  std::uint64_t target_fingerprint = 0;
+};
+
 /// Explores every schedule of `target` within `limits`. `seed` derives the
 /// per-process coins used beyond the forced-flip budget (and must match
 /// the seed later used to replay a violation). `reuse_runtime` recycles
 /// one SimRuntime across executions via reset(); results are bit-identical
-/// either way (tests/test_sim_runtime.cpp pins this).
+/// either way (tests/test_sim_runtime.cpp pins this). `frontier`
+/// (optional) enables checkpoint/resume; see FrontierOptions.
 ExploreResult explore(ExploreTarget& target, const ExploreLimits& limits,
-                      std::uint64_t seed, bool reuse_runtime = true);
+                      std::uint64_t seed, bool reuse_runtime = true,
+                      const FrontierOptions* frontier = nullptr);
 
 }  // namespace explore
 }  // namespace bprc

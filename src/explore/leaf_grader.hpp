@@ -1,0 +1,89 @@
+// Leaf grading for the exploration driver.
+//
+// The DFS coordinator (explorer.cpp) enumerates the branch region; a
+// *leaf* is one execution it has resolved up to the region boundary,
+// fully determined by its (schedule prefix, forced-flip prefix) — the
+// deterministic tail (round-robin picks, seed-derived coins) follows
+// from those plus the shared seed. grade_leaf() re-executes a leaf from
+// the initial state on any thread's SimReuse and grades the terminal
+// state with the target's full oracle, reporting every pick and flip of
+// the run as a byte stream the coordinator folds into its
+// schedule_digest in generation order. Because the replay is
+// bit-identical to the run the serial explorer would have performed
+// inline, digests, stats, and violation lists are byte-identical at any
+// --jobs level.
+//
+// Event-stream encoding (one byte per event, digest-compatible with the
+// serial explorer's incremental folds):
+//   1..64  — pick of process (value - 1); nprocs ≤ 64 keeps these
+//            disjoint from the markers below
+//   0xF0   — local-coin flip resolved false
+//   0xF1   — local-coin flip resolved true
+//   0xCF   — grading worker died before reporting (isolated mode only)
+//
+// grade_leaf_isolated() runs the same grading in a fork()ed child so a
+// leaf that kills its process (e.g. the broken-segv registry protocol)
+// surfaces as a FailureClass::kWorkerCrash violation instead of taking
+// the DFS down with it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "explore/explorer.hpp"
+
+namespace bprc {
+class SimReuse;
+}
+
+namespace bprc::explore {
+
+inline constexpr std::uint8_t kEventFlipFalse = 0xF0;
+inline constexpr std::uint8_t kEventFlipTrue = 0xF1;
+inline constexpr std::uint8_t kEventWorkerCrash = 0xCF;
+
+/// One enumerated execution, ready to grade. For pruned executions
+/// (cache merge / sleep-blocked frontier) no re-execution is needed —
+/// the spec carries the coordinator-observed events and step count so
+/// delivery-order folding stays uniform.
+struct LeafSpec {
+  bool pruned = false;
+  std::vector<ProcId> schedule;      ///< replay prefix (branch region)
+  std::vector<bool> flips;           ///< forced local-coin prefix
+  std::vector<std::uint8_t> events;  ///< coordinator-observed prefix events
+  std::uint64_t steps = 0;           ///< coordinator-observed prefix steps
+};
+
+struct LeafOutcome {
+  std::vector<std::uint8_t> events;  ///< full run, encoding above
+  std::uint64_t steps = 0;
+  bool pruned = false;
+  bool complete = false;  ///< RunResult::Reason::kAllDone
+  bool crashed = false;   ///< isolated worker died before reporting
+  int crash_signal = 0;   ///< signal that killed it, 0 if plain exit
+  std::optional<Violation> violation;
+};
+
+/// Recovers the pick sequence from an event stream (for violation
+/// artifacts: the full schedule includes the deterministic tail).
+std::vector<ProcId> decode_schedule(const std::vector<std::uint8_t>& events);
+
+/// Re-executes one non-pruned leaf on `reuse` and grades it. The replay
+/// prefix is scripted; past it, picks round-robin from the last
+/// scheduled process and coins draw from the seed-derived generators —
+/// exactly the serial explorer's deterministic tail.
+LeafOutcome grade_leaf(ExploreTarget& target, const ExploreLimits& limits,
+                       std::uint64_t seed, const LeafSpec& spec,
+                       SimReuse& reuse);
+
+/// grade_leaf in a fork()ed child. An abnormal child death yields
+/// crashed=true with a kWorkerCrash violation and the spec's prefix
+/// events plus a 0xCF marker, so the sweep continues deterministically.
+/// Call only from a single-threaded coordinator (fork + threads do not
+/// mix).
+LeafOutcome grade_leaf_isolated(ExploreTarget& target,
+                                const ExploreLimits& limits,
+                                std::uint64_t seed, const LeafSpec& spec);
+
+}  // namespace bprc::explore

@@ -15,6 +15,7 @@
 // replaced. That is how one file carries pre- and post-optimization
 // numbers from the same machine. The file is line-oriented JSON (one
 // entry object per line) so the merge never needs a full JSON parser.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -199,7 +200,13 @@ int run(const Options& opt) {
     const int n = 8;
     std::uint64_t trials = opt.smoke ? 32 : 512;
     if (opt.trials_override != 0) trials = opt.trials_override;
-    const unsigned max_jobs = bprc::engine::default_jobs();
+    // bench_jobs() honors BPRC_JOBS, so a CI runner can pin the wide jobs
+    // level; on a single-core machine the wide lane still runs its own
+    // measurement at jobs=2 — the two entries are always independent
+    // samples (the old code recorded one SweepPerf twice when
+    // default_jobs() was 1, which showed up as byte-identical jobs1 /
+    // jobsmax values in BENCH_sim.json).
+    const unsigned max_jobs = std::max(2u, bench_jobs());
     std::fprintf(stderr,
                  "bprc_bench: campaign throughput n=%d (%llu trials, "
                  "jobs=1 vs jobs=%u)...\n",
@@ -207,10 +214,7 @@ int run(const Options& opt) {
     const SweepPerf serial = measure_campaign_throughput(n, trials, 1);
     add("campaign_throughput_n8", "runs/sec@jobs1", serial.runs_per_sec,
         "runs/s", n, trials);
-    const SweepPerf wide = max_jobs > 1
-                               ? measure_campaign_throughput(n, trials,
-                                                             max_jobs)
-                               : serial;
+    const SweepPerf wide = measure_campaign_throughput(n, trials, max_jobs);
     add("campaign_throughput_n8", "runs/sec@jobsmax", wide.runs_per_sec,
         "runs/s", n, trials);
     std::fprintf(stderr,
@@ -242,6 +246,36 @@ int run(const Options& opt) {
                  campaign1.runs_per_sec > 0.0
                      ? sharded.runs_per_sec / campaign1.runs_per_sec
                      : 0.0);
+  }
+
+  // Explorer deep-scale: one bprc n=3 input cell swept exhaustively by
+  // the bounded model checker, serial grading vs the engine-batched leaf
+  // pipeline. The digest is byte-identical at every jobs level (asserted
+  // here), so the two entries differ only in wall clock — their ratio is
+  // the explorer's scaling number on this machine.
+  {
+    const std::uint64_t depth = opt.smoke ? 10 : 14;
+    const unsigned max_jobs = std::max(2u, bench_jobs());
+    std::fprintf(stderr,
+                 "bprc_bench: explore throughput n=3 (depth=%llu, "
+                 "jobs=1 vs jobs=%u)...\n",
+                 static_cast<unsigned long long>(depth), max_jobs);
+    const ExplorePerf eserial = measure_explore_throughput(1, depth);
+    add("explore_states_per_sec", "states/sec@jobs1", eserial.states_per_sec,
+        "states/s", 3, eserial.executions);
+    const ExplorePerf ewide = measure_explore_throughput(max_jobs, depth);
+    BPRC_REQUIRE(ewide.digest == eserial.digest,
+                 "explore digest must not depend on the jobs level");
+    add("explore_states_per_sec", "states/sec@jobsmax", ewide.states_per_sec,
+        "states/s", 3, ewide.executions);
+    std::fprintf(stderr,
+                 "  jobs=1: %.0f states/sec; jobs=%u: %.0f states/sec "
+                 "(%.2fx, digest %016llx)\n",
+                 eserial.states_per_sec, max_jobs, ewide.states_per_sec,
+                 eserial.states_per_sec > 0.0
+                     ? ewide.states_per_sec / eserial.states_per_sec
+                     : 0.0,
+                 static_cast<unsigned long long>(eserial.digest));
   }
 
   std::vector<std::string> lines;

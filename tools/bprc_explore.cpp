@@ -26,8 +26,10 @@
 #include <string>
 #include <vector>
 
+#include "engine/executor.hpp"
 #include "explore/consensus_explore.hpp"
 #include "explore/explorer.hpp"
+#include "explore/frontier.hpp"
 #include "explore/token_game_explore.hpp"
 #include "fault/protocols.hpp"
 #include "fault/repro.hpp"
@@ -45,15 +47,27 @@ struct Options {
   bool sleep_sets = true;
   bool state_cache = true;
   bool reuse_runtime = true;
+  bool compact_cache = true;
+  bool isolate = false;
   std::vector<std::string> protocols;
+  std::vector<int> inputs;  // non-empty = explore one input cell only
   int n = 2;
   int strip_k = 2;    // --claim41: token-game shrink constant K
   int moves = 3;      // --claim41: moves per process
+  unsigned jobs = 1;  // leaf-grading workers; 0 = one per core
   std::uint64_t depth = 10;
   std::uint64_t coin_flips = 3;
   std::uint64_t budget = 200'000;
   std::uint64_t seed = 1;
+  std::uint64_t max_cache_mb = 0;
+  std::uint64_t max_executions = 0;
+  std::uint64_t max_states = 0;
   std::size_t max_violations = 8;
+  std::uint32_t split_index = 0;
+  std::uint32_t split_count = 0;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_out;  // empty = no frontier checkpoints
+  std::string resume_path;     // non-empty = continue a saved frontier
   std::string out_dir;  // empty = do not write artifacts
 };
 
@@ -73,6 +87,28 @@ void usage(std::FILE* to) {
                "  --moves M          --claim41: moves per process\n"
                "  --K K              --claim41: shrink constant\n"
                "  --max-violations K stop after K violations (default 8)\n"
+               "  --max-executions K stop after K executions (0 = unlimited)\n"
+               "  --max-states K     stop after K expanded states\n"
+               "  --jobs J           leaf-grading worker threads (default 1\n"
+               "                     = grade inline; 0 = one per core);\n"
+               "                     results are byte-identical at any J\n"
+               "  --inputs CSV       explore one input cell (e.g. 0,1,1,0)\n"
+               "                     instead of all 2^n vectors\n"
+               "  --isolate          grade each leaf in a fork()ed child\n"
+               "                     (crashes become worker-crash findings)\n"
+               "  --cache-map        legacy unordered_map seen-state cache\n"
+               "                     (default: compact fingerprint table)\n"
+               "  --max-cache-mb M   seen-state cache budget; over it the\n"
+               "                     cache evicts deep entries (compact only)\n"
+               "  --checkpoint-out F write a .bprc-frontier checkpoint to F\n"
+               "                     (at the end, and see --checkpoint-every)\n"
+               "  --checkpoint-every K  also checkpoint every K executions\n"
+               "  --resume F         continue a saved frontier (config must\n"
+               "                     match; resumed digest equals an\n"
+               "                     uninterrupted run's)\n"
+               "  --frontier-split I/K  explore root slice I of K (offline\n"
+               "                     sharding; union of slices covers the\n"
+               "                     tree). Needs --inputs.\n"
                "  --out DIR          write .bprc-repro artifacts here\n"
                "  --stats            states/sec and prune-ratio report\n"
                "  --no-sleep-sets    disable partial-order reduction\n"
@@ -108,6 +144,39 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--moves") { if (!(v = need_value(i))) return false; opt.moves = std::atoi(v); }
     else if (arg == "--K") { if (!(v = need_value(i))) return false; opt.strip_k = std::atoi(v); }
     else if (arg == "--max-violations") { if (!(v = need_value(i))) return false; opt.max_violations = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--max-executions") { if (!(v = need_value(i))) return false; opt.max_executions = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--max-states") { if (!(v = need_value(i))) return false; opt.max_states = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--jobs") { if (!(v = need_value(i))) return false; opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10)); }
+    else if (arg == "--isolate") opt.isolate = true;
+    else if (arg == "--cache-map") opt.compact_cache = false;
+    else if (arg == "--max-cache-mb") { if (!(v = need_value(i))) return false; opt.max_cache_mb = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--checkpoint-out") { if (!(v = need_value(i))) return false; opt.checkpoint_out = v; }
+    else if (arg == "--checkpoint-every") { if (!(v = need_value(i))) return false; opt.checkpoint_every = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--resume") { if (!(v = need_value(i))) return false; opt.resume_path = v; }
+    else if (arg == "--frontier-split") {
+      if (!(v = need_value(i))) return false;
+      char* slash = nullptr;
+      opt.split_index = static_cast<std::uint32_t>(std::strtoul(v, &slash, 10));
+      if (slash == nullptr || *slash != '/') {
+        std::fprintf(stderr, "bprc_explore: --frontier-split wants I/K\n");
+        return false;
+      }
+      opt.split_count = static_cast<std::uint32_t>(std::strtoul(slash + 1, nullptr, 10));
+    }
+    else if (arg == "--inputs") {
+      if (!(v = need_value(i))) return false;
+      opt.inputs.clear();
+      const char* p = v;
+      while (*p != '\0') {
+        char* end = nullptr;
+        opt.inputs.push_back(static_cast<int>(std::strtol(p, &end, 10)));
+        if (end == p) {
+          std::fprintf(stderr, "bprc_explore: bad --inputs '%s'\n", v);
+          return false;
+        }
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
     else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_dir = v; }
     else if (arg == "--help" || arg == "-h") { usage(stdout); std::exit(0); }
     else {
@@ -121,6 +190,29 @@ bool parse_args(int argc, char** argv, Options& opt) {
                          "(exhaustive exploration is exponential)\n");
     return false;
   }
+  if (!opt.inputs.empty() &&
+      opt.inputs.size() != static_cast<std::size_t>(opt.n)) {
+    std::fprintf(stderr, "bprc_explore: --inputs wants %d values\n", opt.n);
+    return false;
+  }
+  if (opt.isolate && opt.jobs > 1) {
+    std::fprintf(stderr,
+                 "bprc_explore: --isolate forks per leaf; use --jobs 1\n");
+    return false;
+  }
+  if (opt.split_count > 1 && opt.split_index >= opt.split_count) {
+    std::fprintf(stderr, "bprc_explore: --frontier-split index out of range\n");
+    return false;
+  }
+  const bool cell_only = !opt.resume_path.empty() ||
+                         !opt.checkpoint_out.empty() || opt.split_count > 1;
+  if (cell_only && (opt.inputs.empty() || opt.protocols.size() != 1)) {
+    std::fprintf(stderr,
+                 "bprc_explore: --resume/--checkpoint-out/--frontier-split "
+                 "pin one exploration cell; give one --protocol and "
+                 "--inputs\n");
+    return false;
+  }
   return true;
 }
 
@@ -130,8 +222,16 @@ ExploreLimits build_limits(const Options& opt) {
   limits.max_coin_flips = opt.coin_flips;
   limits.max_run_steps = opt.budget;
   limits.max_violations = opt.max_violations;
+  limits.max_executions = opt.max_executions;
+  limits.max_states = opt.max_states;
   limits.sleep_sets = opt.sleep_sets;
   limits.state_cache = opt.state_cache;
+  limits.grade_jobs = opt.jobs == 0 ? engine::default_jobs() : opt.jobs;
+  limits.compact_cache = opt.compact_cache;
+  limits.max_cache_bytes = opt.max_cache_mb * 1024 * 1024;
+  limits.isolate_leaves = opt.isolate;
+  limits.split_index = opt.split_index;
+  limits.split_count = opt.split_count;
   return limits;
 }
 
@@ -160,6 +260,14 @@ void print_stats(const ExploreStats& s) {
       static_cast<unsigned long long>(s.coin_branches),
       static_cast<unsigned long long>(s.max_trail_depth),
       static_cast<unsigned long long>(s.total_steps));
+  std::printf(
+      "  cache: %llu entries, peak %.2f MiB, %llu eviction(s); "
+      "%llu worker crash(es); %.0f exec/s wall\n",
+      static_cast<unsigned long long>(s.cache_entries),
+      static_cast<double>(s.peak_cache_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(s.cache_evictions),
+      static_cast<unsigned long long>(s.worker_crashes),
+      s.seconds > 0 ? static_cast<double>(s.executions) / s.seconds : 0.0);
   std::printf("  schedule digest: %016llx%s\n",
               static_cast<unsigned long long>(s.schedule_digest),
               s.complete ? "" : "  [INCOMPLETE: a safety valve fired]");
@@ -217,6 +325,11 @@ ProtocolOutcome explore_one_protocol(const Options& opt,
     outcome.merged.max_trail_depth =
         std::max(outcome.merged.max_trail_depth, report.stats.max_trail_depth);
     outcome.merged.total_steps += report.stats.total_steps;
+    outcome.merged.worker_crashes += report.stats.worker_crashes;
+    outcome.merged.cache_entries += report.stats.cache_entries;
+    outcome.merged.peak_cache_bytes =
+        std::max(outcome.merged.peak_cache_bytes, report.stats.peak_cache_bytes);
+    outcome.merged.cache_evictions += report.stats.cache_evictions;
     outcome.merged.seconds += report.stats.seconds;
     outcome.merged.schedule_digest =
         fnv_mix(outcome.merged.schedule_digest, report.stats.schedule_digest);
@@ -265,16 +378,93 @@ int run_claim41(const Options& opt) {
   return result.ok() ? 0 : 1;
 }
 
+/// One (protocol, inputs) cell — the mode --inputs selects and the only
+/// one checkpoint/resume and frontier splits compose with (a frontier
+/// file pins exactly one cell's configuration).
+int run_single_cell(const Options& opt, const std::string& name) {
+  ConsensusExploreConfig config;
+  config.protocol = name;
+  config.inputs = opt.inputs;
+  config.seed = opt.seed;
+  config.limits = build_limits(opt);
+  config.reuse_runtime = opt.reuse_runtime;
+
+  FrontierOptions fopts;
+  fopts.checkpoint_path = opt.checkpoint_out;
+  fopts.checkpoint_every = opt.checkpoint_every;
+  std::optional<Frontier> resumed;
+  if (!opt.resume_path.empty()) {
+    std::string err;
+    resumed = load_frontier(opt.resume_path, &err);
+    if (!resumed.has_value()) {
+      std::fprintf(stderr, "bprc_explore: cannot resume %s: %s\n",
+                   opt.resume_path.c_str(), err.c_str());
+      return 2;
+    }
+    fopts.resume = &*resumed;
+  }
+  const bool use_frontier = fopts.resume != nullptr ||
+                            !fopts.checkpoint_path.empty();
+  const ConsensusExploreReport report =
+      explore_consensus(config, use_frontier ? &fopts : nullptr);
+
+  for (const ExploreViolation& v : report.violations) {
+    std::fprintf(stderr, "VIOLATION %s: protocol=%s schedule-len=%zu %s\n",
+                 to_string(v.failure), name.c_str(), v.schedule.size(),
+                 v.note.c_str());
+  }
+  std::size_t artifact_index = 0;
+  const auto paths = write_artifacts(opt, report, &artifact_index);
+  for (const std::string& p : paths) {
+    std::fprintf(stderr, "  artifact: %s\n", p.c_str());
+  }
+  std::printf("%-16s n=%d depth=%llu cell: %llu states, %llu executions, "
+              "%zu violation(s)%s\n",
+              name.c_str(), opt.n,
+              static_cast<unsigned long long>(opt.depth),
+              static_cast<unsigned long long>(report.stats.states_visited),
+              static_cast<unsigned long long>(report.stats.executions),
+              report.violations.size(),
+              report.stats.complete ? "" : "  [incomplete]");
+  if (opt.stats) print_stats(report.stats);
+  if (!report.violations.empty()) return 1;
+  if (!report.stats.complete) {
+    // A valve stop with a checkpoint on disk is a scheduled pause, not a
+    // failed verification: the frontier resumes it.
+    if (!opt.checkpoint_out.empty()) return 0;
+    std::fprintf(stderr,
+                 "bprc_explore: exploration incomplete (a safety valve "
+                 "fired); not a verification result\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run_explore(const Options& opt) {
   std::vector<std::string> protocols = opt.protocols;
   if (protocols.empty()) protocols = fault::protocol_names();
-  const auto known = fault::protocol_names(/*include_broken=*/true);
+  // Validate against the full registry: an explicit --protocol may name a
+  // crashes_process protocol (e.g. broken-segv, for --isolate runs) that
+  // protocol_names() deliberately never lists.
   for (const std::string& name : protocols) {
-    if (std::find(known.begin(), known.end(), name) == known.end()) {
+    const auto& registry = fault::protocol_registry();
+    const bool known =
+        std::any_of(registry.begin(), registry.end(),
+                    [&](const fault::ProtocolSpec& spec) {
+                      return spec.name == name;
+                    });
+    if (!known) {
       std::fprintf(stderr, "bprc_explore: unknown protocol '%s'\n",
                    name.c_str());
       return 2;
     }
+  }
+  if (!opt.inputs.empty()) {
+    if (protocols.size() != 1) {
+      std::fprintf(stderr, "bprc_explore: --inputs wants one --protocol\n");
+      return 2;
+    }
+    return run_single_cell(opt, protocols.front());
   }
   std::size_t artifact_index = 0;
   std::uint64_t total_violations = 0;
