@@ -1,0 +1,130 @@
+// Abrahamson's local-coin consensus on the *native* scannable memory —
+// the same protocol logic as consensus/abrahamson.{hpp,cpp}, but every
+// shared-memory primitive is a real std::atomic operation on real OS
+// threads, recorded for the weak-memory checker. This is the bridge that
+// lets the existing consensus oracle (evaluate_consensus) grade native
+// runs: ConsensusProtocol interface on top, NativeScannableMemory below.
+//
+// Shared record packing (24-bit NativeLoc payload):
+//   payload = (version << 2) | pref      pref ∈ {0, 1, ⊥=2, unwritten=3}
+// The protocol only ever tests prefs for unanimity; version is the
+// paper's round stamp, kept for footprint statistics and clamped to the
+// 22 bits the payload affords (budgets cap runs far below that).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/protocol.hpp"
+#include "registers/native/native_scannable.hpp"
+#include "runtime/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace bprc {
+
+class NativeLocalCoinConsensus final : public ConsensusProtocol {
+ public:
+  static constexpr std::uint64_t kMaxVersion = (1u << 22) - 1;
+
+  explicit NativeLocalCoinConsensus(Runtime& rt)
+      : rt_(rt),
+        mem_(rt, pack(0, kUnwritten)),
+        decisions_(static_cast<std::size_t>(rt.nprocs()), -1),
+        decision_rounds_(static_cast<std::size_t>(rt.nprocs()), 0) {}
+
+  int propose(int input) override {
+    BPRC_REQUIRE(input == 0 || input == 1, "input must be a bit");
+    const ProcId me = rt_.self();
+    const int n = rt_.nprocs();
+
+    std::int8_t pref = static_cast<std::int8_t>(input);
+    std::uint64_t version = 1;
+
+    auto publish = [&](bool decided) {
+      Hint hint;
+      hint.round = static_cast<std::int32_t>(version);
+      hint.pref = pref;
+      hint.decided = decided;
+      rt_.publish_hint(hint);
+    };
+
+    // Write before the first scan — consistency depends on it (see
+    // consensus/abrahamson.hpp).
+    publish(false);
+    mem_.write(pack(version, pref));
+
+    std::vector<std::uint64_t> view;
+    while (true) {
+      mem_.scan_into(view);
+
+      bool unanimous = true;
+      for (int j = 0; j < n && unanimous; ++j) {
+        if (j == me) continue;
+        const std::int8_t p = pref_of(view[static_cast<std::size_t>(j)]);
+        if (p == kUnwritten) continue;  // j has not joined yet
+        if (p != pref) unanimous = false;
+      }
+      if (unanimous) {
+        decisions_[static_cast<std::size_t>(me)] = pref;
+        decision_rounds_[static_cast<std::size_t>(me)] =
+            static_cast<std::int64_t>(version);
+        publish(true);
+        bump_max_version(version);
+        return pref;
+      }
+
+      pref = rt_.rng().flip() ? kPref1 : kPref0;
+      version = std::min(version + 1, kMaxVersion);
+      publish(false);
+      mem_.write(pack(version, pref));
+      bump_max_version(version);
+    }
+  }
+
+  std::string name() const override { return "native-local-coin"; }
+
+  int decision(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+
+  std::int64_t decision_round(ProcId p) const override {
+    return decision_rounds_[static_cast<std::size_t>(p)];
+  }
+
+  MemoryFootprint footprint() const override {
+    MemoryFootprint f;
+    f.bounded = false;  // same claim as the simulated local-coin baseline
+    f.max_round_stored =
+        static_cast<std::int64_t>(max_version_.load(std::memory_order_relaxed));
+    return f;
+  }
+
+  std::uint64_t scan_retries() const { return mem_.scan_retries(); }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint64_t version,
+                                      std::int8_t pref) {
+    return (version << 2) | static_cast<std::uint64_t>(pref);
+  }
+  static std::int8_t pref_of(std::uint64_t payload) {
+    return static_cast<std::int8_t>(payload & 3);
+  }
+
+  void bump_max_version(std::uint64_t version) {
+    std::uint64_t seen = max_version_.load(std::memory_order_relaxed);
+    while (seen < version && !max_version_.compare_exchange_weak(
+                                 seen, version, std::memory_order_relaxed)) {
+    }
+  }
+
+  Runtime& rt_;
+  NativeScannableMemory mem_;
+  std::vector<int> decisions_;
+  std::vector<std::int64_t> decision_rounds_;
+  std::atomic<std::uint64_t> max_version_{0};
+};
+
+}  // namespace bprc

@@ -1,0 +1,169 @@
+// The paper's register menagerie on real C++11 atomics.
+//
+// Each class wraps NativeLoc words with the weakest memory orders the
+// object's correctness argument permits (the per-operation table with
+// rationale lives in docs/MEMORY_ORDERS.md). All of them are graded by
+// the offline SC checker (src/verify/weakmem/) and TSAN in the `native`
+// ctest tier — plus a deliberately broken variant the checker must
+// reject, so the negative path of the analysis is pinned by a test too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registers/native/native_atomic.hpp"
+#include "runtime/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace bprc {
+
+/// Single-writer multi-reader register (the paper's V_i): owner stores
+/// with release, readers load with acquire. Release/acquire suffices
+/// because one thread writes — readers synchronize with the latest store
+/// they observe, and per-location coherence orders the rest.
+class NativeSWMR {
+ public:
+  NativeSWMR(Runtime& rt, ProcId owner, const char* name,
+             std::uint64_t initial, int object_id = -1)
+      : rt_(rt), owner_(owner), loc_(rt, name, initial, object_id) {}
+
+  void write(std::uint64_t payload) {
+    BPRC_REQUIRE(rt_.self() == owner_, "SWMR write by non-owner");
+    loc_.store_swmr(payload, std::memory_order_release);
+  }
+
+  std::uint64_t read() { return loc_.load(std::memory_order_acquire); }
+
+  /// Versioned read for double-collect freshness comparison: equal words
+  /// ⟺ no intervening write (the role of §2.2's toggle bit).
+  std::uint64_t read_word() {
+    return loc_.load_word(std::memory_order_acquire);
+  }
+
+ private:
+  Runtime& rt_;
+  ProcId owner_;
+  NativeLoc loc_;
+};
+
+/// Bounded counter: payload = value + bound, clamped to [-bound, +bound].
+/// Updates are CAS RMWs (seq_cst — the lock prefix is the fence), reads
+/// acquire. The clamp keeps the payload inside the static domain the
+/// paper's boundedness claim is about.
+class NativeBoundedCounter {
+ public:
+  NativeBoundedCounter(Runtime& rt, std::int64_t bound, const char* name,
+                       int object_id = -1)
+      : bound_(bound),
+        loc_(rt, name, static_cast<std::uint64_t>(bound), object_id) {
+    BPRC_REQUIRE(bound > 0 && 2 * bound < (1 << 20), "bound out of range");
+  }
+
+  /// Adds delta (±1 in the paper's walks), clamped. Returns the new value.
+  std::int64_t add(std::int64_t delta) {
+    const auto [_, now] = loc_.rmw([this, delta](std::uint64_t payload) {
+      std::int64_t v = static_cast<std::int64_t>(payload) - bound_ + delta;
+      if (v > bound_) v = bound_;
+      if (v < -bound_) v = -bound_;
+      return static_cast<std::uint64_t>(v + bound_);
+    });
+    return static_cast<std::int64_t>(now) - bound_;
+  }
+
+  std::int64_t read() {
+    return static_cast<std::int64_t>(
+               loc_.load(std::memory_order_acquire)) -
+           bound_;
+  }
+
+  std::int64_t bound() const { return bound_; }
+
+ private:
+  std::int64_t bound_;
+  NativeLoc loc_;
+};
+
+/// Strip cell: a multi-writer register over a small alphabet (the paper's
+/// strip construction stores one symbol per cell). Writes are CAS RMWs,
+/// reads acquire.
+class NativeStripCell {
+ public:
+  NativeStripCell(Runtime& rt, std::uint64_t initial, const char* name,
+                  int object_id = -1)
+      : loc_(rt, name, initial, object_id) {}
+
+  void write(std::uint64_t symbol) { loc_.rmw_store(symbol); }
+
+  std::uint64_t read() { return loc_.load(std::memory_order_acquire); }
+
+ private:
+  NativeLoc loc_;
+};
+
+/// The seeded defect: a multi-writer register whose stores sit in an
+/// emulated per-thread store buffer until drained, while reads bypass the
+/// buffer with relaxed loads — the classic TSO store-buffering (SB)
+/// anomaly, made *deterministic*. A real `memory_order_relaxed` register
+/// might never exhibit SB on a given host/run (this repo's CI box has one
+/// core); emulating the buffer in software guarantees that two threads
+/// doing W(x) R(y) ∥ W(y) R(x) both read the initial value, which the SC
+/// checker must reject as a po ∪ rf ∪ mo ∪ fr cycle. The recording is
+/// honest about what happened: the store enters its thread's log at
+/// program-order position with mo = 0, and only learns its
+/// modification-order slot when the buffer drains (MemActionSink::
+/// patch_mo) — exactly the late-binding a hardware store buffer performs.
+class BrokenRelaxedRegister {
+ public:
+  BrokenRelaxedRegister(Runtime& rt, const char* name, std::uint64_t initial,
+                        int object_id = -1)
+      : rt_(rt),
+        loc_(rt, name, initial, object_id),
+        pending_(static_cast<std::size_t>(rt.nprocs())) {}
+
+  /// Buffers the store: visible to nobody (not even self until read()).
+  void write(std::uint64_t payload) {
+    Pending& mine = pending_[static_cast<std::size_t>(rt_.self())];
+    if (mine.armed) flush(rt_.self());  // one outstanding store per thread
+    mine.index = loc_.record_buffered_store(payload);
+    mine.payload = payload;
+    mine.armed = true;
+  }
+
+  /// Relaxed load. Reads-own-writes: a thread with its own store still
+  /// buffered forwards it (flushing first, so the recording stays exact);
+  /// other threads' buffered stores remain invisible — the anomaly.
+  std::uint64_t read() {
+    const ProcId me = rt_.self();
+    if (pending_[static_cast<std::size_t>(me)].armed) flush(me);
+    return loc_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains every thread's buffer. Call after the run has joined (it
+  /// takes no checkpoints); until then unread buffered stores stay
+  /// invisible, which is what makes the SB litmus deterministic.
+  void drain_all() {
+    for (std::size_t t = 0; t < pending_.size(); ++t) {
+      if (pending_[t].armed) flush(static_cast<ProcId>(t));
+    }
+  }
+
+ private:
+  struct Pending {
+    bool armed = false;
+    std::size_t index = SIZE_MAX;
+    std::uint64_t payload = 0;
+  };
+
+  void flush(ProcId t) {
+    Pending& p = pending_[static_cast<std::size_t>(t)];
+    loc_.flush_buffered(t, p.index, p.payload);
+    p.armed = false;
+  }
+
+  Runtime& rt_;
+  NativeLoc loc_;
+  std::vector<Pending> pending_;  ///< slot t touched only by thread t
+};
+
+}  // namespace bprc

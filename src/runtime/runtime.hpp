@@ -77,6 +77,63 @@ class TraceSink {
                         bool mutates) = 0;
 };
 
+/// One recorded native shared-memory operation (src/registers/native/).
+/// The offline weak-memory analysis (src/verify/weakmem/) consumes
+/// per-thread lists of these: program order comes from (thread, seq),
+/// reads-from and modification order from the version fields, which the
+/// native registers derive exactly by packing a per-location write version
+/// next to the payload inside the atomic word.
+struct MemAction {
+  enum class Kind : std::uint8_t { kLoad, kStore, kRmw };
+  ProcId thread = -1;
+  std::uint32_t seq = 0;      ///< program-order index within `thread`
+  int location = -1;          ///< dense id from MemActionSink::on_location
+  Kind kind = Kind::kLoad;
+  /// static_cast of the std::memory_order the operation used. Recorded so
+  /// artifacts state the order under analysis, not just the outcome.
+  std::uint8_t order = 0;
+  std::uint64_t value = 0;    ///< payload read (loads) or written (stores)
+  /// Version of the write this operation read from; 0 = initial value.
+  /// Meaningful for kLoad and kRmw.
+  std::uint64_t rf = 0;
+  /// Version this operation wrote — its position in the location's
+  /// modification order (1-based; 0 = "not yet flushed", see patch_mo).
+  /// Meaningful for kStore and kRmw.
+  std::uint64_t mo = 0;
+};
+
+/// Observer for native atomic traffic, the weak-memory analogue of
+/// TraceSink. Native registers cache the pointer at construction
+/// (Runtime::mem_sink()); a null sink — the default, and every run
+/// outside the native verification lane — costs one cached null check
+/// per operation.
+///
+/// Threading contract: on_action is called from the acting process's
+/// thread; implementations keep one log per thread so recording is
+/// lock-free. patch_mo touches only entries of the named thread and is
+/// called either from that thread or after the run has joined.
+class MemActionSink {
+ public:
+  virtual ~MemActionSink() = default;
+
+  /// Called once per native shared location at construction; returns its
+  /// dense location id. `initial` is the location's initial payload
+  /// (what version-0 reads observe); `name` is for human-readable
+  /// reports and artifacts.
+  virtual int on_location(const char* name, std::uint64_t initial) = 0;
+
+  /// Appends a completed operation to `a.thread`'s log; returns the
+  /// index of the entry in that log (for patch_mo).
+  virtual std::size_t on_action(const MemAction& a) = 0;
+
+  /// Late modification-order assignment for buffered stores: the
+  /// deliberately-broken relaxed register records its store in program
+  /// order but only learns the write's position in the location's
+  /// modification order when the emulated store buffer flushes.
+  virtual void patch_mo(ProcId thread, std::size_t index,
+                        std::uint64_t mo) = 0;
+};
+
 /// Thrown out of checkpoint() to unwind a process that the runtime is
 /// shutting down (crashed by the adversary, or the step budget is
 /// exhausted). Algorithm code must let it propagate — RAII-only cleanup.
@@ -150,6 +207,10 @@ class Runtime {
   /// The installed shared-memory observer, or nullptr (default). Shared
   /// objects cache this at construction; see TraceSink.
   virtual TraceSink* trace_sink() const { return nullptr; }
+
+  /// The installed native-atomics observer, or nullptr (default). Native
+  /// registers cache this at construction; see MemActionSink.
+  virtual MemActionSink* mem_sink() const { return nullptr; }
 };
 
 }  // namespace bprc

@@ -47,11 +47,44 @@ void ThreadRuntime::checkpoint(const OpDesc& op) {
   const std::uint64_t total =
       total_steps_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (total >= max_steps_) {
-    stop_.store(true, std::memory_order_relaxed);
+    raise_stop();
     throw ProcessStopped{};
   }
   if (yield_prob_ > 0.0 && me.rng.bernoulli(yield_prob_)) {
     std::this_thread::yield();
+  }
+}
+
+void ThreadRuntime::raise_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Taking the lock orders this store before any subsequent park: a process
+  // that enters rendezvous() after notify_all still observes stop_ under
+  // park_mu_ and throws instead of sleeping forever.
+  const std::scoped_lock lock(park_mu_);
+  park_cv_.notify_all();
+}
+
+void ThreadRuntime::rendezvous(int expected) {
+  BPRC_REQUIRE(expected >= 1 && expected <= nprocs(),
+               "rendezvous expects between 1 and nprocs processes");
+  (void)checked(self());  // must be called from a process body
+  std::unique_lock lock(park_mu_);
+  if (stop_.load(std::memory_order_relaxed)) throw ProcessStopped{};
+  const std::uint64_t gen = park_gen_;
+  if (++park_waiting_ >= expected) {
+    park_waiting_ = 0;
+    ++park_gen_;
+    park_cv_.notify_all();
+    return;
+  }
+  park_cv_.wait(lock, [&] {
+    return park_gen_ != gen || stop_.load(std::memory_order_relaxed);
+  });
+  if (park_gen_ == gen) {
+    // Woken by raise_stop(), not by the barrier tripping: leave the
+    // barrier's count consistent and unwind.
+    --park_waiting_;
+    throw ProcessStopped{};
   }
 }
 
@@ -86,7 +119,7 @@ RunResult ThreadRuntime::run(std::uint64_t max_steps,
             lock, st, deadline, [&st] { return st.stop_requested(); });
         if (!stopped) {
           deadline_hit_.store(true, std::memory_order_relaxed);
-          stop_.store(true, std::memory_order_relaxed);
+          raise_stop();
         }
       });
     }

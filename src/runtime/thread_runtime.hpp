@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -42,6 +43,25 @@ class ThreadRuntime final : public Runtime {
   RunResult run(std::uint64_t max_steps,
                 std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero());
 
+  /// Parked checkpoint: blocks the calling process until `expected`
+  /// processes (itself included) are parked here, then releases them all
+  /// at once. Native litmus workloads use it as a start gate so the
+  /// contending operations genuinely overlap instead of running in spawn
+  /// order. The wait is stop-aware: the watchdog's deadline, the step
+  /// budget, and run teardown all wake parked processes, which then
+  /// unwind via ProcessStopped — a parked process can never outlive its
+  /// run (regression-tested in test_thread_runtime).
+  void rendezvous(int expected);
+
+  /// Installs (or clears, with nullptr) the shared-memory observer.
+  /// Must be set before the shared objects that should report to it are
+  /// constructed — they cache the pointer (see TraceSink).
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Installs (or clears, with nullptr) the native-atomics observer;
+  /// same caching contract as set_trace_sink.
+  void set_mem_sink(MemActionSink* sink) { mem_sink_ = sink; }
+
   // --- Runtime interface ---
   int nprocs() const override { return static_cast<int>(procs_.size()); }
   ProcId self() const override;
@@ -51,6 +71,8 @@ class ThreadRuntime final : public Runtime {
   void publish_hint(const Hint& hint) override;
   std::uint64_t steps(ProcId p) const override;
   std::uint64_t total_steps() const override { return total_steps_.load(); }
+  TraceSink* trace_sink() const override { return trace_sink_; }
+  MemActionSink* mem_sink() const override { return mem_sink_; }
 
  private:
   struct Proc {
@@ -62,6 +84,11 @@ class ThreadRuntime final : public Runtime {
 
   std::size_t checked(ProcId p) const;
 
+  /// Sets stop_ and wakes every process parked in rendezvous(). All paths
+  /// that begin teardown (budget exhaustion, watchdog deadline) go through
+  /// here so a parked process cannot sleep through the shutdown.
+  void raise_stop();
+
   std::vector<Proc> procs_;
   double yield_prob_;
   std::atomic<std::uint64_t> total_steps_{0};
@@ -71,6 +98,14 @@ class ThreadRuntime final : public Runtime {
   std::uint64_t max_steps_ = 0;
   mutable std::mutex hint_mutex_;
   bool ran_ = false;
+  TraceSink* trace_sink_ = nullptr;
+  MemActionSink* mem_sink_ = nullptr;
+
+  // rendezvous() barrier state, guarded by park_mu_.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::uint64_t park_gen_ = 0;
+  int park_waiting_ = 0;
 };
 
 }  // namespace bprc

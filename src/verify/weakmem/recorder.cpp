@@ -1,0 +1,123 @@
+#include "verify/weakmem/recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace bprc::weakmem {
+
+namespace {
+constexpr const char* kHeader = "bprc-weakmem v1";
+
+char kind_char(MemAction::Kind k) {
+  switch (k) {
+    case MemAction::Kind::kLoad:  return 'L';
+    case MemAction::Kind::kStore: return 'S';
+    case MemAction::Kind::kRmw:   return 'R';
+  }
+  return '?';
+}
+
+bool kind_from_char(char c, MemAction::Kind& out) {
+  switch (c) {
+    case 'L': out = MemAction::Kind::kLoad;  return true;
+    case 'S': out = MemAction::Kind::kStore; return true;
+    case 'R': out = MemAction::Kind::kRmw;   return true;
+    default:  return false;
+  }
+}
+}  // namespace
+
+bool save_recording(const Recording& rec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << kHeader << "\n";
+  out << "case " << (rec.case_name.empty() ? "-" : rec.case_name) << "\n";
+  out << "threads " << rec.logs.size() << "\n";
+  out << "locations " << rec.locations.size() << "\n";
+  for (std::size_t i = 0; i < rec.locations.size(); ++i) {
+    out << "loc " << i << " " << rec.locations[i].initial << " "
+        << rec.locations[i].name << "\n";
+  }
+  out << "actions " << rec.total_actions() << "\n";
+  for (const auto& log : rec.logs) {
+    for (const MemAction& a : log) {
+      out << "act " << a.thread << " " << a.seq << " " << a.location << " "
+          << kind_char(a.kind) << " " << static_cast<int>(a.order) << " "
+          << a.value << " " << a.rf << " " << a.mo << "\n";
+    }
+  }
+  out << "end\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<Recording> load_recording(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  Recording rec;
+  std::size_t expected_actions = 0;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag.empty()) continue;
+    if (tag == "case") {
+      ss >> rec.case_name;
+      if (rec.case_name == "-") rec.case_name.clear();
+    } else if (tag == "threads") {
+      std::size_t k = 0;
+      if (!(ss >> k) || k > 4096) return std::nullopt;
+      rec.logs.resize(k);
+    } else if (tag == "locations") {
+      std::size_t m = 0;
+      if (!(ss >> m)) return std::nullopt;
+      rec.locations.reserve(m);
+    } else if (tag == "loc") {
+      std::size_t id = 0;
+      Recording::Location loc;
+      if (!(ss >> id >> loc.initial)) return std::nullopt;
+      std::getline(ss, loc.name);
+      if (!loc.name.empty() && loc.name.front() == ' ') loc.name.erase(0, 1);
+      if (id != rec.locations.size()) return std::nullopt;
+      rec.locations.push_back(std::move(loc));
+    } else if (tag == "actions") {
+      if (!(ss >> expected_actions)) return std::nullopt;
+    } else if (tag == "act") {
+      MemAction a;
+      int order = 0;
+      char kind = '?';
+      if (!(ss >> a.thread >> a.seq >> a.location >> kind >> order >>
+            a.value >> a.rf >> a.mo)) {
+        return std::nullopt;
+      }
+      if (!kind_from_char(kind, a.kind)) return std::nullopt;
+      if (a.thread < 0 ||
+          static_cast<std::size_t>(a.thread) >= rec.logs.size()) {
+        return std::nullopt;
+      }
+      a.order = static_cast<std::uint8_t>(order);
+      rec.logs[static_cast<std::size_t>(a.thread)].push_back(a);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return std::nullopt;  // unknown tag: refuse rather than misparse
+    }
+  }
+  if (!saw_end || rec.total_actions() != expected_actions) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+bool is_weakmem_artifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  return std::getline(in, line) && line == kHeader;
+}
+
+}  // namespace bprc::weakmem

@@ -1,0 +1,63 @@
+// Offline sequential-consistency checking over recorded action lists, in
+// the style of CDSChecker/scfence.
+//
+// Given a Recording, the checker materializes the execution's
+// happens-before relation as the union of four edge families:
+//
+//   po — sequenced-before: consecutive actions of the same thread;
+//   rf — reads-from: the write of version v on a location precedes every
+//        read that observed version v;
+//   mo — modification order: version v precedes version v+1;
+//   fr — from-read: a read that observed version v precedes the write of
+//        version v+1 (it demonstrably executed before that write).
+//
+// The execution is explainable by a sequentially consistent total order
+// iff po ∪ rf ∪ mo ∪ fr is acyclic (Shasha–Snir). Cycle detection uses
+// clock vectors: cv[a][t] = number of thread-t actions that happen before
+// or equal a, propagated along edges to fixpoint; an edge a→b where
+// cv[a] already covers b witnesses a cycle, and the checker reports the
+// full cycle path as a human-readable witness.
+//
+// When the relation is acyclic, a deterministic topological sort yields
+// an SC total order, which is re-validated through the existing
+// Wing–Gong linearizability checker: each location's actions become a
+// sequential RegOp history (read-your-latest-write semantics), so native
+// runs are graded by exactly the oracle the simulator uses.
+//
+// Scope: this is a *dynamic* analysis of one observed execution, like
+// TSAN — it proves this run SC or exhibits this run's violation; it does
+// not enumerate the other executions the C++ memory model would allow.
+// The deliberately-broken register makes the violation deterministic so
+// the negative test does not depend on hardware reordering luck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/weakmem/recorder.hpp"
+
+namespace bprc::weakmem {
+
+/// Verdict of the offline analysis.
+struct SCResult {
+  bool sc = false;          ///< po ∪ rf ∪ mo ∪ fr acyclic
+  bool coherent = false;    ///< per-location Wing–Gong check of the total
+                            ///< order (vacuously true when !sc)
+  bool well_formed = false; ///< version fields internally consistent
+  std::string witness;      ///< cycle / violation description when failed
+
+  /// The SC total order (global indices into a flattened action array,
+  /// thread-major) when sc holds; empty otherwise.
+  std::vector<std::size_t> order;
+
+  bool ok() const { return well_formed && sc && coherent; }
+};
+
+/// Runs the full analysis on a recording.
+SCResult check_sc(const Recording& rec);
+
+/// Renders one action as "T2#5 W x=3 @v7(release)" for witnesses.
+std::string describe_action(const Recording& rec, const MemAction& a);
+
+}  // namespace bprc::weakmem

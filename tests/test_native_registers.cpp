@@ -1,0 +1,111 @@
+// End-to-end tests of the native-atomics lane: real threads, real
+// std::atomic registers, recorded executions graded by the weak-memory
+// checker (and, for consensus, by the standard oracle).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fault/native.hpp"
+#include "verify/weakmem/recorder.hpp"
+#include "verify/weakmem/sc_checker.hpp"
+
+namespace bprc {
+namespace {
+
+NativeRunOptions small_opts() {
+  NativeRunOptions opts;
+  opts.nprocs = 4;
+  opts.seed = 11;
+  opts.iters = 40;
+  opts.yield_prob = 0.1;  // coax the kernel into interleavings
+  return opts;
+}
+
+TEST(NativeRegisters, CaseTableHasBrokenEntriesLast) {
+  const auto& cases = native_cases();
+  ASSERT_FALSE(cases.empty());
+  bool seen_broken = false;
+  for (const auto& spec : cases) {
+    if (spec.broken) seen_broken = true;
+    else EXPECT_FALSE(seen_broken) << "broken cases must come last";
+  }
+  EXPECT_NE(find_native_case("broken-relaxed"), nullptr);
+  EXPECT_EQ(find_native_case("no-such-case"), nullptr);
+}
+
+TEST(NativeRegisters, FaithfulCasesPassTheChecker) {
+  for (const auto& spec : native_cases()) {
+    if (spec.broken) continue;
+    const NativeOutcome out = run_native_case(spec.name, small_opts());
+    EXPECT_EQ(out.run.reason, RunResult::Reason::kAllDone) << spec.name;
+    ASSERT_TRUE(out.checked) << spec.name;
+    EXPECT_TRUE(out.sc.ok()) << spec.name << ": " << out.sc.witness;
+    EXPECT_GT(out.actions, 0u) << spec.name;
+    EXPECT_TRUE(out.ok()) << spec.name;
+  }
+}
+
+TEST(NativeRegisters, ConsensusCaseIsGradedByTheOracle) {
+  const NativeOutcome out = run_native_case("consensus", small_opts());
+  ASSERT_TRUE(out.graded_consensus);
+  EXPECT_TRUE(out.consensus.ok());
+  EXPECT_TRUE(out.consensus.all_decided);
+  EXPECT_TRUE(out.consensus.consistent);
+  EXPECT_TRUE(out.consensus.valid);
+  ASSERT_TRUE(out.checked);
+  EXPECT_TRUE(out.sc.ok()) << out.sc.witness;
+}
+
+TEST(NativeRegisters, BrokenRelaxedIsFlaggedWithReplayableArtifact) {
+  NativeRunOptions opts = small_opts();
+  opts.nprocs = 2;
+  const std::string path =
+      testing::TempDir() + "broken_relaxed.bprc-weakmem";
+  opts.artifact_path = path;
+  const NativeOutcome out = run_native_case("broken-relaxed", opts);
+  EXPECT_EQ(out.run.reason, RunResult::Reason::kAllDone);
+  ASSERT_TRUE(out.checked);
+  EXPECT_TRUE(out.sc.well_formed) << out.sc.witness;
+  EXPECT_FALSE(out.sc.sc) << "the SB litmus must be flagged non-SC";
+  EXPECT_NE(out.sc.witness.find("cycle"), std::string::npos)
+      << out.sc.witness;
+  EXPECT_FALSE(out.ok());
+
+  // The artifact replays to the same verdict.
+  ASSERT_EQ(out.artifact, path);
+  ASSERT_TRUE(weakmem::is_weakmem_artifact(path));
+  const auto loaded = weakmem::load_recording(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->case_name, "broken-relaxed");
+  const weakmem::SCResult replayed = weakmem::check_sc(*loaded);
+  EXPECT_TRUE(replayed.well_formed);
+  EXPECT_FALSE(replayed.sc);
+  EXPECT_EQ(replayed.witness, out.sc.witness);
+  std::remove(path.c_str());
+}
+
+TEST(NativeRegisters, CheckerOffIsTheZeroCostPath) {
+  NativeRunOptions opts = small_opts();
+  opts.check_sc = false;
+  const NativeOutcome out = run_native_case("counter-walk", opts);
+  EXPECT_EQ(out.run.reason, RunResult::Reason::kAllDone);
+  EXPECT_FALSE(out.checked);
+  EXPECT_EQ(out.actions, 0u);
+  EXPECT_TRUE(out.ok());
+}
+
+TEST(NativeRegisters, RecordedRunsAreWellFormedAtLargerScale) {
+  // More contention, more actions: the version bookkeeping must stay
+  // exact under real preemption.
+  NativeRunOptions opts = small_opts();
+  opts.iters = 150;
+  opts.seed = 99;
+  const NativeOutcome out = run_native_case("scan-storm", opts);
+  ASSERT_TRUE(out.checked);
+  EXPECT_TRUE(out.sc.ok()) << out.sc.witness;
+  EXPECT_GT(out.actions, 1000u);
+}
+
+}  // namespace
+}  // namespace bprc

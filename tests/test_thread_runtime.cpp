@@ -123,6 +123,133 @@ TEST(ThreadRuntime, ConcurrentRegisterAccessIsSafe) {
   EXPECT_EQ(reg.peek(), 500);
 }
 
+TEST(ThreadRuntime, RendezvousReleasesAllParticipants) {
+  ThreadRuntime rt(4, 1);
+  std::atomic<int> past_gate{0};
+  for (ProcId p = 0; p < 4; ++p) {
+    rt.spawn(p, [&] {
+      rt.rendezvous(4);
+      past_gate.fetch_add(1);
+    });
+  }
+  const RunResult res = rt.run(1'000'000);
+  EXPECT_EQ(res.reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(past_gate.load(), 4);
+}
+
+TEST(ThreadRuntime, DeadlineFiresDuringParkedCheckpoint) {
+  // Regression: a process parked in rendezvous() holds no checkpoint to
+  // throw from, so the watchdog must actively wake it — a deadline that
+  // only sets a flag would hang this run forever.
+  ThreadRuntime rt(2, 1);
+  std::atomic<bool> parked_past_gate{false};
+  rt.spawn(0, [&] {
+    rt.rendezvous(2);  // proc 1 never arrives: parks until the watchdog
+    parked_past_gate = true;
+  });
+  rt.spawn(1, [] {});
+  const RunResult res =
+      rt.run(1'000'000, std::chrono::milliseconds(50));
+  EXPECT_EQ(res.reason, RunResult::Reason::kDeadline);
+  EXPECT_FALSE(parked_past_gate.load());
+}
+
+TEST(ThreadRuntime, BudgetExhaustionWakesParkedCheckpoint) {
+  // Same rescue through the step-budget path: the spinning process burns
+  // the budget, and raising stop must unpark its peer.
+  ThreadRuntime rt(2, 1);
+  rt.spawn(0, [&] { rt.rendezvous(2); });
+  rt.spawn(1, [&] {
+    for (;;) rt.checkpoint({});
+  });
+  const RunResult res = rt.run(5'000);
+  EXPECT_EQ(res.reason, RunResult::Reason::kBudget);
+}
+
+TEST(ThreadRuntime, ScriptedFlipTapeExhaustsThenPassesThrough) {
+  // The tape contract under real threads: forced prefix, then drawn bits
+  // pass through untouched, with the generator stream identical to an
+  // un-taped run (yield_prob = 0 keeps the rng stream pure).
+  std::vector<bool> untaped(6);
+  {
+    ThreadRuntime rt(2, 7, /*yield_prob=*/0.0);
+    rt.spawn(0, [&] {
+      for (int i = 0; i < 6; ++i) untaped[static_cast<std::size_t>(i)] =
+          rt.rng().flip();
+    });
+    rt.spawn(1, [] {});
+    rt.run(1'000'000);
+  }
+  ThreadRuntime rt(2, 7, /*yield_prob=*/0.0);
+  ScriptedFlipTape tape({true, false, true});
+  std::vector<bool> taped(6);
+  rt.spawn(0, [&] {
+    rt.rng().set_flip_tape(&tape);
+    for (int i = 0; i < 6; ++i) taped[static_cast<std::size_t>(i)] =
+        rt.rng().flip();
+    rt.rng().set_flip_tape(nullptr);
+  });
+  rt.spawn(1, [] {});
+  rt.run(1'000'000);
+  EXPECT_EQ(tape.consumed(), 3u);  // exhausted exactly at script length
+  EXPECT_TRUE(taped[0]);
+  EXPECT_FALSE(taped[1]);
+  EXPECT_TRUE(taped[2]);
+  // Past exhaustion the tape is transparent: drawn bits as if never taped.
+  EXPECT_EQ(taped[3], untaped[3]);
+  EXPECT_EQ(taped[4], untaped[4]);
+  EXPECT_EQ(taped[5], untaped[5]);
+}
+
+namespace {
+/// TraceSink whose read/write hooks re-enter the runtime by reading
+/// another (sink-less) register — the reentrancy pattern exploration
+/// sinks use for state fingerprinting.
+class ReentrantSink final : public TraceSink {
+ public:
+  ReentrantSink(ThreadRuntime& rt, SWMRRegister<int>& inner)
+      : rt_(rt), inner_(inner) {}
+
+  int on_object_created() override { return next_id_.fetch_add(1); }
+  void on_read(ProcId, int) override { reenter(); }
+  void on_write(ProcId, int) override { reenter(); }
+  void on_event(ProcId, int, std::uint64_t, bool) override {}
+
+  int events() const { return events_.load(); }
+
+ private:
+  void reenter() {
+    events_.fetch_add(1);
+    // inner_ was constructed before the sink was installed, so its cached
+    // sink pointer is null and this read does not recurse further.
+    (void)inner_.read();
+  }
+
+  ThreadRuntime& rt_;
+  SWMRRegister<int>& inner_;
+  std::atomic<int> next_id_{0};
+  std::atomic<int> events_{0};
+};
+}  // namespace
+
+TEST(ThreadRuntime, TraceSinkReentrancyIsSafe) {
+  ThreadRuntime rt(2, 3, /*yield_prob=*/0.1);
+  SWMRRegister<int> inner(rt, /*owner=*/0, 0);  // pre-sink: null cached sink
+  ReentrantSink sink(rt, inner);
+  rt.set_trace_sink(&sink);
+  ASSERT_EQ(rt.trace_sink(), &sink);
+  SWMRRegister<int> outer(rt, /*owner=*/0, 0);  // post-sink: reports
+  rt.spawn(0, [&] {
+    for (int v = 1; v <= 50; ++v) outer.write(v);
+  });
+  rt.spawn(1, [&] {
+    for (int k = 0; k < 50; ++k) (void)outer.read();
+  });
+  const RunResult res = rt.run(10'000'000);
+  EXPECT_EQ(res.reason, RunResult::Reason::kAllDone);
+  EXPECT_EQ(sink.events(), 100);  // 50 writes + 50 reads, each re-entered
+}
+
 TEST(ThreadRuntime, PerProcessRngStreamsDiffer) {
   ThreadRuntime rt(2, 9);
   std::vector<std::uint64_t> draws(2);

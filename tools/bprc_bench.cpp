@@ -16,6 +16,7 @@
 // numbers from the same machine. The file is line-oriented JSON (one
 // entry object per line) so the merge never needs a full JSON parser.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/native.hpp"
 #include "perf_harness.hpp"
 
 namespace {
@@ -276,6 +278,43 @@ int run(const Options& opt) {
                      ? ewide.states_per_sec / eserial.states_per_sec
                      : 0.0,
                  static_cast<unsigned long long>(eserial.digest));
+  }
+
+  // Native-atomics lane: the scan-storm case (real threads, real
+  // std::atomic) once with the weak-memory recorder off — the zero-cost
+  // path, a null sink — and once recording + running the offline SC
+  // checker. The delta between the two entries is the full observability
+  // tax: per-action log appends plus the clock-vector analysis.
+  {
+    const int n = 4;
+    const int iters = opt.smoke ? 60 : 400;
+    std::fprintf(stderr,
+                 "bprc_bench: native scan-storm n=%d (%d iters, "
+                 "checker off vs on)...\n",
+                 n, iters);
+    const auto native_steps_per_sec = [&](bool check_sc) {
+      NativeRunOptions nopt;
+      nopt.nprocs = n;
+      nopt.seed = 17;
+      nopt.iters = iters;
+      nopt.check_sc = check_sc;
+      const auto t0 = std::chrono::steady_clock::now();
+      const NativeOutcome out = run_native_case("scan-storm", nopt);
+      const auto t1 = std::chrono::steady_clock::now();
+      BPRC_REQUIRE(out.ok(), "native bench case failed");
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      return secs > 0.0 ? static_cast<double>(out.run.steps) / secs : 0.0;
+    };
+    const double off = native_steps_per_sec(false);
+    add("native_steps_per_sec", "steps/sec@checker-off", off, "steps/s", n,
+        static_cast<std::uint64_t>(iters));
+    const double on = native_steps_per_sec(true);
+    add("native_steps_per_sec", "steps/sec@checker-on", on, "steps/s", n,
+        static_cast<std::uint64_t>(iters));
+    std::fprintf(stderr,
+                 "  checker off: %.0f steps/sec; on: %.0f steps/sec "
+                 "(%.2fx overhead)\n",
+                 off, on, on > 0.0 ? off / on : 0.0);
   }
 
   std::vector<std::string> lines;

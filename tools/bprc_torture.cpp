@@ -53,11 +53,14 @@
 #include <vector>
 
 #include "fault/campaign.hpp"
+#include "fault/native.hpp"
 #include "fault/protocols.hpp"
 #include "fault/repro.hpp"
 #include "fault/shrink.hpp"
 #include "shard/coordinator.hpp"
 #include "util/stats.hpp"
+#include "verify/weakmem/recorder.hpp"
+#include "verify/weakmem/sc_checker.hpp"
 
 namespace {
 
@@ -96,6 +99,11 @@ struct Options {
   std::size_t shard_count = 0;
   std::string shard_out;           // --shard-out FILE
   std::vector<std::string> merge_paths;  // --merge F1 F2 ...
+  // Native-atomics lane (src/fault/native.hpp).
+  bool native = false;
+  bool check_sc = false;
+  std::string native_case;         // empty = every non-broken case
+  int native_iters = 0;            // 0 = case default
 };
 
 void usage(std::FILE* to) {
@@ -124,6 +132,15 @@ void usage(std::FILE* to) {
                "                     shard-I-of-K.bprc-shard)\n"
                "  --merge FILES...   re-fold shard files into the serial\n"
                "                     report (consumes remaining arguments)\n"
+               "  --native           run the native-atomics cases on real\n"
+               "                     threads (std::atomic registers)\n"
+               "  --native-case NAME one native case (implies --native;\n"
+               "                     broken cases must be named explicitly)\n"
+               "  --check-sc         record every native atomic op and run\n"
+               "                     the offline SC/linearizability checker;\n"
+               "                     violations write a replayable\n"
+               "                     .bprc-weakmem artifact into --out\n"
+               "  --iters N          per-thread iterations for native cases\n"
                "  --protocol NAME    restrict to protocol (repeatable)\n"
                "  --adversary NAME   restrict to adversary (repeatable)\n"
                "  --n N              process count (repeatable)\n"
@@ -157,6 +174,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!(v = need_value(i))) return false;
       opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
       opt.jobs_given = true;
+    }
+    else if (arg == "--native") opt.native = true;
+    else if (arg == "--native-case") {
+      if (!(v = need_value(i))) return false;
+      opt.native_case = v;
+      opt.native = true;
+    }
+    else if (arg == "--check-sc") opt.check_sc = true;
+    else if (arg == "--iters") {
+      if (!(v = need_value(i))) return false;
+      opt.native_iters = std::atoi(v);
     }
     else if (arg == "--quiet" || arg == "-q") opt.quiet = true;
     else if (arg == "--verbose" || arg == "-v") opt.verbose = true;
@@ -340,7 +368,33 @@ std::vector<std::string> process_failures(const Options& opt,
   return paths;
 }
 
+/// --replay on a `.bprc-weakmem` artifact: re-run the offline analysis
+/// on the recorded execution. Exit 0 = the recording is SC (nothing to
+/// reproduce); 1 = the non-SC verdict reproduces, witness printed.
+int run_weakmem_replay(const std::string& path) {
+  const auto rec = weakmem::load_recording(path);
+  if (!rec) {
+    std::fprintf(stderr, "bprc_torture: %s: malformed weakmem artifact\n",
+                 path.c_str());
+    return 2;
+  }
+  const weakmem::SCResult res = weakmem::check_sc(*rec);
+  std::printf("replay %s\n", path.c_str());
+  std::printf("  native case=%s threads=%zu locations=%zu actions=%zu\n",
+              rec->case_name.empty() ? "?" : rec->case_name.c_str(),
+              rec->logs.size(), rec->locations.size(), rec->total_actions());
+  if (res.ok()) {
+    std::printf("  observed: SC (checker found no violation)\n");
+    return 0;
+  }
+  std::printf("  observed: %s\n%s\n",
+              res.well_formed ? "NON-SC — REPRODUCED" : "MALFORMED RECORDING",
+              res.witness.c_str());
+  return 1;
+}
+
 int run_replay(const std::string& path) {
+  if (weakmem::is_weakmem_artifact(path)) return run_weakmem_replay(path);
   std::string err;
   const auto repro = load_repro(path, &err);
   if (!repro) {
@@ -457,6 +511,75 @@ int finish_report(const Options& opt, CampaignReport& report, double secs) {
   return report.ok() ? 0 : 1;
 }
 
+/// --native: run native-atomics cases on real threads, graded by the SC
+/// checker (--check-sc) and — for the consensus case — the standard
+/// oracle. Exit 0 iff every selected case behaved; the ctest native tier
+/// runs broken cases under WILL_FAIL, same idiom as broken protocols.
+int run_native_mode(const Options& opt) {
+  std::vector<std::string> selected;
+  if (!opt.native_case.empty()) {
+    if (find_native_case(opt.native_case) == nullptr) {
+      std::fprintf(stderr, "bprc_torture: unknown native case '%s'\n",
+                   opt.native_case.c_str());
+      return 2;
+    }
+    selected.push_back(opt.native_case);
+  } else {
+    for (const NativeCaseSpec& spec : native_cases()) {
+      if (!spec.broken) selected.push_back(spec.name);
+    }
+  }
+
+  NativeRunOptions run_opts;
+  run_opts.nprocs = opt.ns.empty() ? 4 : opt.ns.front();
+  run_opts.seed = opt.seed0;
+  run_opts.check_sc = opt.check_sc;
+  if (opt.budget != 0) run_opts.max_steps = opt.budget;
+  if (opt.native_iters > 0) run_opts.iters = opt.native_iters;
+  if (opt.deadline_ms >= 0) {
+    run_opts.deadline = std::chrono::milliseconds(opt.deadline_ms);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);  // best effort
+
+  bool all_ok = true;
+  for (const std::string& name : selected) {
+    NativeRunOptions case_opts = run_opts;
+    if (opt.check_sc) {
+      std::string path = opt.out_dir;
+      if (!path.empty() && path.back() != '/') path += '/';
+      case_opts.artifact_path = path + name + ".bprc-weakmem";
+    }
+    const NativeOutcome out = run_native_case(name, case_opts);
+    std::printf("native %-14s steps=%-8llu reason=%-8s", name.c_str(),
+                static_cast<unsigned long long>(out.run.steps),
+                to_string(out.run.reason));
+    if (out.checked) {
+      std::printf(" actions=%-7zu sc=%s", out.actions,
+                  out.sc.ok() ? "OK" : "VIOLATION");
+    }
+    if (out.graded_consensus) {
+      std::printf(" oracle=%s", out.consensus.ok()
+                                    ? "OK"
+                                    : to_string(out.consensus.failure()));
+    }
+    std::printf("\n");
+    if (!out.ok()) {
+      all_ok = false;
+      if (out.checked && !out.sc.ok()) {
+        if (!opt.quiet) std::fprintf(stderr, "%s\n", out.sc.witness.c_str());
+        if (!out.artifact.empty()) {
+          std::fprintf(stderr,
+                       "  artifact: %s  (re-run: bprc_torture --replay %s)\n",
+                       out.artifact.c_str(), out.artifact.c_str());
+        }
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
 int run_campaign_mode(const Options& opt) {
   const CampaignConfig config = build_config(opt);
   const auto started = std::chrono::steady_clock::now();
@@ -553,11 +676,17 @@ int main(int argc, char** argv) {
                               (opt.shard_given ? 1 : 0) +
                               (!opt.merge_paths.empty() ? 1 : 0) +
                               (!opt.replay_path.empty() ? 1 : 0) +
-                              (opt.inject_bug ? 1 : 0);
+                              (opt.inject_bug ? 1 : 0) +
+                              (opt.native ? 1 : 0);
   if (exclusive_modes > 1) {
     std::fprintf(stderr,
-                 "bprc_torture: --workers, --shard, --merge, --replay and "
-                 "--inject-bug are mutually exclusive\n");
+                 "bprc_torture: --workers, --shard, --merge, --replay, "
+                 "--inject-bug and --native are mutually exclusive\n");
+    return 2;
+  }
+  if (opt.check_sc && !opt.native && opt.replay_path.empty()) {
+    std::fprintf(stderr,
+                 "bprc_torture: --check-sc only makes sense with --native\n");
     return 2;
   }
   if (opt.workers_given && opt.jobs_given) {
@@ -618,6 +747,7 @@ int main(int argc, char** argv) {
     return run_replay(opt.replay_path);
   }
   if (opt.inject_bug) return run_inject_bug(opt);
+  if (opt.native) return run_native_mode(opt);
   install_signal_handlers();
   if (!opt.merge_paths.empty()) return run_merge_mode(opt);
   if (opt.shard_given) return run_shard_mode(opt);
