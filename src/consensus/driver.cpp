@@ -121,7 +121,8 @@ ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
                                      std::uint64_t max_steps,
                                      std::chrono::nanoseconds deadline,
                                      SimReuse* reuse,
-                                     const std::vector<bool>* forced_flips) {
+                                     const std::vector<bool>* forced_flips,
+                                     RegisterSemantics semantics) {
   const int n = static_cast<int>(inputs.size());
   // Recycled or freshly built, the runtime behaves identically; the
   // protocol instance is always fresh and dies with this call.
@@ -131,6 +132,10 @@ ConsensusRunResult run_consensus_sim(const ProtocolFactory& factory,
   }
   SimRuntime& rt =
       reuse != nullptr ? reuse->acquire(n, std::move(adversary), seed) : *local;
+  // Before the factory: the protocol's registers cache the semantics at
+  // construction. reset() reverts a pooled runtime to atomic, so this
+  // must be re-applied per trial.
+  rt.set_register_semantics(semantics);
   const std::unique_ptr<ConsensusProtocol> protocol = factory(rt);
   for (ProcId p = 0; p < n; ++p) {
     const int input = inputs[static_cast<std::size_t>(p)];

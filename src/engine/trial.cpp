@@ -18,6 +18,9 @@ class BorrowedAdversary final : public Adversary {
   explicit BorrowedAdversary(Adversary& inner) : inner_(inner) {}
   ProcId pick(SimCtl& ctl) override { return inner_.pick(ctl); }
   std::string name() const override { return inner_.name(); }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override {
+    return inner_.resolve_read(ctl, sr);
+  }
 
  private:
   Adversary& inner_;
@@ -32,16 +35,21 @@ TrialOutcome run_trial(const TrialSpec& spec, SimReuse* reuse) {
   TrialOutcome out;
 
   if (spec.scripted) {
-    // Replay: fixed pick sequence + fixed crash events; nothing to record.
-    std::unique_ptr<Adversary> adv =
-        std::make_unique<ScriptedAdversary>(spec.schedule);
+    // Replay: fixed pick sequence + fixed crash events + fixed stale-read
+    // choices; nothing to record.
+    auto scripted = std::make_unique<ScriptedAdversary>(spec.schedule);
+    if (!spec.forced_stales.empty()) {
+      scripted->set_stale_script(spec.forced_stales);
+    }
+    std::unique_ptr<Adversary> adv = std::move(scripted);
     if (!spec.crash_plan.empty()) {
       adv = std::make_unique<CrashPlanAdversary>(std::move(adv),
                                                  spec.crash_plan);
     }
     out.result =
         run_consensus_sim(spec.factory, spec.inputs, std::move(adv), spec.seed,
-                          spec.max_steps, spec.deadline, reuse, flips);
+                          spec.max_steps, spec.deadline, reuse, flips,
+                          spec.semantics);
     out.failure = out.result.failure();
     return out;
   }
@@ -56,13 +64,15 @@ TrialOutcome run_trial(const TrialSpec& spec, SimReuse* reuse) {
     out.result = run_consensus_sim(
         spec.factory, spec.inputs,
         std::make_unique<BorrowedAdversary>(recording), spec.seed,
-        spec.max_steps, spec.deadline, reuse, flips);
+        spec.max_steps, spec.deadline, reuse, flips, spec.semantics);
     out.schedule = recording.script();
     out.crashes = recording.crashes();
+    out.stales = recording.stales();
   } else {
     out.result =
         run_consensus_sim(spec.factory, spec.inputs, std::move(adv), spec.seed,
-                          spec.max_steps, spec.deadline, reuse, flips);
+                          spec.max_steps, spec.deadline, reuse, flips,
+                          spec.semantics);
   }
   out.failure = out.result.failure();
   return out;

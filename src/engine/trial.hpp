@@ -55,6 +55,15 @@ struct TrialSpec {
   /// empty optional leaves the seed-derived coins untouched.
   std::optional<std::vector<bool>> forced_flips;
 
+  /// Register semantics the trial runs under; the overlay's stale-read
+  /// choices are made by the adversary (and recorded/replayed like the
+  /// schedule). Atomic — the default — makes `forced_stales` irrelevant.
+  RegisterSemantics semantics = RegisterSemantics::kAtomic;
+  /// Scripted-replay mode: recorded stale-read choices, in resolution
+  /// order, fed to ScriptedAdversary::set_stale_script. Past the end every
+  /// choice is the atomic answer.
+  std::vector<int> forced_stales;
+
   std::uint64_t seed = 0;  ///< process local-coin seed
   /// Adversary seed; defaults to `seed` (the torture convention). The
   /// bench harnesses decorrelate the two.
@@ -77,6 +86,9 @@ struct TrialOutcome {
   FailureClass failure = FailureClass::kNone;  ///< == result.failure()
   std::vector<ProcId> schedule;  ///< recorded pick sequence (record mode)
   std::vector<CrashPlanAdversary::Crash> crashes;  ///< recorded crashes
+  /// Recorded stale-read choices (record mode; empty under atomic
+  /// semantics, where the adversary is never consulted).
+  std::vector<int> stales;
 };
 
 /// Executes one spec. `reuse` (nullable) recycles a simulator across

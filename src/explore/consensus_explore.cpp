@@ -150,9 +150,11 @@ fault::Repro make_explore_repro(const ConsensusExploreConfig& config,
   repro.run.adversary = "explore";  // provenance; replay is fully scripted
   repro.run.seed = config.seed;
   repro.run.max_steps = config.limits.max_run_steps;
+  repro.run.semantics = config.limits.semantics;
   repro.failure = violation.failure;
   repro.schedule = violation.schedule;
   repro.flips = violation.flips;
+  repro.stales = violation.stales;
   repro.note = violation.note;
   return repro;
 }

@@ -53,6 +53,7 @@ class ExploreShim final : public Adversary {
  public:
   explicit ExploreShim(Explorer& explorer) : explorer_(explorer) {}
   ProcId pick(SimCtl& ctl) override;
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
   std::string name() const override { return "explore"; }
 
  private:
@@ -60,10 +61,15 @@ class ExploreShim final : public Adversary {
 };
 
 /// One choice point on the DFS trail. Schedule nodes branch over runnable
-/// processes; coin nodes branch a local flip over {false, true}.
+/// processes; coin nodes branch a local flip over {false, true}; stale
+/// nodes (weakened register semantics) branch an overlapping read over
+/// every servable value [0, stale_options).
 struct Node {
   bool is_coin = false;
   bool coin_value = false;  ///< current branch of a coin node
+  bool is_stale = false;
+  int stale_value = 0;      ///< current branch of a stale node
+  int stale_options = 0;    ///< choice count recorded at creation
   ProcId chosen = -1;       ///< current branch of a schedule node
   int taken = 0;            ///< branches explored so far (stats)
   std::uint64_t candidates = 0;  ///< runnable set at this point
@@ -169,6 +175,7 @@ struct IsolatedReport {
   std::uint64_t steps = 0;
   std::vector<std::uint8_t> events;
   std::vector<bool> flips;
+  std::vector<int> stales;
   std::vector<Node> new_nodes;
   std::vector<std::pair<std::uint64_t, std::uint8_t>> visits;
   std::uint64_t d_states_visited = 0;
@@ -197,10 +204,22 @@ void send_report(int fd, const IsolatedReport& rep, int nprocs) {
   for (const bool b : rep.flips) {
     pipe_write_pod<std::uint8_t>(fd, b ? 1 : 0);
   }
+  pipe_write_pod<std::uint64_t>(fd, rep.stales.size());
+  for (const int c : rep.stales) {
+    pipe_write_pod<std::int32_t>(fd, c);
+  }
   pipe_write_pod<std::uint64_t>(fd, rep.new_nodes.size());
   for (const Node& node : rep.new_nodes) {
-    pipe_write_pod<std::uint8_t>(fd, node.is_coin ? 1 : 0);
+    // Kind byte: 0 = schedule, 1 = coin, 2 = stale.
+    const std::uint8_t kind = node.is_coin ? 1 : (node.is_stale ? 2 : 0);
+    pipe_write_pod(fd, kind);
     if (node.is_coin) continue;  // created coin nodes are (false, taken=1)
+    if (node.is_stale) {
+      // Created stale nodes are (value=0, taken=1); only the option count
+      // varies.
+      pipe_write_pod<std::int32_t>(fd, node.stale_options);
+      continue;
+    }
     pipe_write_pod<std::int32_t>(fd, node.chosen);
     pipe_write_pod(fd, node.candidates);
     pipe_write_pod(fd, node.sleep);
@@ -247,13 +266,28 @@ bool recv_report(int fd, IsolatedReport* rep, int nprocs) {
     rep->flips[i] = b != 0;
   }
   if (!pipe_read_pod(fd, &count) || count > (1ull << 20)) return false;
+  rep->stales.resize(static_cast<std::size_t>(count));
+  for (int& c : rep->stales) {
+    std::int32_t v = 0;
+    if (!pipe_read_pod(fd, &v)) return false;
+    c = v;
+  }
+  if (!pipe_read_pod(fd, &count) || count > (1ull << 20)) return false;
   rep->new_nodes.resize(static_cast<std::size_t>(count));
   for (Node& node : rep->new_nodes) {
-    std::uint8_t is_coin = 0;
-    if (!pipe_read_pod(fd, &is_coin)) return false;
-    node.is_coin = is_coin != 0;
+    std::uint8_t kind = 0;
+    if (!pipe_read_pod(fd, &kind)) return false;
+    if (kind > 2) return false;
+    node.is_coin = kind == 1;
+    node.is_stale = kind == 2;
     node.taken = 1;
     if (node.is_coin) continue;
+    if (node.is_stale) {
+      std::int32_t options = 0;
+      if (!pipe_read_pod(fd, &options)) return false;
+      node.stale_options = options;
+      continue;
+    }
     std::int32_t chosen = 0;
     if (!pipe_read_pod(fd, &chosen)) return false;
     node.chosen = static_cast<ProcId>(chosen);
@@ -404,6 +438,12 @@ class Explorer final : public FlipTape, public TraceSink {
       std::uint64_t key = fingerprint(ctl);
       key = fnv_mix(key, cur_sleep_);
       key = fnv_mix(key, coins_used_);
+      if (limits_.semantics != RegisterSemantics::kAtomic) {
+        // The remaining stale-read branching budget shapes the subtree
+        // just like the coin budget does. Folded only when weakened, so
+        // atomic-mode keys (and their pinned digests) are untouched.
+        key = fnv_mix(key, stales_used_ + 1);
+      }
       if (key == 0) key = kSeenZeroKey;  // 0 marks empty compact slots
       if (visit_log_ != nullptr) {
         visit_log_->emplace_back(key, static_cast<std::uint8_t>(depth));
@@ -491,6 +531,52 @@ class Explorer final : public FlipTape, public TraceSink {
     }
     record_flip(drawn, /*forced=*/false);
     return drawn;
+  }
+
+  // --- stale-read branching (via ExploreShim::resolve_read; weakened
+  // semantics only — the runtime never asks under atomic) ---
+  int on_stale(const StaleRead& sr) {
+    if (cursor_ < trail_.size()) {
+      Node& node = trail_[cursor_];
+      if (node.is_stale) {
+        BPRC_REQUIRE(node.stale_options == sr.options,
+                     "exploration diverged: stale-read option count changed "
+                     "under replay");
+        ++cursor_;
+        ++stales_used_;
+        record_stale(sr.reader, node.stale_value, /*forced=*/true);
+        return node.stale_value;
+      }
+      // The next recorded choice point is of another kind, so when this
+      // prefix was first executed the present read was unforced (resolved
+      // to the atomic answer without a node). Both gates are monotone
+      // along an execution, so that must still be the case.
+      BPRC_REQUIRE(exec_schedule_.size() >= limits_.branch_depth ||
+                       stales_used_ >= limits_.max_stale_reads,
+                   "exploration diverged: unforced stale read inside the "
+                   "branch region during replay");
+      record_stale(sr.reader, 0, /*forced=*/false);
+      return 0;
+    }
+    // Branch a fresh stale read only inside the branch region and budget;
+    // monotone gates keep the forced choices a prefix of the run's
+    // stale-read sequence — exactly what ScriptedAdversary re-forces.
+    if (exec_schedule_.size() < limits_.branch_depth &&
+        stales_used_ < limits_.max_stale_reads) {
+      Node node;
+      node.is_stale = true;
+      node.stale_value = 0;
+      node.stale_options = sr.options;
+      node.taken = 1;
+      trail_.push_back(std::move(node));
+      ++cursor_;
+      ++stales_used_;
+      ++stats_.stale_branches;
+      record_stale(sr.reader, 0, /*forced=*/true);
+      return 0;
+    }
+    record_stale(sr.reader, 0, /*forced=*/false);
+    return 0;
   }
 
   // --- TraceSink (state fingerprinting) ---
@@ -614,9 +700,9 @@ class Explorer final : public FlipTape, public TraceSink {
 
   ProcId replay_pick(std::uint64_t runnable) {
     Node& node = trail_[cursor_];
-    BPRC_REQUIRE(!node.is_coin,
-                 "exploration diverged: schedule point where a flip was "
-                 "recorded");
+    BPRC_REQUIRE(!node.is_coin && !node.is_stale,
+                 "exploration diverged: schedule point where a flip or "
+                 "stale read was recorded");
     if (limits_.split_count > 1 && cursor_ == 0) {
       // The root node holds this slice's candidates, a subset of the
       // runnable set.
@@ -661,6 +747,18 @@ class Explorer final : public FlipTape, public TraceSink {
     exec_events_.push_back(value ? kEventFlipTrue : kEventFlipFalse);
   }
 
+  /// Every resolved stale read lands in the event stream and the reader's
+  /// history hash (the value observed depends on the choice, which the
+  /// last-writer fold of on_read cannot see); only forced choices join
+  /// the replay prefix.
+  void record_stale(ProcId reader, int choice, bool forced) {
+    if (forced) exec_stales_.push_back(choice);
+    auto& h = proc_hash_[static_cast<std::size_t>(reader)];
+    h = fnv_mix(h, 0x520 + static_cast<std::uint64_t>(choice));
+    exec_events_.push_back(
+        static_cast<std::uint8_t>(kEventStaleBase + choice));
+  }
+
   /// Folds one graded execution into the result — digest, counters,
   /// violation list — in generation order. Every mode funnels through
   /// here, which is what makes jobs levels byte-identical: the serial
@@ -691,6 +789,7 @@ class Explorer final : public FlipTape, public TraceSink {
       // artifact carries the prefix that provokes the crash.
       v.schedule = out.crashed ? spec.schedule : decode_schedule(out.events);
       v.flips = spec.flips;
+      v.stales = spec.stales;
       violations_.push_back(std::move(v));
     }
   }
@@ -709,6 +808,7 @@ class Explorer final : public FlipTape, public TraceSink {
     if (mode_ == Mode::kInline) {
       LeafSpec spec;
       spec.flips = exec_flips_;
+      spec.stales = exec_stales_;
       LeafOutcome out;
       out.events = std::move(exec_events_);
       out.steps = run.steps;
@@ -731,6 +831,7 @@ class Explorer final : public FlipTape, public TraceSink {
     if (!pruned_) {
       spec.schedule = exec_schedule_;
       spec.flips = exec_flips_;
+      spec.stales = exec_stales_;
     }
     if (!queue_->push(std::move(spec))) {
       // abort()ed: the sink stopped the sweep; the run loop breaks on
@@ -762,17 +863,22 @@ class Explorer final : public FlipTape, public TraceSink {
     proc_writes_.assign(static_cast<std::size_t>(nprocs_), 0);
 
     rt.set_trace_sink(this);
+    // Before instantiate(): registers cache the semantics at construction
+    // (reset() reverts a reused runtime to atomic).
+    rt.set_register_semantics(limits_.semantics);
     instance_ = target_.instantiate(rt);
     BPRC_REQUIRE(instance_ != nullptr, "explore target produced no instance");
     rt.set_flip_tape(this);
 
     cursor_ = 0;
     coins_used_ = 0;
+    stales_used_ = 0;
     cur_sleep_ = 0;  // the root has an empty sleep set
     pruned_ = false;
     cut_ = false;
     exec_schedule_.clear();
     exec_flips_.clear();
+    exec_stales_.clear();
     exec_events_.clear();
 
     const RunResult run = rt.run(limits_.max_run_steps);
@@ -837,6 +943,7 @@ class Explorer final : public FlipTape, public TraceSink {
                    static_cast<std::uint64_t>(trail_.size()));
       LeafSpec spec;
       spec.flips = std::move(rep.flips);
+      spec.stales = std::move(rep.stales);
       LeafOutcome out;
       out.events = std::move(rep.events);
       out.steps = rep.steps;
@@ -860,6 +967,10 @@ class Explorer final : public FlipTape, public TraceSink {
         out.events.push_back(node.coin_value ? kEventFlipTrue
                                              : kEventFlipFalse);
         spec.flips.push_back(node.coin_value);
+      } else if (node.is_stale) {
+        out.events.push_back(
+            static_cast<std::uint8_t>(kEventStaleBase + node.stale_value));
+        spec.stales.push_back(node.stale_value);
       } else {
         out.events.push_back(static_cast<std::uint8_t>(node.chosen + 1));
         spec.schedule.push_back(node.chosen);
@@ -899,6 +1010,7 @@ class Explorer final : public FlipTape, public TraceSink {
     rep.steps = run.steps;
     rep.events = std::move(exec_events_);
     rep.flips = std::move(exec_flips_);
+    rep.stales = std::move(exec_stales_);
     if (!pruned_) {
       rep.complete = run.reason == RunResult::Reason::kAllDone;
       rep.violation = instance_->check(*runtime_, run, rep.complete);
@@ -921,6 +1033,15 @@ class Explorer final : public FlipTape, public TraceSink {
       if (node.is_coin) {
         if (!node.coin_value) {
           node.coin_value = true;
+          ++node.taken;
+          return true;
+        }
+        trail_.pop_back();
+        continue;
+      }
+      if (node.is_stale) {
+        if (node.stale_value + 1 < node.stale_options) {
+          ++node.stale_value;
           ++node.taken;
           return true;
         }
@@ -997,6 +1118,12 @@ class Explorer final : public FlipTape, public TraceSink {
     h = fnv_mix(h, static_cast<std::uint64_t>(limits_.isolate_leaves));
     h = fnv_mix(h, limits_.split_index);
     h = fnv_mix(h, limits_.split_count);
+    if (limits_.semantics != RegisterSemantics::kAtomic) {
+      // Folded only when weakened so atomic-mode fingerprints (and every
+      // `.bprc-frontier` file already on disk) keep their values.
+      h = fnv_mix(h, static_cast<std::uint64_t>(limits_.semantics));
+      h = fnv_mix(h, limits_.max_stale_reads);
+    }
     return h;
   }
 
@@ -1015,6 +1142,9 @@ class Explorer final : public FlipTape, public TraceSink {
       Node node;
       node.is_coin = fn.is_coin;
       node.coin_value = fn.coin_value;
+      node.is_stale = fn.is_stale;
+      node.stale_value = fn.stale_value;
+      node.stale_options = fn.stale_options;
       node.chosen = fn.chosen;
       node.taken = fn.taken;
       node.candidates = fn.candidates;
@@ -1047,6 +1177,9 @@ class Explorer final : public FlipTape, public TraceSink {
       FrontierNode fn;
       fn.is_coin = node.is_coin;
       fn.coin_value = node.coin_value;
+      fn.is_stale = node.is_stale;
+      fn.stale_value = node.stale_value;
+      fn.stale_options = node.stale_options;
       fn.chosen = node.chosen;
       fn.taken = node.taken;
       fn.candidates = node.candidates;
@@ -1079,11 +1212,13 @@ class Explorer final : public FlipTape, public TraceSink {
   // Per-execution state.
   std::size_t cursor_ = 0;          ///< next trail node to replay
   std::uint64_t coins_used_ = 0;    ///< coin nodes passed on this path
+  std::uint64_t stales_used_ = 0;   ///< stale nodes passed on this path
   std::uint64_t cur_sleep_ = 0;     ///< sleep set inherited by the frontier
   bool pruned_ = false;
   bool cut_ = false;                ///< leaf shipped to the grading pipeline
   std::vector<ProcId> exec_schedule_;
   std::vector<bool> exec_flips_;
+  std::vector<int> exec_stales_;    ///< forced stale choices (replay prefix)
   std::vector<std::uint8_t> exec_events_;  ///< leaf_grader.hpp encoding
   /// When set (isolated child), every seen-cache visit is logged so the
   /// parent can replay it on its own cache.
@@ -1116,6 +1251,10 @@ class Explorer final : public FlipTape, public TraceSink {
 };
 
 ProcId ExploreShim::pick(SimCtl& ctl) { return explorer_.pick(ctl); }
+
+int ExploreShim::resolve_read(SimCtl&, const StaleRead& sr) {
+  return explorer_.on_stale(sr);
+}
 
 }  // namespace
 

@@ -19,10 +19,13 @@
 //
 // Scope bounds make the tree finite: the first `branch_depth` scheduling
 // points branch over every runnable process, the first `max_coin_flips`
-// local-coin flips branch over both outcomes (via FlipTape), and beyond
-// those bounds the run completes deterministically (round-robin schedule,
-// seed-derived coins) so every leaf is a *finished* run whose terminal
-// state the target's full oracle can grade. Within the bounded scope the
+// local-coin flips branch over both outcomes (via FlipTape), under
+// weakened register semantics the first `max_stale_reads` overlapping
+// reads branch over every servable value (the explorer is the adversary
+// the runtime asks to resolve them), and beyond those bounds the run
+// completes deterministically (round-robin schedule, seed-derived coins,
+// atomic-answer stale reads) so every leaf is a *finished* run whose
+// terminal state the target's full oracle can grade. Within the bounded scope the
 // enumeration is exhaustive; see docs/TESTING.md ("exploration tier").
 #pragma once
 
@@ -60,6 +63,15 @@ struct ExploreLimits {
   /// Local-coin flips resolved both ways (within the branch region);
   /// later flips draw from the seed-derived generators.
   std::uint64_t max_coin_flips = 3;
+  /// Register semantics the target's registers run under. Weakened
+  /// (regular / safe) semantics turn every read that overlaps an
+  /// in-flight write into an explorer-controlled choice point: the first
+  /// `max_stale_reads` of them (within the branch region) branch over
+  /// every servable value, later ones resolve to the atomic answer —
+  /// mirroring the coin-flip bound. kAtomic leaves the tree and every
+  /// digest exactly as before.
+  RegisterSemantics semantics = RegisterSemantics::kAtomic;
+  std::uint64_t max_stale_reads = 3;
   /// Step budget for each execution's deterministic tail.
   std::uint64_t max_run_steps = 200'000;
   /// Safety valves; 0 = unlimited. Hitting one clears stats.complete.
@@ -107,6 +119,7 @@ struct ExploreStats {
   std::uint64_t sleep_pruned = 0;    ///< branches skipped by sleep sets
   std::uint64_t sleep_blocked = 0;   ///< nodes with every candidate asleep
   std::uint64_t coin_branches = 0;   ///< coin flips branched both ways
+  std::uint64_t stale_branches = 0;  ///< stale reads branched over values
   std::uint64_t max_trail_depth = 0;
   std::uint64_t total_steps = 0;     ///< simulator steps over all runs
   std::uint64_t worker_crashes = 0;  ///< isolated grading workers that died
@@ -136,6 +149,11 @@ struct ExploreViolation {
   std::string note;
   std::vector<ProcId> schedule;
   std::vector<bool> flips;
+  /// Forced stale-read choices (weakened semantics only); replay re-forces
+  /// them through ScriptedAdversary::set_stale_script. Reads past the
+  /// prefix resolved to the atomic answer, which is also what the script's
+  /// past-the-end behavior serves.
+  std::vector<int> stales;
 };
 
 /// A system under exploration. instantiate() builds fresh shared state

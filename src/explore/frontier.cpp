@@ -81,6 +81,11 @@ std::string serialize_frontier(const Frontier& frontier) {
   append_stat(&out, "sleep-pruned", s.sleep_pruned);
   append_stat(&out, "sleep-blocked", s.sleep_blocked);
   append_stat(&out, "coin-branches", s.coin_branches);
+  // Emitted only when nonzero (weakened semantics) to keep atomic-mode
+  // frontier bytes historical.
+  if (s.stale_branches != 0) {
+    append_stat(&out, "stale-branches", s.stale_branches);
+  }
   append_stat(&out, "max-trail-depth", s.max_trail_depth);
   append_stat(&out, "total-steps", s.total_steps);
   append_stat(&out, "worker-crashes", s.worker_crashes);
@@ -102,6 +107,16 @@ std::string serialize_frontier(const Frontier& frontier) {
     if (node.is_coin) {
       out += "node c ";
       out += node.coin_value ? '1' : '0';
+      out += ' ';
+      out += std::to_string(node.taken);
+      out += '\n';
+      continue;
+    }
+    if (node.is_stale) {
+      out += "node t ";
+      out += std::to_string(node.stale_value);
+      out += ' ';
+      out += std::to_string(node.stale_options);
       out += ' ';
       out += std::to_string(node.taken);
       out += '\n';
@@ -146,6 +161,16 @@ std::string serialize_frontier(const Frontier& frontier) {
       out += f ? " 1" : " 0";
     }
     out += '\n';
+    if (!v.stales.empty()) {
+      // Emitted only when non-empty so atomic-mode frontiers keep their
+      // historical bytes.
+      out += "vstales";
+      for (const int c : v.stales) {
+        out += ' ';
+        out += std::to_string(c);
+      }
+      out += '\n';
+    }
     out += "vnote ";
     for (const char c : v.note) {
       out += (c == '\n' || c == '\r') ? ' ' : c;  // notes stay one line
@@ -234,6 +259,7 @@ std::optional<Frontier> parse_frontier(const std::string& text,
       else if (name == "sleep-pruned") ok = parse_u64(in, &s.sleep_pruned);
       else if (name == "sleep-blocked") ok = parse_u64(in, &s.sleep_blocked);
       else if (name == "coin-branches") ok = parse_u64(in, &s.coin_branches);
+      else if (name == "stale-branches") ok = parse_u64(in, &s.stale_branches);
       else if (name == "max-trail-depth") ok = parse_u64(in, &s.max_trail_depth);
       else if (name == "total-steps") ok = parse_u64(in, &s.total_steps);
       else if (name == "worker-crashes") ok = parse_u64(in, &s.worker_crashes);
@@ -276,6 +302,18 @@ std::optional<Frontier> parse_frontier(const std::string& text,
           return std::nullopt;
         }
         node.coin_value = value != 0;
+        node.taken = static_cast<int>(taken);
+      } else if (kind == "t") {
+        node.is_stale = true;
+        std::int64_t value = 0, options = 0, taken = 0;
+        if (!parse_i64(in, &value) || !parse_i64(in, &options) ||
+            !parse_i64(in, &taken) || value < 0 || options < 2 ||
+            value >= options) {
+          fail(err, "malformed stale node");
+          return std::nullopt;
+        }
+        node.stale_value = static_cast<int>(value);
+        node.stale_options = static_cast<int>(options);
         node.taken = static_cast<int>(taken);
       } else if (kind == "s") {
         std::int64_t chosen = 0, taken = 0, nops = 0;
@@ -345,6 +383,19 @@ std::optional<Frontier> parse_frontier(const std::string& text,
       std::uint64_t f = 0;
       while (parse_u64(in, &f)) {
         open_violation->flips.push_back(f != 0);
+      }
+    } else if (key == "vstales") {
+      if (open_violation == nullptr) {
+        fail(err, "vstales without a violation");
+        return std::nullopt;
+      }
+      std::int64_t c = 0;
+      while (parse_i64(in, &c)) {
+        if (c < 0) {
+          fail(err, "vstales choice out of range");
+          return std::nullopt;
+        }
+        open_violation->stales.push_back(static_cast<int>(c));
       }
     } else if (key == "vnote") {
       if (open_violation == nullptr) {

@@ -25,10 +25,15 @@
 //                                         # candidates sleep nops (kind
 //                                         # object payload)×nops
 //   node c 1 2                            # coin point: value taken
+//   node t 1 3 2                          # stale-read point: value
+//                                         # options taken (weakened
+//                                         # register semantics only)
 //   violations 1
 //   violation consistency
 //   vschedule 0 1 0 1
 //   vflips 1 0
+//   vstales 1 0                           # forced stale-read choices
+//                                         # (omitted when empty)
 //   vnote decisions=0,1
 //   cache 2
 //   seen 9e3779b97f4a7c15 0
@@ -55,6 +60,9 @@ namespace bprc::explore {
 struct FrontierNode {
   bool is_coin = false;
   bool coin_value = false;
+  bool is_stale = false;    ///< stale-read choice point (weakened semantics)
+  int stale_value = 0;
+  int stale_options = 0;
   ProcId chosen = -1;
   int taken = 0;
   std::uint64_t candidates = 0;

@@ -24,9 +24,11 @@ namespace {
 /// event stream.
 class LeafAdversary final : public Adversary {
  public:
-  LeafAdversary(const std::vector<ProcId>* schedule, int nprocs,
+  LeafAdversary(const std::vector<ProcId>* schedule,
+                const std::vector<int>* stales, int nprocs,
                 std::vector<std::uint8_t>* events)
-      : schedule_(schedule), nprocs_(nprocs), events_(events) {}
+      : schedule_(schedule), stales_(stales), nprocs_(nprocs),
+        events_(events) {}
 
   ProcId pick(SimCtl& ctl) override {
     const std::uint64_t runnable = runnable_set(ctl);
@@ -53,6 +55,20 @@ class LeafAdversary final : public Adversary {
 
   std::string name() const override { return "explore-leaf"; }
 
+  /// Consumes the coordinator's forced stale-read prefix, then serves the
+  /// atomic answer — the serial explorer's deterministic tail. Every
+  /// resolution lands in the event stream, mirroring record_stale.
+  int resolve_read(SimCtl&, const StaleRead& sr) override {
+    int choice = 0;
+    if (spos_ < stales_->size()) {
+      choice = (*stales_)[spos_++];
+      BPRC_REQUIRE(choice >= 0 && choice < sr.options,
+                   "leaf replay diverged: forced stale choice out of range");
+    }
+    events_->push_back(static_cast<std::uint8_t>(kEventStaleBase + choice));
+    return choice;
+  }
+
  private:
   std::uint64_t runnable_set(const SimCtl& ctl) const {
     if (const std::uint64_t* mask = ctl.runnable_mask()) return *mask;
@@ -64,9 +80,11 @@ class LeafAdversary final : public Adversary {
   }
 
   const std::vector<ProcId>* schedule_;
+  const std::vector<int>* stales_;
   const int nprocs_;
   std::vector<std::uint8_t>* events_;
   std::size_t pos_ = 0;
+  std::size_t spos_ = 0;
   ProcId last_ = -1;
 };
 
@@ -180,10 +198,12 @@ LeafOutcome grade_leaf(ExploreTarget& target, const ExploreLimits& limits,
   LeafOutcome out;
   SimRuntime& rt = reuse.acquire(
       target.nprocs(),
-      std::make_unique<LeafAdversary>(&spec.schedule, target.nprocs(),
-                                      &out.events),
+      std::make_unique<LeafAdversary>(&spec.schedule, &spec.stales,
+                                      target.nprocs(), &out.events),
       seed);
   RecordingFlipTape tape(&spec.flips, &out.events);
+  // Before instantiate(): registers cache the semantics at construction.
+  rt.set_register_semantics(limits.semantics);
   std::unique_ptr<ExploreTarget::Instance> instance = target.instantiate(rt);
   BPRC_REQUIRE(instance != nullptr, "explore target produced no instance");
   rt.set_flip_tape(&tape);

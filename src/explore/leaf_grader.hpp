@@ -19,6 +19,8 @@
 //            disjoint from the markers below
 //   0xF0   — local-coin flip resolved false
 //   0xF1   — local-coin flip resolved true
+//   0x80+c — stale read resolved to choice c (weakened register
+//            semantics only; c < 6 keeps these below 0xCF)
 //   0xCF   — grading worker died before reporting (isolated mode only)
 //
 // grade_leaf_isolated() runs the same grading in a fork()ed child so a
@@ -42,6 +44,7 @@ namespace bprc::explore {
 inline constexpr std::uint8_t kEventFlipFalse = 0xF0;
 inline constexpr std::uint8_t kEventFlipTrue = 0xF1;
 inline constexpr std::uint8_t kEventWorkerCrash = 0xCF;
+inline constexpr std::uint8_t kEventStaleBase = 0x80;  ///< + choice
 
 /// One enumerated execution, ready to grade. For pruned executions
 /// (cache merge / sleep-blocked frontier) no re-execution is needed —
@@ -51,6 +54,7 @@ struct LeafSpec {
   bool pruned = false;
   std::vector<ProcId> schedule;      ///< replay prefix (branch region)
   std::vector<bool> flips;           ///< forced local-coin prefix
+  std::vector<int> stales;           ///< forced stale-read choice prefix
   std::vector<std::uint8_t> events;  ///< coordinator-observed prefix events
   std::uint64_t steps = 0;           ///< coordinator-observed prefix steps
 };

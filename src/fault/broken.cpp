@@ -54,6 +54,33 @@ int UnboundedHandoffConsensus::propose(int input) {
   return decided;
 }
 
+int NeedsAtomicConsensus::propose(int input) {
+  BPRC_REQUIRE(input == 0 || input == 1, "proposals must be bits");
+  const ProcId me = rt_.self();
+  BPRC_REQUIRE(decisions_[static_cast<std::size_t>(me)] == -1,
+               "process proposed twice");
+  int decided;
+  if (me == 0) {
+    val_.write(input, input);
+    sync_.write(1, 1);
+    decided = input;
+  } else {
+    while (sync_.read() == 0) {
+    }
+    // The atomicity assumption: a second read of a flag observed as raised
+    // must observe it raised too. A regular register may serve the
+    // in-flight 1 to the spin loop and the committed 0 here (new-old
+    // inversion), resurrecting the decide-alone branch below.
+    if (sync_.read() == 0) {
+      decided = input;  // "flag never raised" — the bug
+    } else {
+      decided = val_.read();
+    }
+  }
+  decisions_[static_cast<std::size_t>(me)] = decided;
+  return decided;
+}
+
 WorkerKillerConsensus::WorkerKillerConsensus(Runtime& rt, bool lethal)
     : rt_(rt),
       lethal_(lethal),

@@ -96,6 +96,49 @@ class UnboundedHandoffConsensus final : public ConsensusProtocol {
   std::int64_t max_written_ = 0;  ///< high-water mark of counter writes
 };
 
+/// Consensus that is *correct over atomic registers* but silently assumes
+/// reads are atomic: process 0 publishes its input in `val_`, then raises
+/// the `sync_` flag; every other process spins on `sync_` and — the bug —
+/// confirms with a second read, treating disagreement between the two
+/// reads as "the flag was never raised" and deciding its own input
+/// instead of adopting `val_`. Over atomic registers the confirm branch
+/// is dead code (once a read returns 1 the write committed, so the second
+/// read returns 1 too) and every process decides process 0's input. A
+/// *regular* register may serve the in-flight write to the first read and
+/// the older committed value to the second — the classic new-old
+/// inversion — which resurrects the branch: the reader decides alone and
+/// agreement breaks whenever inputs differ. This is the weak-register
+/// tier's acceptance target (docs/REGISTER_SEMANTICS.md): campaigns and
+/// the explorer must catch it under `--register-semantics regular|safe`
+/// and never under atomic.
+class NeedsAtomicConsensus final : public ConsensusProtocol {
+ public:
+  explicit NeedsAtomicConsensus(Runtime& rt)
+      : rt_(rt),
+        val_(rt, /*initial=*/-1),
+        sync_(rt, /*initial=*/0),
+        decisions_(static_cast<std::size_t>(rt.nprocs()), -1) {}
+
+  int propose(int input) override;
+  std::string name() const override { return "broken-needs-atomic"; }
+  int decision(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)];
+  }
+  std::int64_t decision_round(ProcId p) const override {
+    return decisions_[static_cast<std::size_t>(p)] == -1 ? 0 : 1;
+  }
+  MemoryFootprint footprint() const override {
+    // Two bounded registers; the bug is agreement under weak reads.
+    return MemoryFootprint{true, 0, 0, 0, 0};
+  }
+
+ private:
+  Runtime& rt_;
+  MRMWRegister<int> val_;   ///< process 0's published input
+  MRMWRegister<int> sync_;  ///< announce flag: 0 = unset, 1 = raised
+  std::vector<int> decisions_;
+};
+
 /// "Consensus" whose bug lives in its *host*, not its transitions: when
 /// constructed lethal (a seeded subset of trials — see the registry), the
 /// first process to enter propose() dereferences null and takes the whole

@@ -37,6 +37,7 @@ engine::TrialSpec to_trial_spec(const TortureRun& run,
   spec.max_steps = run.max_steps;
   spec.deadline = deadline;
   spec.record = record;
+  spec.semantics = run.semantics;
   return spec;
 }
 
@@ -55,7 +56,7 @@ ConsensusRunResult execute_run(
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
     const std::vector<CrashPlanAdversary::Crash>& crashes, SimReuse* reuse,
-    const std::vector<bool>* forced_flips) {
+    const std::vector<bool>* forced_flips, const std::vector<int>& stales) {
   // Scripted replay: the recorded crashes subsume the run's own plan.
   engine::TrialSpec spec =
       to_trial_spec(run, std::chrono::nanoseconds::zero(), /*record=*/false);
@@ -63,6 +64,7 @@ ConsensusRunResult replay_run(
   spec.schedule = schedule;
   spec.crash_plan = crashes;
   if (forced_flips != nullptr) spec.forced_flips = *forced_flips;
+  spec.forced_stales = stales;
   return engine::run_trial(spec, reuse).result;
 }
 
@@ -110,19 +112,33 @@ std::uint64_t fnv_mix_string(std::uint64_t h, const std::string& s) {
 /// index walk over this vector, at any jobs level — and the shard
 /// coordinator's workers are just index *ranges* over it.
 std::vector<TortureRun> enumerate_campaign_runs(
-    const CampaignConfig& config, std::uint64_t* skipped_crash_cells) {
+    const CampaignConfig& config, std::uint64_t* skipped_crash_cells,
+    std::uint64_t* skipped_safe_cells) {
   std::uint64_t skipped_local = 0;
+  std::uint64_t skipped_safe_local = 0;
   if (skipped_crash_cells == nullptr) skipped_crash_cells = &skipped_local;
+  if (skipped_safe_cells == nullptr) skipped_safe_cells = &skipped_safe_local;
   const std::vector<std::string> protocols =
       config.protocols.empty() ? protocol_names() : config.protocols;
   const std::vector<std::string> adversaries = config.adversaries.empty()
                                                    ? torture_adversary_names()
                                                    : config.adversaries;
+  const std::vector<RegisterSemantics> semantics_axis =
+      config.semantics.empty()
+          ? std::vector<RegisterSemantics>{RegisterSemantics::kAtomic}
+          : config.semantics;
   Rng sweep_rng(config.seed0 ^ 0x70727475ULL);  // independent plan stream
   std::vector<TortureRun> runs;
 
+  // Outermost semantics loop: with the default single-entry (atomic) axis
+  // the enumeration — including the stateful crash-plan rng stream — is
+  // byte-identical to the historical matrix.
+  for (const RegisterSemantics sem : semantics_axis) {
   for (const std::string& protocol : protocols) {
-    const bool crash_tolerant = protocol_spec(protocol).crash_tolerant;
+    const ProtocolSpec& spec = protocol_spec(protocol);
+    const bool crash_tolerant = spec.crash_tolerant;
+    const bool skip_safe =
+        sem == RegisterSemantics::kSafe && !spec.tolerates_safe_reads;
     for (const int n : config.ns) {
       for (std::uint64_t k = 0; k < config.seeds_per_cell; ++k) {
         // One seed covers every (adversary × pattern × plan) combination
@@ -134,6 +150,13 @@ std::vector<TortureRun> enumerate_campaign_runs(
           for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
             for (const bool with_plan : {false, true}) {
               if (with_plan && !config.crash_plans) continue;
+              if (skip_safe) {
+                // Safe-register junk would trip the protocol's own
+                // always-on invariants and abort the process; skip and
+                // count, exactly like crash cells below.
+                ++*skipped_safe_cells;
+                continue;
+              }
               if (!crash_tolerant &&
                   (with_plan || adversary_injects_crashes(adversary))) {
                 // Skip once per (adversary, plan) pair, not silently: the
@@ -148,6 +171,7 @@ std::vector<TortureRun> enumerate_campaign_runs(
               run.adversary = adversary;
               run.seed = seed ^ (pi * 0x9E37ULL);
               run.max_steps = config.max_steps;
+              run.semantics = sem;
               if (with_plan) {
                 run.crash_plan = seeded_crash_plan(sweep_rng, n);
                 if (run.crash_plan.empty()) continue;  // n == 1
@@ -158,6 +182,7 @@ std::vector<TortureRun> enumerate_campaign_runs(
         }
       }
     }
+  }
   }
   return runs;
 }
@@ -175,6 +200,12 @@ std::uint64_t outcome_digest(const engine::TrialOutcome& out) {
   }
   h = fnv_mix(h, out.result.total_steps);
   h = fnv_mix(h, static_cast<std::uint64_t>(out.result.failure()));
+  // Recorded stale-read choices: empty under atomic semantics, so the
+  // historical atomic digests are untouched; under weakened semantics the
+  // adversary's choices become part of the independence witness.
+  for (const int c : out.stales) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(c + 1));
+  }
   return h;
 }
 
@@ -196,13 +227,28 @@ OutcomeRecord make_outcome_record(TortureRun&& run,
   record.steps = out.result.total_steps;
   record.reason = out.result.reason;
   record.failure = out.result.failure();
-  if (!out.result.ok()) {
+  // Liveness downgrade (docs/REGISTER_SEMANTICS.md): a protocol whose
+  // termination proof assumes atomic registers can be starved forever by
+  // an adversary serving stale values to every racing read. A budget or
+  // deadline stop under weakened semantics is inconclusive for such a
+  // protocol — count it as an abort (fold_outcome_record still does),
+  // don't report a failure. The digest above folds the raw outcome, so
+  // every jobs/workers/shard lane chains the same value.
+  if (record.failure == FailureClass::kTermination &&
+      run.semantics != RegisterSemantics::kAtomic &&
+      (record.reason == RunResult::Reason::kBudget ||
+       record.reason == RunResult::Reason::kDeadline) &&
+      !protocol_spec(run.protocol).live_under_stale_reads) {
+    record.failure = FailureClass::kNone;
+  }
+  if (record.failure != FailureClass::kNone) {
     TortureFailure failure;
     failure.run = std::move(run);
     failure.failure = out.result.failure();
     failure.reason = out.result.reason;
     failure.schedule = std::move(out.schedule);
     failure.crashes = std::move(out.crashes);
+    failure.stales = std::move(out.stales);
     failure.result = std::move(out.result);
     record.detail = std::move(failure);
   }
@@ -248,6 +294,11 @@ std::uint64_t campaign_matrix_fingerprint(
     }
     h = fnv_mix(h, run.seed);
     h = fnv_mix(h, run.max_steps);
+    // Folded only when weakened so atomic-only fingerprints (and shard
+    // files already on disk) keep their historical values.
+    if (run.semantics != RegisterSemantics::kAtomic) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.semantics));
+    }
   }
   return h;
 }
@@ -255,8 +306,8 @@ std::uint64_t campaign_matrix_fingerprint(
 CampaignReport run_campaign(const CampaignConfig& config,
                             const RunObserver& observer) {
   CampaignReport report;
-  std::vector<TortureRun> runs =
-      enumerate_campaign_runs(config, &report.skipped_crash_cells);
+  std::vector<TortureRun> runs = enumerate_campaign_runs(
+      config, &report.skipped_crash_cells, &report.skipped_safe_cells);
 
   std::size_t next = 0;
   const std::chrono::nanoseconds deadline = config.run_deadline;

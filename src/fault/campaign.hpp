@@ -44,6 +44,10 @@ struct TortureRun {
   std::vector<CrashPlanAdversary::Crash> crash_plan;  ///< pre-planned kills
   std::uint64_t seed = 0;       ///< process local-coin seed AND adversary seed
   std::uint64_t max_steps = 0;  ///< per-run step budget
+  /// Register semantics the run executes under (the weak-register lane);
+  /// the adversary's stale-read choices are recorded alongside the
+  /// schedule so replays stay bit-identical.
+  RegisterSemantics semantics = RegisterSemantics::kAtomic;
 
   int n() const { return static_cast<int>(inputs.size()); }
 };
@@ -55,6 +59,8 @@ struct TortureFailure {
   RunResult::Reason reason = RunResult::Reason::kAllDone;
   std::vector<ProcId> schedule;  ///< full recorded pick sequence
   std::vector<CrashPlanAdversary::Crash> crashes;  ///< recorded crash events
+  /// Recorded stale-read choices (weakened semantics only; see TrialSpec).
+  std::vector<int> stales;
   ConsensusRunResult result;
 };
 
@@ -67,6 +73,10 @@ struct CampaignConfig {
   std::uint64_t max_steps = 40'000'000;
   std::chrono::milliseconds run_deadline{5000};  ///< 0 = watchdog off
   bool crash_plans = true;   ///< additionally sweep seeded crash plans
+  /// Register-semantics axis: the matrix is swept once per entry. The
+  /// default keeps the historical atomic-only matrix (and its digests)
+  /// unchanged.
+  std::vector<RegisterSemantics> semantics{RegisterSemantics::kAtomic};
   std::size_t max_failures = 8;  ///< stop the sweep once collected
   /// Worker threads for the sweep (engine::TrialExecutor). 1 = the exact
   /// serial path; 0 = hardware concurrency. Every report field, failure,
@@ -89,6 +99,11 @@ struct CampaignReport {
                                           ///< as not crash-tolerant
                                           ///< (counted over the whole
                                           ///< configured matrix)
+  /// kSafe-semantics cells skipped because the protocol is registered as
+  /// not tolerating safe reads (ProtocolSpec::tolerates_safe_reads) —
+  /// its own invariants would abort the process instead of grading.
+  /// Counted over the whole configured matrix, like crash skips.
+  std::uint64_t skipped_safe_cells = 0;
   std::vector<TortureFailure> failures;
   /// FNV-1a chain over every delivered run's outcome_digest (see below),
   /// in delivery (= generation) order: the independence witness the CI
@@ -127,7 +142,12 @@ std::uint64_t outcome_digest(const engine::TrialOutcome& out);
 std::uint64_t quarantined_digest();
 
 /// Reduces a delivered (run, outcome) pair to its fold unit. Consumes
-/// both (failure details move the run and trace in).
+/// both (failure details move the run and trace in). Under weakened
+/// register semantics, a budget/deadline termination stop on a protocol
+/// registered with live_under_stale_reads=false is downgraded to a
+/// non-failure (it still counts as an abort and still chains into the
+/// digest): the paper guarantees those protocols' liveness over atomic
+/// registers only. Safety violations are never downgraded.
 OutcomeRecord make_outcome_record(TortureRun&& run,
                                   engine::TrialOutcome&& out);
 
@@ -141,10 +161,11 @@ bool fold_outcome_record(CampaignReport& report, OutcomeRecord&& record,
 /// The campaign's deterministic trial matrix, in generation order. The
 /// index into this vector is the unit of sharding: shard i/k executes a
 /// contiguous index range and the coordinator re-folds records by index.
-/// `skipped_crash_cells` (nullable) receives the skip count the report
-/// carries.
+/// `skipped_crash_cells` / `skipped_safe_cells` (nullable) receive the
+/// skip counts the report carries.
 std::vector<TortureRun> enumerate_campaign_runs(
-    const CampaignConfig& config, std::uint64_t* skipped_crash_cells);
+    const CampaignConfig& config, std::uint64_t* skipped_crash_cells,
+    std::uint64_t* skipped_safe_cells = nullptr);
 
 /// FNV-1a fingerprint of the enumerated matrix (every run's parameters)
 /// plus the fold-relevant config. Shard files record it and the merge
@@ -188,11 +209,13 @@ ConsensusRunResult execute_run(const TortureRun& run,
 /// `reuse` as in execute_run. `forced_flips` (optional) re-forces a
 /// recorded local-coin flip prefix — artifacts produced by the
 /// exploration driver carry one; randomly-found artifacts don't need it
-/// (the seed re-derives the same coins).
+/// (the seed re-derives the same coins). `stales` replays recorded
+/// stale-read choices (weakened semantics; empty = every choice atomic).
 ConsensusRunResult replay_run(
     const TortureRun& run, const std::vector<ProcId>& schedule,
     const std::vector<CrashPlanAdversary::Crash>& crashes,
-    SimReuse* reuse = nullptr, const std::vector<bool>* forced_flips = nullptr);
+    SimReuse* reuse = nullptr, const std::vector<bool>* forced_flips = nullptr,
+    const std::vector<int>& stales = {});
 
 /// Called after every run (progress reporting, logging).
 using RunObserver =

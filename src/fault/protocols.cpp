@@ -12,14 +12,21 @@
 namespace bprc::fault {
 
 const std::vector<ProtocolSpec>& protocol_registry() {
+  // The four faithful protocols all carry live_under_stale_reads=false:
+  // their expected-termination proofs assume atomic registers, and the
+  // weak-register campaign showed the assumption is load-bearing (see the
+  // trait's comment in protocols.hpp). BPRC additionally carries
+  // tolerates_safe_reads=false — safe-register junk trips its always-on
+  // edge-counter decode invariant, which aborts rather than grades.
   static const std::vector<ProtocolSpec> registry = {
-      {"bprc", false, true,
+      {"bprc", false, true, /*live_under_stale_reads=*/false,
+       /*tolerates_safe_reads=*/false,
        [](int n, std::uint64_t) -> ProtocolFactory {
          return [n](Runtime& rt) {
            return std::make_unique<BPRCConsensus>(rt, BPRCParams::standard(n));
          };
        }},
-      {"aspnes-herlihy", false, true,
+      {"aspnes-herlihy", false, true, /*live_under_stale_reads=*/false, true,
        [](int n, std::uint64_t) -> ProtocolFactory {
          return [n](Runtime& rt) {
            return std::make_unique<AspnesHerlihyConsensus>(
@@ -29,19 +36,19 @@ const std::vector<ProtocolSpec>& protocol_registry() {
       // crash_tolerant=false: this simplified A88 baseline omits the
       // paper's timestamp machinery and livelocks when crashed processes
       // freeze conflicting preferences (torture-campaign finding).
-      {"local-coin", false, false,
+      {"local-coin", false, false, /*live_under_stale_reads=*/false, true,
        [](int, std::uint64_t) -> ProtocolFactory {
          return [](Runtime& rt) {
            return std::make_unique<LocalCoinConsensus>(rt);
          };
        }},
-      {"strong-coin", false, true,
+      {"strong-coin", false, true, /*live_under_stale_reads=*/false, true,
        [](int, std::uint64_t seed) -> ProtocolFactory {
          return [seed](Runtime& rt) {
            return std::make_unique<StrongCoinConsensus>(rt, seed ^ 0xC01);
          };
        }},
-      {"broken-racy", true, true,
+      {"broken-racy", true, true, true, true,
        [](int, std::uint64_t) -> ProtocolFactory {
          return [](Runtime& rt) { return std::make_unique<RacyConsensus>(rt); };
        }},
@@ -49,10 +56,19 @@ const std::vector<ProtocolSpec>& protocol_registry() {
       // blows its declared counter bound only under (partially)
       // serialized schedules — the explorer's acceptance target for
       // catching schedule-dependent footprint bugs exhaustively.
-      {"broken-unbounded", true, true,
+      {"broken-unbounded", true, true, true, true,
        [](int, std::uint64_t) -> ProtocolFactory {
          return [](Runtime& rt) {
            return std::make_unique<UnboundedHandoffConsensus>(rt);
+         };
+       }},
+      // Correct over atomic registers, broken over regular/safe ones: the
+      // weak-register tier's acceptance target (docs/REGISTER_SEMANTICS.md).
+      // crash_tolerant=false: readers spin on process 0's announce flag.
+      {"broken-needs-atomic", true, false, true, true,
+       [](int, std::uint64_t) -> ProtocolFactory {
+         return [](Runtime& rt) {
+           return std::make_unique<NeedsAtomicConsensus>(rt);
          };
        }},
       // Host-killer (crashes_process=true): lethal for half the seeds,
@@ -61,7 +77,7 @@ const std::vector<ProtocolSpec>& protocol_registry() {
       // indices as kWorkerCrash and finish the campaign; everything
       // single-process dies, by design. crash_tolerant=false: the benign
       // path spins on all n slots, so starvation shows as budget aborts.
-      {"broken-segv", true, false,
+      {"broken-segv", true, false, true, true,
        [](int, std::uint64_t seed) -> ProtocolFactory {
          const bool lethal = (seed % 2) == 0;
          return [lethal](Runtime& rt) {

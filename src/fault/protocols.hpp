@@ -26,6 +26,27 @@ struct ProtocolSpec {
   /// torture campaign caught this (see docs/TESTING.md), and the flag
   /// keeps crash-injecting cells out of its matrix.
   bool crash_tolerant = true;
+  /// Whether termination is guaranteed when the adversary resolves reads
+  /// that race a write (regular/safe register semantics,
+  /// docs/REGISTER_SEMANTICS.md). The paper's faithful protocols prove
+  /// expected termination over *atomic* registers only, and the torture
+  /// campaign confirmed the gap is real: an adversary that keeps serving
+  /// the old value of every racing read starves their random walks
+  /// forever (budget-independent livelock, found under the round-robin
+  /// strategy's rotating resolution). Safety still holds and is still
+  /// graded; with this flag false, a budget/deadline stop under weakened
+  /// semantics is counted as an abort, not reported as a failure — the
+  /// same downgrade the explorer applies to budget-truncated leaves.
+  bool live_under_stale_reads = true;
+  /// Whether the protocol can run at all under safe semantics, where a
+  /// racing read may return any value the register previously held. BPRC
+  /// itself cannot: its always-on edge-counter decode invariant
+  /// (BPRC_REQUIRE, util/assert.hpp) fires on cross-register views no
+  /// atomic execution can produce, and aborts the process by design
+  /// rather than grading statistics from junk reads. With this flag
+  /// false, kSafe cells are skipped and counted (the crash-cell
+  /// precedent) instead of taking down the campaign.
+  bool tolerates_safe_reads = true;
   /// Builds a factory for an n-process instance; `seed` feeds protocol
   /// internals that want independent randomness (e.g. the strong coin).
   std::function<ProtocolFactory(int n, std::uint64_t seed)> make;

@@ -31,6 +31,11 @@ std::string serialize_repro(const Repro& repro) {
   out << "adversary " << repro.run.adversary << "\n";
   out << "seed " << repro.run.seed << "\n";
   out << "max-steps " << repro.run.max_steps << "\n";
+  // Weak-register lines are omitted entirely under atomic semantics so
+  // historical artifacts keep their exact bytes.
+  if (repro.run.semantics != RegisterSemantics::kAtomic) {
+    out << "semantics " << to_string(repro.run.semantics) << "\n";
+  }
   out << "failure " << to_string(repro.failure) << "\n";
   if (!repro.note.empty()) out << "note " << repro.note << "\n";
   if (repro.generative) out << "mode generative\n";
@@ -43,6 +48,11 @@ std::string serialize_repro(const Repro& repro) {
   if (!repro.flips.empty()) {
     out << "flips";
     for (const bool b : repro.flips) out << " " << (b ? 1 : 0);
+    out << "\n";
+  }
+  if (!repro.stales.empty()) {
+    out << "stale-reads";
+    for (const int c : repro.stales) out << " " << c;
     out << "\n";
   }
   out << "schedule";
@@ -87,7 +97,7 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
   bool saw_protocol = false, saw_inputs = false, saw_adversary = false;
   bool saw_seed = false, saw_max_steps = false, saw_failure = false;
   bool saw_schedule = false, saw_flips = false, saw_note = false;
-  bool saw_mode = false;
+  bool saw_mode = false, saw_semantics = false, saw_stales = false;
   const auto duplicate = [&](bool& flag, const char* what) {
     if (flag) {
       fail_with(err, std::string("duplicate ") + what + " section");
@@ -130,6 +140,38 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
       if (duplicate(saw_max_steps, "max-steps")) return std::nullopt;
       if (!(fields >> repro.run.max_steps) || leftover(fields)) {
         fail_with(err, "malformed max-steps line: " + line);
+        return std::nullopt;
+      }
+    } else if (key == "semantics") {
+      if (duplicate(saw_semantics, "semantics")) return std::nullopt;
+      std::string name;
+      fields >> name;
+      // Reject, never guess: a semantics this build does not know would
+      // silently replay under the wrong register model and report its
+      // verdict as if it were the recorded one.
+      if (!register_semantics_from_string(name, &repro.run.semantics)) {
+        fail_with(err, "unrecognized register semantics '" + name +
+                           "' (this build knows atomic, regular, safe): " +
+                           line);
+        return std::nullopt;
+      }
+      if (leftover(fields)) {
+        fail_with(err, "malformed semantics line: " + line);
+        return std::nullopt;
+      }
+    } else if (key == "stale-reads") {
+      if (duplicate(saw_stales, "stale-reads")) return std::nullopt;
+      int c = 0;
+      while (fields >> c) {
+        if (c < 0) {
+          fail_with(err, "malformed stale-reads line (choices are >= 0): " +
+                             line);
+          return std::nullopt;
+        }
+        repro.stales.push_back(c);
+      }
+      if (trailing_garbage(fields)) {
+        fail_with(err, "malformed stale-reads line: " + line);
         return std::nullopt;
       }
     } else if (key == "failure") {
@@ -219,6 +261,14 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
       return std::nullopt;
     }
   }
+  if (!repro.stales.empty() &&
+      repro.run.semantics == RegisterSemantics::kAtomic) {
+    // Choices that can never be consumed mean the artifact lost (or never
+    // had) its semantics line — replaying it atomically would not be the
+    // recorded run.
+    fail_with(err, "stale-reads present but semantics is atomic");
+    return std::nullopt;
+  }
   return repro;
 }
 
@@ -249,7 +299,8 @@ ConsensusRunResult replay_repro(const Repro& repro) {
   }
   return replay_run(repro.run, repro.schedule, repro.crashes,
                     /*reuse=*/nullptr,
-                    repro.flips.empty() ? nullptr : &repro.flips);
+                    repro.flips.empty() ? nullptr : &repro.flips,
+                    repro.stales);
 }
 
 Repro make_repro(const TortureFailure& fail,
@@ -260,6 +311,7 @@ Repro make_repro(const TortureFailure& fail,
   repro.failure = fail.failure;
   repro.schedule = schedule;
   repro.crashes = crashes;
+  repro.stales = fail.stales;
   if (fail.failure == FailureClass::kWorkerCrash) {
     // The trial killed its worker before any trace could be streamed
     // back; only a generative re-execution reproduces it.

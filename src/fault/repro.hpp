@@ -13,10 +13,13 @@
 //   adversary round-robin        # provenance: the strategy that found it
 //   seed 7
 //   max-steps 2000000
+//   semantics regular            # optional: register semantics (default
+//                                # atomic; docs/REGISTER_SEMANTICS.md)
 //   failure consistency
 //   note decisions=0,1
 //   crash 37 0                   # zero or more: at_step victim
 //   flips 0 1 1                  # optional: forced local-coin flip prefix
+//   stale-reads 1 0 1            # optional: recorded stale-read choices
 //   schedule 0 1 0 1 1 0
 //   end
 //
@@ -24,7 +27,13 @@
 // truncated files. The optional `flips` line carries the coin-flip prefix
 // the exploration driver (src/explore/) resolved by hand; replay re-forces
 // it through a ScriptedFlipTape. Artifacts found by random campaigns never
-// need it — their coins re-derive from the seed.
+// need it — their coins re-derive from the seed. `semantics` and
+// `stale-reads` exist only for weak-register artifacts (both omitted under
+// atomic, so pre-existing artifacts and their byte-identity tests are
+// untouched); replay re-forces the recorded choices through
+// ScriptedAdversary::set_stale_script. A `semantics` value this build does
+// not recognize is rejected with a diagnostic, never guessed at — the same
+// hardening as the n>64 bitmask guard.
 #pragma once
 
 #include <optional>
@@ -41,6 +50,9 @@ struct Repro {
   std::vector<CrashPlanAdversary::Crash> crashes;
   std::vector<ProcId> schedule;
   std::vector<bool> flips;  ///< forced flip prefix; empty = seed-derived
+  /// Recorded stale-read choices (run.semantics != kAtomic only); empty =
+  /// every weakened read resolves to the atomic answer.
+  std::vector<int> stales;
   std::string note;  ///< free-form one-liner about the observed violation
   /// Generative replay (`mode generative` line): re-execute the run with
   /// its original adversary and seed instead of a scripted schedule. This

@@ -19,9 +19,15 @@ using Crash = CrashPlanAdversary::Crash;
 /// speculatively past the first failure.
 class Shrinker {
  public:
-  Shrinker(const TortureRun& run, FailureClass target, int max_probes,
-           unsigned jobs)
-      : run_(run), target_(target), max_probes_(max_probes),
+  /// `stales` is the failure's recorded stale-read choice sequence, held
+  /// fixed across every probe: shrinking the schedule shifts which read
+  /// consumes which choice, but each candidate is re-verified against the
+  /// target failure class, so a committed candidate is a genuine
+  /// counterexample whatever the choices now line up with. (Past the
+  /// script's end ScriptedAdversary answers with the atomic value.)
+  Shrinker(const TortureRun& run, FailureClass target,
+           const std::vector<int>& stales, int max_probes, unsigned jobs)
+      : run_(run), target_(target), stales_(stales), max_probes_(max_probes),
         executor_({jobs, 0}) {}
 
   bool budget_left() const { return probes_ < max_probes_; }
@@ -82,11 +88,13 @@ class Shrinker {
     spec.scripted = true;
     spec.schedule = std::move(schedule);
     spec.crash_plan = std::move(crashes);
+    spec.forced_stales = stales_;
     return spec;
   }
 
   const TortureRun& run_;
   FailureClass target_;
+  const std::vector<int>& stales_;
   int max_probes_;
   int probes_ = 0;
   SimReuse reuse_;  ///< recycled across the sequential probes
@@ -211,7 +219,7 @@ ShrinkOutcome shrink_failure(const TortureFailure& fail, int max_probes,
   // generative repro (fault/repro.cpp); hand the failure back untouched.
   if (fail.failure == FailureClass::kWorkerCrash) return out;
 
-  Shrinker sh(fail.run, fail.failure, max_probes, jobs);
+  Shrinker sh(fail.run, fail.failure, fail.stales, max_probes, jobs);
 
   // Phase 1: the recorded trace must reproduce its own failure. Watchdog
   // aborts (wall-clock) are inherently non-replayable; everything else in

@@ -11,14 +11,115 @@
 //
 // Step accounting: one checkpoint per read/write, so `Runtime::steps`
 // counts primitive register operations, the complexity unit of the paper.
+//
+// Register semantics: by default reads and writes are atomic. When the
+// owning runtime reports kRegular/kSafe (Runtime::register_semantics,
+// cached at construction), reads that overlap an in-flight write are
+// weakened per Lamport's hierarchy, with the scheduler adversary — not a
+// PRNG — choosing the returned value so the explorer and the shrinker can
+// enumerate and replay the choices. See docs/REGISTER_SEMANTICS.md.
 #pragma once
 
+#include <memory>
 #include <mutex>
 
 #include "runtime/runtime.hpp"
 #include "util/assert.hpp"
 
 namespace bprc {
+
+namespace detail {
+
+/// Adversary-controlled weakening overlay for the register templates
+/// below (docs/REGISTER_SEMANTICS.md). Allocated only when the owning
+/// runtime reports kRegular/kSafe at register construction — under
+/// atomic semantics a register carries one extra null pointer and one
+/// predictable branch per operation, nothing else.
+///
+/// The fiber simulator has exactly one observable read/write concurrency
+/// window: a write that has been *announced* (its checkpoint published a
+/// kWrite and parked the writer) but not yet executed. The writer's code
+/// between checkpoint return and the store runs without yielding, so from
+/// every other process's viewpoint the write commits atomically the
+/// moment the writer is rescheduled. The overlay therefore brackets the
+/// checkpoint: announce() opens the window and snapshots the in-flight
+/// value, commit() closes it and retires the replaced value into a short
+/// history ring. A writer crashed (or budget-stopped) while parked never
+/// reaches commit() — its window stays open for the rest of the run, the
+/// faithful crash-mid-write under which a regular register may keep
+/// serving either value forever.
+///
+/// With several writers racing on an MRMW register the single
+/// pending-value slot tracks the latest announcement only; earlier
+/// still-in-flight writes collapse to the atomic answer (a documented
+/// under-approximation — every value served is still one the weakened
+/// semantics allow).
+template <class T>
+class WeakRegisterState {
+ public:
+  /// The ring is seeded with copies of `initial` purely to avoid
+  /// requiring T be default-constructible; len_ = 0 keeps them
+  /// unservable until real values retire into the ring.
+  explicit WeakRegisterState(const T& initial)
+      : pending_value_(initial), hist_{initial, initial, initial, initial} {}
+
+  /// Write announced: called immediately before the write's checkpoint.
+  void announce(ProcId writer, const T& v) {
+    pending_writer_ = writer;
+    pending_value_ = v;
+    open_ = true;
+  }
+
+  /// Write executed: called after the checkpoint returned, with the value
+  /// being replaced. Closes the window and retires `replaced`.
+  void commit(const T& replaced) {
+    open_ = false;
+    hist_[head_] = replaced;
+    head_ = (head_ + 1) % kHist;
+    if (len_ < kHist) ++len_;
+  }
+
+  /// Resolves one read under weakened semantics. Returns nullptr when the
+  /// read must serve the committed value — no write in flight (all three
+  /// semantics agree) or the adversary chose the atomic answer — else a
+  /// pointer to the value to serve (valid until the next operation).
+  const T* resolve(Runtime& rt, RegisterSemantics sem, int object) {
+    if (!open_) return nullptr;
+    const int options = sem == RegisterSemantics::kSafe ? 2 + len_ : 2;
+    StaleRead sr;
+    sr.object = object;
+    sr.reader = rt.self();
+    sr.writer = pending_writer_;
+    sr.options = options;
+    const int choice = rt.resolve_stale_read(sr);
+    BPRC_REQUIRE(choice >= 0 && choice < options,
+                 "stale-read choice out of range");
+    if (choice == 0) return nullptr;
+    if (choice == 1) return &pending_value_;
+    // choice - 2 steps back into the ring; 0 = most recently replaced.
+    const int back = choice - 2;
+    return &hist_[(head_ + kHist - 1 - back) % kHist];
+  }
+
+ private:
+  static constexpr int kHist = 4;
+  ProcId pending_writer_ = -1;
+  bool open_ = false;
+  int head_ = 0;  ///< next ring slot to fill
+  int len_ = 0;   ///< filled ring slots, <= kHist
+  T pending_value_;
+  T hist_[kHist];
+};
+
+/// Overlay factory shared by the register templates: null under atomic.
+template <class T>
+std::unique_ptr<WeakRegisterState<T>> make_weak_state(Runtime& rt,
+                                                      const T& initial) {
+  if (rt.register_semantics() == RegisterSemantics::kAtomic) return nullptr;
+  return std::make_unique<WeakRegisterState<T>>(initial);
+}
+
+}  // namespace detail
 
 /// Locks a register mutex only when the owning runtime is concurrent
 /// (Runtime::concurrent()). Under the single-threaded fiber simulator the
@@ -53,16 +154,25 @@ class SWMRRegister {
         sink_(rt.trace_sink()),
         trace_id_(sink_ != nullptr ? sink_->on_object_created() : -1),
         locked_(rt.concurrent()),
-        value_(std::move(initial)) {}
+        sem_(rt.register_semantics()),
+        value_(std::move(initial)),
+        weak_(detail::make_weak_state(rt, value_)) {}
 
   SWMRRegister(const SWMRRegister&) = delete;
   SWMRRegister& operator=(const SWMRRegister&) = delete;
 
-  /// Atomic read by any process.
+  /// Atomic read by any process. Under weakened semantics (cached at
+  /// construction, like the trace sink) a read overlapping an in-flight
+  /// write serves whichever legal value the adversary chooses.
   T read() {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
     if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
+    if (weak_ != nullptr) {
+      if (const T* alt = weak_->resolve(rt_, sem_, stale_object())) {
+        return *alt;
+      }
+    }
     return value_;
   }
 
@@ -73,6 +183,12 @@ class SWMRRegister {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
     if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
+    if (weak_ != nullptr) {
+      if (const T* alt = weak_->resolve(rt_, sem_, stale_object())) {
+        out = *alt;
+        return;
+      }
+    }
     out = value_;
   }
 
@@ -80,14 +196,17 @@ class SWMRRegister {
   /// written value shown to the adversary (see OpDesc).
   void write(const T& v, std::int64_t payload = 0) {
     BPRC_REQUIRE(rt_.self() == owner_, "non-owner write to SWMR register");
+    if (weak_ != nullptr) weak_->announce(rt_.self(), v);
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
     const MaybeLock lock(mu_, locked_);
     if (sink_ != nullptr) sink_->on_write(rt_.self(), trace_id_);
+    if (weak_ != nullptr) weak_->commit(value_);
     value_ = v;
   }
 
   /// Non-linearizable peek for post-run inspection and debugging only —
-  /// never called from algorithm code (no checkpoint, no step).
+  /// never called from algorithm code (no checkpoint, no step). Always
+  /// reports the committed value, never an in-flight or stale one.
   T peek() const {
     const MaybeLock lock(mu_, locked_);
     return value_;
@@ -96,14 +215,21 @@ class SWMRRegister {
   ProcId owner() const { return owner_; }
 
  private:
+  /// Object id reported in StaleRead: the dense trace id when a sink is
+  /// installed (unique per object), else the component-assigned id.
+  int stale_object() const { return trace_id_ >= 0 ? trace_id_ : id_; }
+
   Runtime& rt_;
   ProcId owner_;
   int id_;
   TraceSink* const sink_;  ///< cached Runtime::trace_sink(); usually null
   const int trace_id_;     ///< sink-assigned dense id; -1 without a sink
   const bool locked_;
+  const RegisterSemantics sem_;  ///< cached Runtime::register_semantics()
   mutable std::mutex mu_;
   T value_;
+  /// Weakening overlay; null under atomic semantics (the usual case).
+  const std::unique_ptr<detail::WeakRegisterState<T>> weak_;
 };
 
 /// Multi-writer multi-reader atomic register. Used for native 2W2R arrows
@@ -118,7 +244,9 @@ class MRMWRegister {
         sink_(rt.trace_sink()),
         trace_id_(sink_ != nullptr ? sink_->on_object_created() : -1),
         locked_(rt.concurrent()),
-        value_(std::move(initial)) {}
+        sem_(rt.register_semantics()),
+        value_(std::move(initial)),
+        weak_(detail::make_weak_state(rt, value_)) {}
 
   MRMWRegister(const MRMWRegister&) = delete;
   MRMWRegister& operator=(const MRMWRegister&) = delete;
@@ -127,29 +255,42 @@ class MRMWRegister {
     rt_.checkpoint({OpDesc::Kind::kRead, id_, 0});
     const MaybeLock lock(mu_, locked_);
     if (sink_ != nullptr) sink_->on_read(rt_.self(), trace_id_);
+    if (weak_ != nullptr) {
+      if (const T* alt = weak_->resolve(rt_, sem_, stale_object())) {
+        return *alt;
+      }
+    }
     return value_;
   }
 
   void write(const T& v, std::int64_t payload = 0) {
+    if (weak_ != nullptr) weak_->announce(rt_.self(), v);
     rt_.checkpoint({OpDesc::Kind::kWrite, id_, payload});
     const MaybeLock lock(mu_, locked_);
     if (sink_ != nullptr) sink_->on_write(rt_.self(), trace_id_);
+    if (weak_ != nullptr) weak_->commit(value_);
     value_ = v;
   }
 
+  /// See SWMRRegister::peek — committed value only.
   T peek() const {
     const MaybeLock lock(mu_, locked_);
     return value_;
   }
 
  private:
+  int stale_object() const { return trace_id_ >= 0 ? trace_id_ : id_; }
+
   Runtime& rt_;
   int id_;
   TraceSink* const sink_;  ///< cached Runtime::trace_sink(); usually null
   const int trace_id_;     ///< sink-assigned dense id; -1 without a sink
   const bool locked_;
+  const RegisterSemantics sem_;  ///< cached Runtime::register_semantics()
   mutable std::mutex mu_;
   T value_;
+  /// Weakening overlay; null under atomic semantics (the usual case).
+  const std::unique_ptr<detail::WeakRegisterState<T>> weak_;
 };
 
 }  // namespace bprc

@@ -56,8 +56,21 @@ ProcId pick_uniform_runnable(const SimCtl& ctl, Rng& rng) {
 
 }  // namespace
 
+// resolve_read implementations. The randomized strategies draw from the
+// same generator as their pick() — under atomic semantics resolve_read is
+// never called, so their recorded schedules are unchanged; under weakened
+// semantics the extra draws interleave deterministically and replay from
+// the seed. The adaptive strategies always take the last option — the
+// value most divergent from the atomic answer (the in-flight value under
+// regular, the oldest held value under safe): maximal information shear,
+// the canonical weak-register attack.
+
 ProcId RandomAdversary::pick(SimCtl& ctl) {
   return pick_uniform_runnable(ctl, rng_);
+}
+
+int RandomAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  return static_cast<int>(rng_.below(static_cast<std::uint64_t>(sr.options)));
 }
 
 ProcId RoundRobinAdversary::pick(SimCtl& ctl) {
@@ -70,6 +83,12 @@ ProcId RoundRobinAdversary::pick(SimCtl& ctl) {
     }
   }
   return -1;
+}
+
+int RoundRobinAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  // Rotate through the options so every staleness level gets exercised.
+  return static_cast<int>(stale_turn_++ %
+                          static_cast<std::uint64_t>(sr.options));
 }
 
 ProcId LockstepAdversary::pick(SimCtl& ctl) {
@@ -90,6 +109,10 @@ ProcId LockstepAdversary::pick(SimCtl& ctl) {
   const ProcId p = phase_.back();
   phase_.pop_back();
   return p;
+}
+
+int LockstepAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  return static_cast<int>(rng_.below(static_cast<std::uint64_t>(sr.options)));
 }
 
 ProcId LeaderSuppressAdversary::pick(SimCtl& ctl) {
@@ -118,6 +141,12 @@ ProcId LeaderSuppressAdversary::pick(SimCtl& ctl) {
   }
   BPRC_REQUIRE(false, "laggard rank out of range");
   __builtin_unreachable();
+}
+
+int LeaderSuppressAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  // Serve the most divergent value available: keep readers confused about
+  // where the leaders really are.
+  return sr.options - 1;
 }
 
 ProcId CoinBiasAdversary::pick(SimCtl& ctl) {
@@ -151,12 +180,25 @@ ProcId CoinBiasAdversary::pick(SimCtl& ctl) {
   __builtin_unreachable();
 }
 
+int CoinBiasAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  // Distort the observed walk for as long as the semantics allow.
+  return sr.options - 1;
+}
+
 ProcId ScriptedAdversary::pick(SimCtl& ctl) {
   while (pos_ < script_.size()) {
     const ProcId p = script_[pos_++];
     if (p >= 0 && p < ctl.nprocs() && ctl.view(p).runnable) return p;
   }
   return fallback_.pick(ctl);
+}
+
+int ScriptedAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  if (stale_pos_ >= stales_.size()) return 0;  // past the script: atomic
+  const int choice = stales_[stale_pos_++];
+  if (choice < 0) return 0;
+  if (choice >= sr.options) return sr.options - 1;
+  return choice;
 }
 
 ProcId CrashPlanAdversary::pick(SimCtl& ctl) {
@@ -201,6 +243,12 @@ ProcId RecordingAdversary::pick(SimCtl& ctl) {
   const ProcId p = inner_->pick(tap);
   if (p >= 0) script_.push_back(p);
   return p;
+}
+
+int RecordingAdversary::resolve_read(SimCtl& ctl, const StaleRead& sr) {
+  const int choice = inner_->resolve_read(ctl, sr);
+  stales_.push_back(choice);
+  return choice;
 }
 
 ProcId CrashStormAdversary::pick(SimCtl& ctl) {
@@ -264,6 +312,10 @@ ProcId CrashStormAdversary::pick(SimCtl& ctl) {
   return pick_uniform_runnable(ctl, rng_);
 }
 
+int CrashStormAdversary::resolve_read(SimCtl&, const StaleRead& sr) {
+  return static_cast<int>(rng_.below(static_cast<std::uint64_t>(sr.options)));
+}
+
 ProcId SplitBrainAdversary::pick(SimCtl& ctl) {
   const int n = ctl.nprocs();
   const int half = std::max(1, n / 2);
@@ -299,6 +351,14 @@ ProcId SplitBrainAdversary::pick(SimCtl& ctl) {
   }
   BPRC_REQUIRE(false, "group rank out of range");
   __builtin_unreachable();
+}
+
+int SplitBrainAdversary::resolve_read(SimCtl& ctl, const StaleRead& sr) {
+  // A read across the split observes the other half with maximal
+  // distortion; within a group, reads stay atomic-fresh.
+  const int half = std::max(1, ctl.nprocs() / 2);
+  const bool cross = (sr.reader < half) != (sr.writer < half);
+  return cross ? sr.options - 1 : 0;
 }
 
 std::vector<std::unique_ptr<Adversary>> standard_adversaries(

@@ -82,6 +82,18 @@ class Adversary {
   virtual ~Adversary() = default;
   virtual ProcId pick(SimCtl& ctl) = 0;
   virtual std::string name() const = 0;
+
+  /// Resolves one weakened concurrent read (registers under regular/safe
+  /// semantics — see StaleRead in runtime.hpp). Must return a value in
+  /// [0, sr.options): 0 = the last committed (atomic) value, 1 = the
+  /// in-flight write's value, k >= 2 = the (k-1)-th older committed value
+  /// (safe only). Never called under atomic semantics; the default is the
+  /// atomic answer, so strategies opt in explicitly.
+  virtual int resolve_read(SimCtl& ctl, const StaleRead& sr) {
+    (void)ctl;
+    (void)sr;
+    return 0;
+  }
 };
 
 /// Uniformly random runnable process each step. The "benign" schedule.
@@ -90,6 +102,7 @@ class RandomAdversary final : public Adversary {
   explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "random"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;
@@ -100,9 +113,11 @@ class RoundRobinAdversary final : public Adversary {
  public:
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "round-robin"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   ProcId last_ = -1;
+  std::uint64_t stale_turn_ = 0;  ///< rotates the stale-read choice
 };
 
 /// Barrier-synchronous: every runnable process moves exactly once per
@@ -115,6 +130,7 @@ class LockstepAdversary final : public Adversary {
   explicit LockstepAdversary(std::uint64_t seed) : rng_(seed) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "lockstep"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;
@@ -129,6 +145,7 @@ class LeaderSuppressAdversary final : public Adversary {
   explicit LeaderSuppressAdversary(std::uint64_t seed) : rng_(seed) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "leader-suppress"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;
@@ -144,6 +161,7 @@ class CoinBiasAdversary final : public Adversary {
   explicit CoinBiasAdversary(std::uint64_t seed) : rng_(seed) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "coin-bias"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;
@@ -159,10 +177,22 @@ class ScriptedAdversary final : public Adversary {
       : script_(std::move(script)) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "scripted"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
+
+  /// Recorded stale-read choices to replay, in resolution order. Past the
+  /// script's end every choice is 0 (the atomic answer) — mirroring the
+  /// round-robin fallback for picks. Out-of-range entries (hand-edited
+  /// artifacts) are clamped into [0, options).
+  void set_stale_script(std::vector<int> stales) {
+    stales_ = std::move(stales);
+    stale_pos_ = 0;
+  }
 
  private:
   std::vector<ProcId> script_;
   std::size_t pos_ = 0;
+  std::vector<int> stales_;
+  std::size_t stale_pos_ = 0;
   RoundRobinAdversary fallback_;
 };
 
@@ -181,6 +211,13 @@ class CrashPlanAdversary final : public Adversary {
   std::string name() const override {
     return inner_->name() + "+crashes";
   }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override {
+    return inner_->resolve_read(ctl, sr);
+  }
+
+  /// The decorated strategy (e.g. to reach ScriptedAdversary's stale
+  /// script through the crash decorator).
+  Adversary& inner() { return *inner_; }
 
  private:
   std::unique_ptr<Adversary> inner_;
@@ -203,6 +240,7 @@ class RecordingAdversary final : public Adversary {
       : inner_(std::move(inner)) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return inner_->name() + "+rec"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
   /// The schedule so far; pass to ScriptedAdversary to replay.
   const std::vector<ProcId>& script() const { return script_; }
@@ -213,10 +251,15 @@ class RecordingAdversary final : public Adversary {
     return crashes_;
   }
 
+  /// Stale-read choices the inner strategy made, in resolution order;
+  /// pass to ScriptedAdversary::set_stale_script to replay.
+  const std::vector<int>& stales() const { return stales_; }
+
  private:
   std::unique_ptr<Adversary> inner_;
   std::vector<ProcId> script_;
   std::vector<CrashPlanAdversary::Crash> crashes_;
+  std::vector<int> stales_;
 };
 
 /// Adaptive crash injector: kills up to `max_crashes` processes (default
@@ -232,6 +275,7 @@ class CrashStormAdversary final : public Adversary {
       : rng_(seed), max_crashes_(max_crashes), crash_prob_(crash_prob) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "crash-storm"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;
@@ -251,6 +295,7 @@ class SplitBrainAdversary final : public Adversary {
       : rng_(seed), mean_burst_(mean_burst) {}
   ProcId pick(SimCtl& ctl) override;
   std::string name() const override { return "split-brain"; }
+  int resolve_read(SimCtl& ctl, const StaleRead& sr) override;
 
  private:
   Rng rng_;

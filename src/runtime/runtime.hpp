@@ -16,12 +16,68 @@
 
 #include <cstdint>
 #include <exception>
+#include <string>
 
 #include "util/rng.hpp"
 
 namespace bprc {
 
 using ProcId = int;
+
+/// Lamport's register hierarchy, weakest-to-strongest ordering inverted:
+/// the knob *weakens* the registers the runtime hands to algorithm code.
+///   * kAtomic  — reads linearize with writes (the default; every result
+///                before PR 9 assumed this);
+///   * kRegular — a read concurrent with a write may return the old value
+///                or the new one (either choice per read, so successive
+///                reads may observe new-then-old: the "new/old inversion"
+///                regular registers permit and atomic ones forbid);
+///   * kSafe    — a read concurrent with a write may return *any* value
+///                the register ever legally held (approximated by the
+///                recent write history; see docs/REGISTER_SEMANTICS.md).
+/// The adversary — not a PRNG — resolves every weakened read, so the
+/// explorer can branch over the choices and replays are bit-identical.
+enum class RegisterSemantics : std::uint8_t { kAtomic = 0, kRegular, kSafe };
+
+inline const char* to_string(RegisterSemantics s) {
+  switch (s) {
+    case RegisterSemantics::kAtomic:  return "atomic";
+    case RegisterSemantics::kRegular: return "regular";
+    case RegisterSemantics::kSafe:    return "safe";
+  }
+  return "?";
+}
+
+/// Parses a semantics name; false on anything unrecognized (artifact
+/// parsers must reject, not guess).
+inline bool register_semantics_from_string(const std::string& name,
+                                           RegisterSemantics* out) {
+  for (const RegisterSemantics s :
+       {RegisterSemantics::kAtomic, RegisterSemantics::kRegular,
+        RegisterSemantics::kSafe}) {
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One weakened read awaiting resolution: process `reader` is reading
+/// `object` while `writer` has a write to it in flight (announced at its
+/// checkpoint, not yet executed). The runtime asks the adversary for a
+/// choice in [0, options):
+///   0          — the last committed value: what an atomic read returns;
+///   1          — the in-flight write's value (the "new" value a regular
+///                register may serve to an overlapping read);
+///   k in [2, options) — the (k-1)-th most recent *older* committed value
+///                (kSafe only; see docs/REGISTER_SEMANTICS.md).
+struct StaleRead {
+  int object = -1;    ///< OpDesc-style object id (-1 when unassigned)
+  ProcId reader = -1;
+  ProcId writer = -1;
+  int options = 2;    ///< number of selectable values, >= 2
+};
 
 /// Description of the shared-memory operation a process is about to
 /// perform. Published at every checkpoint, and visible to the adversary —
@@ -203,6 +259,22 @@ class Runtime {
 
   /// Primitive operations executed by all processes so far.
   virtual std::uint64_t total_steps() const = 0;
+
+  /// Register semantics this runtime enforces. Registers cache the value
+  /// at construction (like trace_sink), so set it before building shared
+  /// state. The default — and the only value non-simulated runtimes ever
+  /// report — is atomic: the weakened overlay needs the simulator's
+  /// step accounting to define write-in-flight windows.
+  virtual RegisterSemantics register_semantics() const {
+    return RegisterSemantics::kAtomic;
+  }
+
+  /// Resolves one weakened concurrent read (see StaleRead). The simulator
+  /// forwards to its adversary; the default picks 0 — the atomic answer.
+  virtual int resolve_stale_read(const StaleRead& sr) {
+    (void)sr;
+    return 0;
+  }
 
   /// The installed shared-memory observer, or nullptr (default). Shared
   /// objects cache this at construction; see TraceSink.

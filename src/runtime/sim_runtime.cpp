@@ -45,6 +45,7 @@ void SimRuntime::init(int nprocs, std::unique_ptr<Adversary> adversary,
   }
 
   trace_sink_ = nullptr;
+  semantics_ = RegisterSemantics::kAtomic;
   current_ = -1;
   total_steps_ = 0;
   now_ = 0;

@@ -52,6 +52,14 @@ class SimRuntime final : public Runtime, private SimCtl {
   /// sink pointer at construction.
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
 
+  /// Selects the register semantics the simulation runs under (see
+  /// RegisterSemantics). Like set_trace_sink, must be called *before* the
+  /// shared objects are constructed — registers cache the value — and is
+  /// reset to kAtomic by reset(). Under kRegular/kSafe the adversary's
+  /// resolve_read is consulted for every read that overlaps an in-flight
+  /// write.
+  void set_register_semantics(RegisterSemantics s) { semantics_ = s; }
+
   /// Installs a flip interposer on every process's local coin (see
   /// FlipTape). Not owned; cleared by reset(). The adversary's own Rng
   /// (if any) is unaffected — only process-local coins are taped.
@@ -89,6 +97,10 @@ class SimRuntime final : public Runtime, private SimCtl {
   }
   std::uint64_t total_steps() const override { return total_steps_; }
   TraceSink* trace_sink() const override { return trace_sink_; }
+  RegisterSemantics register_semantics() const override { return semantics_; }
+  int resolve_stale_read(const StaleRead& sr) override {
+    return adversary_->resolve_read(*this, sr);
+  }
 
  private:
   /// Per-process state the adversary never sees; the visible half lives in
@@ -136,6 +148,7 @@ class SimRuntime final : public Runtime, private SimCtl {
   std::vector<SimCtl::ProcView> views_;  ///< adversary-visible, contiguous
   std::vector<ProcState> states_;        ///< same index as views_
   TraceSink* trace_sink_ = nullptr;      ///< not owned; cleared by reset()
+  RegisterSemantics semantics_ = RegisterSemantics::kAtomic;
   std::uint64_t runnable_mask_ = 0;      ///< bit p = views_[p].runnable
   std::unique_ptr<Adversary> adversary_;
   ProcId current_ = -1;

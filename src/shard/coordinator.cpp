@@ -57,9 +57,11 @@ class Coordinator {
  public:
   Coordinator(const ShardServiceConfig& config,
               std::vector<fault::TortureRun>&& runs,
-              std::uint64_t skipped_crash_cells)
+              std::uint64_t skipped_crash_cells,
+              std::uint64_t skipped_safe_cells)
       : config_(config), runs_(std::move(runs)) {
     report_.skipped_crash_cells = skipped_crash_cells;
+    report_.skipped_safe_cells = skipped_safe_cells;
     stall_timeout_ = config.stall_timeout;
     if (stall_timeout_.count() == 0 &&
         config.campaign.run_deadline.count() > 0) {
@@ -362,9 +364,10 @@ fault::CampaignReport run_sharded_campaign(const ShardServiceConfig& config) {
   BPRC_REQUIRE(config.workers >= 1, "need at least one worker");
   BPRC_REQUIRE(config.max_respawns >= 0, "max_respawns must be >= 0");
   std::uint64_t skipped = 0;
+  std::uint64_t skipped_safe = 0;
   std::vector<fault::TortureRun> runs =
-      fault::enumerate_campaign_runs(config.campaign, &skipped);
-  Coordinator coordinator(config, std::move(runs), skipped);
+      fault::enumerate_campaign_runs(config.campaign, &skipped, &skipped_safe);
+  Coordinator coordinator(config, std::move(runs), skipped, skipped_safe);
   return coordinator.run();
 }
 
@@ -373,13 +376,15 @@ ShardFile run_shard(const fault::CampaignConfig& campaign,
   BPRC_REQUIRE(shard_count >= 1 && shard_index < shard_count,
                "shard index out of range");
   std::uint64_t skipped = 0;
+  std::uint64_t skipped_safe = 0;
   std::vector<fault::TortureRun> runs =
-      fault::enumerate_campaign_runs(campaign, &skipped);
+      fault::enumerate_campaign_runs(campaign, &skipped, &skipped_safe);
   ShardFile shard;
   shard.fingerprint = fault::campaign_matrix_fingerprint(campaign, runs);
   shard.total_runs = runs.size();
   shard.max_failures = campaign.max_failures;
   shard.skipped_crash_cells = skipped;
+  shard.skipped_safe_cells = skipped_safe;
   const IndexRange range = shard_range(shard_index, shard_count, runs.size());
   shard.begin = range.begin;
   shard.end = range.end;
@@ -414,7 +419,8 @@ MergeResult merge_shard_files(const std::vector<ShardFile>& shards) {
     if (s->fingerprint != first.fingerprint ||
         s->total_runs != first.total_runs ||
         s->max_failures != first.max_failures ||
-        s->skipped_crash_cells != first.skipped_crash_cells) {
+        s->skipped_crash_cells != first.skipped_crash_cells ||
+        s->skipped_safe_cells != first.skipped_safe_cells) {
       result.error = "shards come from different campaigns";
       return result;
     }
@@ -436,6 +442,7 @@ MergeResult merge_shard_files(const std::vector<ShardFile>& shards) {
     return result;
   }
   result.report.skipped_crash_cells = first.skipped_crash_cells;
+  result.report.skipped_safe_cells = first.skipped_safe_cells;
   bool stopped = false;
   for (const ShardFile* s : order) {
     if (stopped) break;

@@ -98,11 +98,15 @@ void serialize_failure(std::ostringstream& out, const fault::TortureFailure& f) 
   }
   out << "seed " << f.run.seed << '\n';
   out << "max-steps " << f.run.max_steps << '\n';
+  // Unlike the user-facing repro format, the wire peers are always the
+  // same binary, so the semantics line is unconditional (simpler parse).
+  out << "semantics " << to_string(f.run.semantics) << '\n';
   out << "fail-class " << to_string(f.failure) << '\n';
   out << "fail-reason " << to_string(f.reason) << '\n';
   out << "schedule";
   for (const ProcId p : f.schedule) out << ' ' << p;
   out << '\n';
+  if (!f.stales.empty()) emit_vec_line(out, "stales", f.stales);
   for (const auto& c : f.crashes) {
     out << "crash " << c.at_step << ' ' << c.victim << '\n';
   }
@@ -147,6 +151,14 @@ bool parse_failure(LineParser& p, fault::TortureFailure* f, std::string* err) {
       bad = !(fields >> f->run.seed) || trailing_garbage(fields);
     } else if (key == "max-steps") {
       bad = !(fields >> f->run.max_steps) || trailing_garbage(fields);
+    } else if (key == "semantics") {
+      std::string name;
+      bad = !(fields >> name) || trailing_garbage(fields) ||
+            !register_semantics_from_string(name, &f->run.semantics);
+    } else if (key == "stales") {
+      int x = 0;
+      while (fields >> x) f->stales.push_back(x);
+      bad = fields.fail() && !fields.eof();
     } else if (key == "fail-class") {
       std::string name;
       bad = !(fields >> name) || trailing_garbage(fields) ||
@@ -307,6 +319,11 @@ std::string serialize_shard_file(const ShardFile& shard) {
   out << "total-runs " << shard.total_runs << '\n';
   out << "max-failures " << shard.max_failures << '\n';
   out << "skipped-crash-cells " << shard.skipped_crash_cells << '\n';
+  if (shard.skipped_safe_cells != 0) {
+    // Optional line (weak-register campaigns only): omitted when zero so
+    // atomic-only shard files keep their historical bytes.
+    out << "skipped-safe-cells " << shard.skipped_safe_cells << '\n';
+  }
   out << "range " << shard.begin << ' ' << shard.end << '\n';
   for (const IndexedRecord& rec : shard.records) {
     out << serialize_record(rec.first, rec.second);
@@ -339,6 +356,15 @@ std::optional<ShardFile> parse_shard_file(const std::string& text,
             header_u64("skipped-crash-cells", &shard.skipped_crash_cells);
   if (ok) {
     ok = p.next_line();
+    // Optional weak-register line between the fixed header and the range
+    // (written only by campaigns that skipped kSafe cells).
+    if (ok && p.line.rfind("skipped-safe-cells", 0) == 0) {
+      std::istringstream fields(p.line);
+      std::string k;
+      ok = static_cast<bool>(fields >> k >> shard.skipped_safe_cells) &&
+           !trailing_garbage(fields);
+      if (ok) ok = p.next_line();
+    }
     if (ok) {
       std::istringstream fields(p.line);
       std::string k;

@@ -83,6 +83,11 @@ struct ShardFile {
   std::uint64_t total_runs = 0;    ///< full matrix size (all shards)
   std::uint64_t max_failures = 0;  ///< fold early-stop threshold
   std::uint64_t skipped_crash_cells = 0;  ///< whole-matrix skip count
+  /// Whole-matrix kSafe skip count (campaign.hpp). Serialized only when
+  /// nonzero, so shard files from atomic-only campaigns — including
+  /// every file written before the weak-register lane existed — keep
+  /// their historical bytes.
+  std::uint64_t skipped_safe_cells = 0;
   std::size_t begin = 0;           ///< executed index range [begin, end)
   std::size_t end = 0;
   std::vector<IndexedRecord> records;  ///< ascending, covering [begin, end)

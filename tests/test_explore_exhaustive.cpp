@@ -4,11 +4,14 @@
 // executions. See docs/TESTING.md ("Exploration tier").
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
 
 #include "explore/consensus_explore.hpp"
 #include "explore/explorer.hpp"
 #include "explore/token_game_explore.hpp"
+#include "fault/repro.hpp"
+#include "fault/shrink.hpp"
 
 namespace bprc::explore {
 namespace {
@@ -52,6 +55,60 @@ TEST(ExploreExhaustive, BrokenProtocolsAreCaughtAtN3) {
     for (const auto& report : reports) violations += report.violations.size();
     EXPECT_GT(violations, 0u) << protocol << " not caught at n=3";
   }
+}
+
+TEST(ExploreExhaustive, NeedsAtomicCaughtOnlyUnderWeakenedSemantics) {
+  // The weak-register acceptance target at n=3: the semantics-sensitive
+  // protocol is verified *clean* over atomic registers by the same sweep
+  // that catches it over regular ones — and the minimal witness the
+  // explorer finds shrinks and replays through the torture pipeline.
+  const auto atomic_reports = explore_consensus_all_inputs(
+      "broken-needs-atomic", 3, /*seed=*/1, n3_limits(12));
+  for (const auto& report : atomic_reports) {
+    EXPECT_TRUE(report.ok()) << "must be correct over atomic registers";
+    EXPECT_TRUE(report.stats.complete);
+  }
+
+  ExploreLimits weak = n3_limits(12);
+  weak.semantics = RegisterSemantics::kRegular;
+  const auto weak_reports = explore_consensus_all_inputs(
+      "broken-needs-atomic", 3, /*seed=*/1, weak);
+  const ConsensusExploreReport* witness_report = nullptr;
+  const ExploreViolation* witness = nullptr;
+  std::uint64_t violations = 0;
+  for (const auto& report : weak_reports) {
+    violations += report.violations.size();
+    for (const ExploreViolation& v : report.violations) {
+      if (witness == nullptr || v.schedule.size() < witness->schedule.size()) {
+        witness_report = &report;
+        witness = &v;
+      }
+    }
+  }
+  ASSERT_GT(violations, 0u) << "not caught over regular registers at n=3";
+  ASSERT_NE(witness, nullptr);
+  EXPECT_FALSE(witness->stales.empty())
+      << "a weak-register witness must have forced a stale read";
+
+  // The witness replays from its artifact and survives shrinking with the
+  // failure class intact.
+  const fault::Repro repro =
+      make_explore_repro(witness_report->config, *witness);
+  EXPECT_EQ(repro.run.semantics, RegisterSemantics::kRegular);
+  EXPECT_EQ(fault::replay_repro(repro).failure(), repro.failure);
+
+  fault::TortureFailure fail;
+  fail.run = repro.run;
+  fail.failure = repro.failure;
+  fail.schedule = repro.schedule;
+  fail.crashes = repro.crashes;
+  fail.stales = repro.stales;
+  const fault::ShrinkOutcome shrunk = fault::shrink_failure(fail);
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_LE(shrunk.schedule.size(), shrunk.original_len);
+  const fault::Repro min_repro =
+      fault::make_repro(fail, shrunk.schedule, shrunk.crashes);
+  EXPECT_EQ(fault::replay_repro(min_repro).failure(), repro.failure);
 }
 
 TEST(ExploreExhaustive, Claim41HoldsForEveryInterleavingAtN3) {

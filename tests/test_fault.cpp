@@ -25,9 +25,11 @@ TEST(ProtocolRegistry, NamesAndBrokenFlag) {
   for (const auto& name : real) EXPECT_FALSE(protocol_spec(name).broken);
 
   const auto all = protocol_names(/*include_broken=*/true);
-  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.size(), 7u);
   EXPECT_TRUE(protocol_spec("broken-racy").broken);
   EXPECT_TRUE(protocol_spec("broken-unbounded").broken);
+  EXPECT_TRUE(protocol_spec("broken-needs-atomic").broken);
+  EXPECT_FALSE(protocol_spec("broken-needs-atomic").crash_tolerant);
   EXPECT_FALSE(protocol_spec("local-coin").crash_tolerant);
   EXPECT_TRUE(protocol_spec("bprc").crash_tolerant);
 }
@@ -86,6 +88,84 @@ TEST(Campaign, SkipsCrashCellsForNonTolerantProtocols) {
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.runs, 0u);
   EXPECT_GT(report.skipped_crash_cells, 0u);
+}
+
+TEST(ProtocolRegistry, WeakRegisterTraits) {
+  // The faithful protocols prove expected termination over atomic
+  // registers only (docs/REGISTER_SEMANTICS.md); BPRC additionally
+  // refuses safe-register junk via its edge-counter decode invariant.
+  for (const char* name : {"bprc", "aspnes-herlihy", "local-coin",
+                           "strong-coin"}) {
+    EXPECT_FALSE(protocol_spec(name).live_under_stale_reads) << name;
+  }
+  for (const char* name : {"broken-racy", "broken-unbounded",
+                           "broken-needs-atomic", "broken-segv"}) {
+    EXPECT_TRUE(protocol_spec(name).live_under_stale_reads) << name;
+    EXPECT_TRUE(protocol_spec(name).tolerates_safe_reads) << name;
+  }
+  EXPECT_FALSE(protocol_spec("bprc").tolerates_safe_reads);
+  EXPECT_TRUE(protocol_spec("aspnes-herlihy").tolerates_safe_reads);
+}
+
+TEST(Campaign, SkipsSafeCellsForIntolerantProtocols) {
+  CampaignConfig config;
+  config.protocols = {"bprc"};
+  config.ns = {2};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 1;
+  config.semantics = {RegisterSemantics::kSafe};
+  const CampaignReport report = run_campaign(config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs, 0u);
+  EXPECT_GT(report.skipped_safe_cells, 0u);
+  EXPECT_EQ(report.skipped_crash_cells, 0u);
+
+  // The same matrix under regular semantics runs: only kSafe is gated.
+  config.semantics = {RegisterSemantics::kRegular};
+  config.max_steps = 2'000'000;
+  const CampaignReport regular = run_campaign(config);
+  EXPECT_GT(regular.runs, 0u);
+  EXPECT_EQ(regular.skipped_safe_cells, 0u);
+}
+
+TEST(Campaign, WeakenedBudgetStopIsAnAbortNotAFailure) {
+  // A starvation-sized budget: under atomic semantics the truncated run
+  // is a termination failure, as ever. Under weakened semantics the same
+  // protocol is registered live_under_stale_reads=false, so the stop is
+  // inconclusive — counted as a budget abort, reported clean (the
+  // explorer's truncated-leaf downgrade, applied to the campaign).
+  CampaignConfig config;
+  config.protocols = {"bprc"};
+  config.ns = {2};
+  config.adversaries = {"round-robin"};
+  config.seeds_per_cell = 1;
+  config.crash_plans = false;
+  config.max_steps = 200;  // far below any full run
+  const CampaignReport atomic = run_campaign(config);
+  EXPECT_FALSE(atomic.ok());
+  ASSERT_FALSE(atomic.failures.empty());
+  EXPECT_EQ(atomic.failures[0].failure, FailureClass::kTermination);
+  EXPECT_GT(atomic.budget_aborts, 0u);
+
+  config.semantics = {RegisterSemantics::kRegular};
+  const CampaignReport weakened = run_campaign(config);
+  EXPECT_TRUE(weakened.ok()) << weakened.failures.size() << " failure(s)";
+  EXPECT_GT(weakened.budget_aborts, 0u);
+  EXPECT_GT(weakened.runs, 0u);
+
+  // Safety violations are never downgraded: the seeded needs-atomic bug
+  // still fails its weakened cells (pinned end to end in test_replay).
+  CampaignConfig broken;
+  broken.protocols = {"broken-needs-atomic"};
+  broken.ns = {2, 3};
+  broken.adversaries = {"random"};
+  broken.seeds_per_cell = 8;
+  broken.crash_plans = false;
+  broken.max_steps = 100'000;
+  broken.semantics = {RegisterSemantics::kRegular};
+  const CampaignReport caught = run_campaign(broken);
+  ASSERT_FALSE(caught.failures.empty());
+  EXPECT_EQ(caught.failures[0].failure, FailureClass::kConsistency);
 }
 
 TEST(CrashStorm, RespectsTheWaitFreedomBound) {

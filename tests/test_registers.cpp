@@ -221,6 +221,155 @@ TEST(Bloom, ThreadRuntimeStress) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Weak register semantics (docs/REGISTER_SEMANTICS.md)
+// ---------------------------------------------------------------------------
+
+/// Scripted scheduling plus scripted stale-read resolutions; records the
+/// option count of every StaleRead the registers raise so tests can pin
+/// the exact read-return envelope of each semantics level.
+class StaleProbeAdversary final : public Adversary {
+ public:
+  StaleProbeAdversary(std::vector<ProcId> schedule, std::vector<int> choices)
+      : sched_(std::move(schedule)), choices_(std::move(choices)) {}
+
+  ProcId pick(SimCtl& ctl) override { return sched_.pick(ctl); }
+  std::string name() const override { return "stale-probe"; }
+  int resolve_read(SimCtl&, const StaleRead& sr) override {
+    options_seen.push_back(sr.options);
+    const std::size_t i = options_seen.size() - 1;
+    return i < choices_.size() ? choices_[i] : 0;
+  }
+
+  std::vector<int> options_seen;  ///< one entry per weakened read raised
+
+ private:
+  ScriptedAdversary sched_;
+  std::vector<int> choices_;
+};
+
+/// One write racing one read: proc 0 announces write(20) and parks at its
+/// checkpoint; proc 1 reads inside the open window; proc 0 then commits.
+/// Returns the value the read served; `options_seen` reports the raised
+/// envelopes.
+int overlapped_read(RegisterSemantics sem, int choice,
+                    std::vector<int>* options_seen) {
+  auto adv = std::make_unique<StaleProbeAdversary>(
+      std::vector<ProcId>{0, 1, 1, 0}, std::vector<int>{choice});
+  StaleProbeAdversary* probe = adv.get();
+  SimRuntime rt(2, std::move(adv), 1);
+  rt.set_register_semantics(sem);  // before construction: registers cache it
+  SWMRRegister<int> reg(rt, 0, /*initial=*/10);
+  int got = -1;
+  rt.spawn(0, [&] { reg.write(20); });
+  rt.spawn(1, [&] { got = reg.read(); });
+  rt.run(100);
+  if (options_seen != nullptr) *options_seen = probe->options_seen;
+  return got;
+}
+
+TEST(WeakSemantics, RegularReadServesCommittedOrPending) {
+  // Regular envelope: exactly two options — the last committed value
+  // (choice 0, the atomic answer) or the in-flight write (choice 1).
+  std::vector<int> options;
+  EXPECT_EQ(overlapped_read(RegisterSemantics::kRegular, 0, &options), 10);
+  EXPECT_EQ(options, std::vector<int>({2}));
+  EXPECT_EQ(overlapped_read(RegisterSemantics::kRegular, 1, &options), 20);
+  EXPECT_EQ(options, std::vector<int>({2}));
+}
+
+TEST(WeakSemantics, SafeWithNoHistoryMatchesRegularEnvelope) {
+  // Before any write retires into the history ring, safe semantics has
+  // nothing extra to serve: the envelope collapses to regular's.
+  std::vector<int> options;
+  EXPECT_EQ(overlapped_read(RegisterSemantics::kSafe, 0, &options), 10);
+  EXPECT_EQ(options, std::vector<int>({2}));
+  EXPECT_EQ(overlapped_read(RegisterSemantics::kSafe, 1, &options), 20);
+}
+
+TEST(WeakSemantics, AtomicSemanticsNeverConsultTheAdversary) {
+  // The same overlapping schedule under atomic semantics: the read serves
+  // the committed value and no StaleRead is ever raised.
+  std::vector<int> options;
+  EXPECT_EQ(overlapped_read(RegisterSemantics::kAtomic, 1, &options), 10);
+  EXPECT_TRUE(options.empty());
+}
+
+TEST(WeakSemantics, SafeReadServesHistoryRing) {
+  // Writer commits 1, 2, 3 (retiring 0, 1, 2 into the ring), then parks
+  // mid-write(4). Safe options = 2 + 3 retired values; the choice map is
+  // 0 -> committed, 1 -> pending, k >= 2 -> (k-1)-th most recent retiree.
+  const int expected[] = {3, 4, 2, 1, 0};
+  for (int choice = 0; choice < 5; ++choice) {
+    auto adv = std::make_unique<StaleProbeAdversary>(
+        std::vector<ProcId>{0, 0, 0, 0, 1, 1, 0}, std::vector<int>{choice});
+    StaleProbeAdversary* probe = adv.get();
+    SimRuntime rt(2, std::move(adv), 1);
+    rt.set_register_semantics(RegisterSemantics::kSafe);
+    SWMRRegister<int> reg(rt, 0, /*initial=*/0);
+    int got = -1;
+    rt.spawn(0, [&] {
+      for (int v = 1; v <= 4; ++v) reg.write(v);
+    });
+    rt.spawn(1, [&] { got = reg.read(); });
+    rt.run(100);
+    ASSERT_EQ(probe->options_seen, std::vector<int>({5})) << "choice " << choice;
+    EXPECT_EQ(got, expected[choice]) << "choice " << choice;
+  }
+}
+
+TEST(WeakSemantics, NoConcurrentWriteAllSemanticsAgree) {
+  // Fully serialized write-then-read: the window is closed by the time
+  // the read runs, so every semantics level returns the committed value
+  // and the adversary is never consulted — the agreement case the
+  // Lamport hierarchy guarantees.
+  for (const RegisterSemantics sem :
+       {RegisterSemantics::kAtomic, RegisterSemantics::kRegular,
+        RegisterSemantics::kSafe}) {
+    auto adv = std::make_unique<StaleProbeAdversary>(
+        std::vector<ProcId>{0, 0, 1, 1}, std::vector<int>{1});
+    StaleProbeAdversary* probe = adv.get();
+    SimRuntime rt(2, std::move(adv), 1);
+    rt.set_register_semantics(sem);
+    SWMRRegister<int> reg(rt, 0, /*initial=*/10);
+    int got = -1;
+    rt.spawn(0, [&] { reg.write(20); });
+    rt.spawn(1, [&] { got = reg.read(); });
+    rt.run(100);
+    EXPECT_EQ(got, 20) << to_string(sem);
+    EXPECT_TRUE(probe->options_seen.empty()) << to_string(sem);
+  }
+}
+
+TEST(WeakSemantics, MrmwAndReadIntoShareTheEnvelope) {
+  // The MRMW template and the allocation-free read_into path weaken
+  // identically to SWMR::read.
+  for (const int choice : {0, 1}) {
+    auto adv = std::make_unique<StaleProbeAdversary>(
+        std::vector<ProcId>{0, 1, 1, 0}, std::vector<int>{choice});
+    SimRuntime rt(2, std::move(adv), 1);
+    rt.set_register_semantics(RegisterSemantics::kRegular);
+    MRMWRegister<int> mr(rt, /*initial=*/10);
+    int got = -1;
+    rt.spawn(0, [&] { mr.write(20); });
+    rt.spawn(1, [&] { got = mr.read(); });
+    rt.run(100);
+    EXPECT_EQ(got, choice == 0 ? 10 : 20);
+  }
+  for (const int choice : {0, 1}) {
+    auto adv = std::make_unique<StaleProbeAdversary>(
+        std::vector<ProcId>{0, 1, 1, 0}, std::vector<int>{choice});
+    SimRuntime rt(2, std::move(adv), 1);
+    rt.set_register_semantics(RegisterSemantics::kRegular);
+    SWMRRegister<int> reg(rt, 0, /*initial=*/10);
+    int got = -1;
+    rt.spawn(0, [&] { reg.write(20); });
+    rt.spawn(1, [&] { reg.read_into(got); });
+    rt.run(100);
+    EXPECT_EQ(got, choice == 0 ? 10 : 20);
+  }
+}
+
 TEST(BloomDeath, ThirdWriterRejected) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(

@@ -401,6 +401,173 @@ TEST(Repro, UnknownModeAndVersionAreRejected) {
   EXPECT_NE(err.find("unsupported"), std::string::npos) << err;
 }
 
+// ---- weak register semantics ----------------------------------------------
+//
+// The weak-register lane (docs/REGISTER_SEMANTICS.md): campaigns under
+// regular/safe semantics record every adversary stale-read choice, and
+// replay re-forces them — determinism must hold with the same fidelity as
+// schedules and crashes.
+
+/// Finds a failing broken-needs-atomic run under regular semantics — the
+/// seeded new-old-inversion bug that only exists over weakened registers.
+TortureFailure find_weakreg_failure() {
+  CampaignConfig config;
+  config.protocols = {"broken-needs-atomic"};
+  config.ns = {2, 3};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 8;
+  config.max_steps = 100'000;
+  config.crash_plans = false;
+  config.semantics = {RegisterSemantics::kRegular};
+  config.max_failures = 1;
+  CampaignReport report = run_campaign(config);
+  EXPECT_FALSE(report.failures.empty())
+      << "campaign failed to catch the weak-register bug";
+  return report.failures.empty() ? TortureFailure{}
+                                 : std::move(report.failures.front());
+}
+
+TEST(WeakReplay, NeedsAtomicIsCaughtOnlyUnderWeakenedSemantics) {
+  // Identical matrix, semantics axis flipped: atomic must stay clean,
+  // regular must catch the seeded bug.
+  CampaignConfig config;
+  config.protocols = {"broken-needs-atomic"};
+  config.ns = {2, 3};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 8;
+  config.max_steps = 100'000;
+  config.crash_plans = false;
+  config.max_failures = 4;
+  const CampaignReport atomic_report = run_campaign(config);
+  EXPECT_TRUE(atomic_report.failures.empty())
+      << "broken-needs-atomic must be correct over atomic registers";
+  config.semantics = {RegisterSemantics::kRegular};
+  const CampaignReport weak_report = run_campaign(config);
+  EXPECT_FALSE(weak_report.failures.empty())
+      << "broken-needs-atomic must be caught over regular registers";
+}
+
+TEST(WeakReplay, RecordedStaleChoicesReplayIdentically) {
+  const TortureFailure fail = find_weakreg_failure();
+  ASSERT_NE(fail.failure, FailureClass::kNone);
+  ASSERT_FALSE(fail.stales.empty())
+      << "a weak-register violation must have consumed a stale choice";
+
+  const ConsensusRunResult replayed = replay_run(
+      fail.run, fail.schedule, fail.crashes, nullptr, nullptr, fail.stales);
+  expect_identical(fail.result, replayed);
+
+  // Dropping the stale script degrades every choice to the atomic answer,
+  // under which the protocol is correct: the violation must vanish.
+  const ConsensusRunResult atomic_replay =
+      replay_run(fail.run, fail.schedule, fail.crashes);
+  EXPECT_NE(atomic_replay.failure(), fail.failure);
+}
+
+TEST(WeakReplay, ShrunkArtifactRoundTripsByteIdentically) {
+  // Catch -> shrink -> serialize -> parse -> re-serialize -> replay: the
+  // re-serialization must be byte-identical (the artifact format is the
+  // determinism contract) and the parsed artifact must still reproduce.
+  const TortureFailure fail = find_weakreg_failure();
+  ASSERT_NE(fail.failure, FailureClass::kNone);
+  const ShrinkOutcome shrunk = shrink_failure(fail);
+  ASSERT_TRUE(shrunk.reproduced);
+
+  const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
+  EXPECT_EQ(repro.run.semantics, RegisterSemantics::kRegular);
+  const std::string text = serialize_repro(repro);
+  EXPECT_NE(text.find("semantics regular\n"), std::string::npos);
+  EXPECT_NE(text.find("stale-reads"), std::string::npos);
+
+  std::string err;
+  const auto parsed = parse_repro(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->run.semantics, RegisterSemantics::kRegular);
+  EXPECT_EQ(parsed->stales, repro.stales);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+
+  const ConsensusRunResult replayed = replay_repro(*parsed);
+  EXPECT_EQ(replayed.failure(), fail.failure);
+}
+
+TEST(WeakReplay, SummaryDigestIsJobsInvariantUnderWeakenedSemantics) {
+  // The independence witness extends to the weak-register axis: the full
+  // smoke-sized registry sweep folds to the same digest at every jobs
+  // level, per semantics.
+  for (const RegisterSemantics sem :
+       {RegisterSemantics::kRegular, RegisterSemantics::kSafe}) {
+    CampaignConfig config;
+    config.ns = {2, 3};
+    config.seeds_per_cell = 1;
+    config.max_steps = 2'000'000;
+    config.semantics = {sem};
+    config.jobs = 1;
+    const CampaignReport serial = run_campaign(config);
+    config.jobs = 4;
+    const CampaignReport parallel = run_campaign(config);
+    EXPECT_EQ(serial.summary_digest, parallel.summary_digest)
+        << to_string(sem);
+    EXPECT_EQ(serial.runs, parallel.runs) << to_string(sem);
+    EXPECT_EQ(serial.failures.size(), parallel.failures.size())
+        << to_string(sem);
+  }
+}
+
+TEST(Repro, UnrecognizedSemanticsValueIsRejectedWithDiagnostic) {
+  // A semantics name this build does not know must be refused, never
+  // guessed at: replaying under the wrong register model would report a
+  // verdict for a different run than the one recorded.
+  std::string text(kGoodRepro);
+  text.insert(text.find("failure"), "semantics acquire-release\n");
+  const std::string err = expect_rejected(text);
+  EXPECT_NE(err.find("unrecognized register semantics 'acquire-release'"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("atomic, regular, safe"), std::string::npos) << err;
+}
+
+TEST(Repro, MalformedWeakRegisterLinesAreRejected) {
+  struct Case {
+    const char* insert;  ///< line(s) inserted before `failure`
+    const char* diag;
+  };
+  const Case cases[] = {
+      {"semantics regular extra\n", "malformed semantics line"},
+      {"semantics regular\nsemantics safe\n", "duplicate semantics"},
+      {"semantics regular\nstale-reads 0 -1\n", "choices are >= 0"},
+      {"semantics regular\nstale-reads 0 x\n", "malformed stale-reads line"},
+      {"semantics regular\nstale-reads 1 0\nstale-reads 1\n",
+       "duplicate stale-reads"},
+      // Choices without a semantics line: the artifact lost its register
+      // model; replaying it atomically would not be the recorded run.
+      {"stale-reads 1 0\n", "stale-reads present but semantics is atomic"},
+  };
+  for (const Case& c : cases) {
+    std::string text(kGoodRepro);
+    text.insert(text.find("failure"), c.insert);
+    const std::string err = expect_rejected(text);
+    EXPECT_NE(err.find(c.diag), std::string::npos)
+        << "fixture=" << c.insert << " err=" << err;
+  }
+}
+
+TEST(Repro, AtomicArtifactsCarryNoWeakRegisterLines) {
+  // Byte-stability of historical artifacts: under atomic semantics the
+  // serializer must omit both weak-register lines entirely.
+  TortureFailure fail;
+  fail.run.protocol = "broken-racy";
+  fail.run.inputs = {0, 1};
+  fail.run.adversary = "round-robin";
+  fail.run.seed = 7;
+  fail.run.max_steps = 100;
+  fail.failure = FailureClass::kConsistency;
+  fail.schedule = {0, 1, 0, 1};
+  const Repro repro = make_repro(fail, fail.schedule, fail.crashes);
+  const std::string text = serialize_repro(repro);
+  EXPECT_EQ(text.find("semantics"), std::string::npos);
+  EXPECT_EQ(text.find("stale-reads"), std::string::npos);
+}
+
 TEST(Repro, GenerativeModeRoundTrips) {
   // kWorkerCrash artifacts have no recorded schedule — `mode generative`
   // flags that replay re-executes (adversary, seed) from scratch. The

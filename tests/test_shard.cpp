@@ -263,12 +263,25 @@ TEST(Wire, ShardFileRoundTripIsBitIdentical) {
     shard.records.emplace_back(i, std::move(rec));
   }
   const std::string text = serialize_shard_file(shard);
+  // Atomic-only campaigns never skipped safe cells, and their files must
+  // keep their historical bytes: no skipped-safe-cells line.
+  EXPECT_EQ(text.find("skipped-safe-cells"), std::string::npos);
   std::string err;
   const auto parsed = parse_shard_file(text, &err);
   ASSERT_TRUE(parsed.has_value()) << err;
   // Bit-identity: re-serializing the parsed shard reproduces the exact
   // bytes, so files survive any number of load/save cycles unchanged.
   EXPECT_EQ(serialize_shard_file(*parsed), text);
+
+  // With kSafe skips the optional header line appears, round-trips
+  // bit-identically, and carries the count through parse.
+  shard.skipped_safe_cells = 7;
+  const std::string weak_text = serialize_shard_file(shard);
+  EXPECT_NE(weak_text.find("skipped-safe-cells 7\n"), std::string::npos);
+  const auto weak_parsed = parse_shard_file(weak_text, &err);
+  ASSERT_TRUE(weak_parsed.has_value()) << err;
+  EXPECT_EQ(weak_parsed->skipped_safe_cells, 7u);
+  EXPECT_EQ(serialize_shard_file(*weak_parsed), weak_text);
 }
 
 TEST(Wire, CorruptShardFilesAreRefused) {
@@ -318,6 +331,7 @@ void expect_same_report(const fault::CampaignReport& a,
   EXPECT_EQ(a.deadline_aborts, b.deadline_aborts);
   EXPECT_EQ(a.budget_aborts, b.budget_aborts);
   EXPECT_EQ(a.skipped_crash_cells, b.skipped_crash_cells);
+  EXPECT_EQ(a.skipped_safe_cells, b.skipped_safe_cells);
   EXPECT_EQ(a.failures.size(), b.failures.size());
   EXPECT_EQ(a.interrupted, b.interrupted);
 }

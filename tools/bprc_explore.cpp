@@ -55,8 +55,10 @@ struct Options {
   int strip_k = 2;    // --claim41: token-game shrink constant K
   int moves = 3;      // --claim41: moves per process
   unsigned jobs = 1;  // leaf-grading workers; 0 = one per core
+  RegisterSemantics semantics = RegisterSemantics::kAtomic;
   std::uint64_t depth = 10;
   std::uint64_t coin_flips = 3;
+  std::uint64_t max_stale_reads = 3;
   std::uint64_t budget = 200'000;
   std::uint64_t seed = 1;
   std::uint64_t max_cache_mb = 0;
@@ -82,6 +84,16 @@ void usage(std::FILE* to) {
                "  --depth D          branch region: scheduling points\n"
                "                     explored with full branching\n"
                "  --coin-flips C     coin flips branched both ways\n"
+               "  --register-semantics NAME\n"
+               "                     explore under atomic|regular|safe\n"
+               "                     register semantics (default atomic).\n"
+               "                     Weakened reads become branch points:\n"
+               "                     every adversary-resolvable stale value\n"
+               "                     is enumerated like a coin flip\n"
+               "  --max-stale-reads K\n"
+               "                     stale reads branched exhaustively per\n"
+               "                     execution (default 3; later reads take\n"
+               "                     the atomic value)\n"
                "  --budget STEPS     per-execution step budget\n"
                "  --seed S           seed for post-budget coins (default 1)\n"
                "  --moves M          --claim41: moves per process\n"
@@ -139,6 +151,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--n") { if (!(v = need_value(i))) return false; opt.n = std::atoi(v); }
     else if (arg == "--depth") { if (!(v = need_value(i))) return false; opt.depth = std::strtoull(v, nullptr, 10); }
     else if (arg == "--coin-flips") { if (!(v = need_value(i))) return false; opt.coin_flips = std::strtoull(v, nullptr, 10); }
+    else if (arg == "--register-semantics") {
+      if (!(v = need_value(i))) return false;
+      if (!register_semantics_from_string(v, &opt.semantics)) {
+        std::fprintf(stderr,
+                     "bprc_explore: unknown register semantics '%s' "
+                     "(this build knows atomic, regular, safe)\n", v);
+        return false;
+      }
+    }
+    else if (arg == "--max-stale-reads") { if (!(v = need_value(i))) return false; opt.max_stale_reads = std::strtoull(v, nullptr, 10); }
     else if (arg == "--budget") { if (!(v = need_value(i))) return false; opt.budget = std::strtoull(v, nullptr, 10); }
     else if (arg == "--seed") { if (!(v = need_value(i))) return false; opt.seed = std::strtoull(v, nullptr, 10); }
     else if (arg == "--moves") { if (!(v = need_value(i))) return false; opt.moves = std::atoi(v); }
@@ -220,6 +242,8 @@ ExploreLimits build_limits(const Options& opt) {
   ExploreLimits limits;
   limits.branch_depth = opt.depth;
   limits.max_coin_flips = opt.coin_flips;
+  limits.semantics = opt.semantics;
+  limits.max_stale_reads = opt.max_stale_reads;
   limits.max_run_steps = opt.budget;
   limits.max_violations = opt.max_violations;
   limits.max_executions = opt.max_executions;
@@ -497,6 +521,9 @@ int run_explore(const Options& opt) {
 /// --smoke: the CI tier-1 mode. Exhaustively explores every registered
 /// protocol at n=2 over all four input vectors; real protocols must come
 /// out clean and seeded-broken protocols must be caught.
+/// broken-needs-atomic is the one semantics-sensitive entry: its bug only
+/// exists over weakened registers, so the smoke pins *both* directions —
+/// clean under atomic semantics, caught under regular ones.
 int run_smoke(const Options& base) {
   Options opt = base;
   opt.n = 2;
@@ -506,19 +533,42 @@ int run_smoke(const Options& base) {
   for (const std::string& name :
        fault::protocol_names(/*include_broken=*/true)) {
     const bool broken = fault::protocol_spec(name).broken;
+    Options cell = opt;
+    bool weakened_pass = true;
+    if (name == "broken-needs-atomic") {
+      cell.semantics = RegisterSemantics::kAtomic;
+      Options weak = opt;
+      weak.semantics = RegisterSemantics::kRegular;
+      const ProtocolOutcome weak_outcome =
+          explore_one_protocol(weak, name, &artifact_index);
+      weakened_pass = weak_outcome.violations > 0;
+      std::printf("%-16s regular %llu states, %llu executions, %llu "
+                  "violation(s) -> %s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(
+                      weak_outcome.merged.states_visited),
+                  static_cast<unsigned long long>(
+                      weak_outcome.merged.executions),
+                  static_cast<unsigned long long>(weak_outcome.violations),
+                  weakened_pass ? "ok" : "NOT CAUGHT");
+      if (opt.stats) print_stats(weak_outcome.merged);
+    }
     const ProtocolOutcome outcome =
-        explore_one_protocol(opt, name, &artifact_index);
+        explore_one_protocol(cell, name, &artifact_index);
     const bool caught = outcome.violations > 0;
-    const bool pass = broken ? caught : (!caught && outcome.complete);
+    // The semantics-sensitive protocol must be *clean* under this loop's
+    // atomic pass — its "broken" obligation was discharged above.
+    const bool expect_clean = !broken || name == "broken-needs-atomic";
+    const bool pass = expect_clean ? (!caught && outcome.complete) : caught;
     std::printf("%-16s %-7s %llu states, %llu executions, %llu "
                 "violation(s) -> %s\n",
                 name.c_str(), broken ? "broken" : "real",
                 static_cast<unsigned long long>(outcome.merged.states_visited),
                 static_cast<unsigned long long>(outcome.merged.executions),
                 static_cast<unsigned long long>(outcome.violations),
-                pass ? "ok" : (broken ? "NOT CAUGHT" : "FAILED"));
+                pass ? "ok" : (expect_clean ? "FAILED" : "NOT CAUGHT"));
     if (opt.stats) print_stats(outcome.merged);
-    if (!pass) rc = 1;
+    if (!pass || !weakened_pass) rc = 1;
   }
   // Quick Claim 4.1 pass rides along: every interleaving of 2 processes
   // making 4 moves each.

@@ -81,6 +81,7 @@ struct Options {
   std::string out_dir = ".";
   std::vector<std::string> protocols;
   std::vector<std::string> adversaries;
+  std::vector<RegisterSemantics> semantics;  // empty = atomic-only matrix
   std::vector<int> ns;
   std::uint64_t seeds = 0;     // 0 = mode default
   std::uint64_t seed0 = 1;
@@ -143,6 +144,13 @@ void usage(std::FILE* to) {
                "  --iters N          per-thread iterations for native cases\n"
                "  --protocol NAME    restrict to protocol (repeatable)\n"
                "  --adversary NAME   restrict to adversary (repeatable)\n"
+               "  --register-semantics NAME\n"
+               "                     sweep under atomic|regular|safe register\n"
+               "                     semantics (repeatable; default atomic).\n"
+               "                     Under regular/safe the adversary — not a\n"
+               "                     PRNG — resolves reads that race a write,\n"
+               "                     and the choices land in the artifact so\n"
+               "                     --replay is bit-identical\n"
                "  --n N              process count (repeatable)\n"
                "  --seeds K          seeds per sweep cell\n"
                "  --seed S           base seed (default 1)\n"
@@ -191,6 +199,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--replay") { if (!(v = need_value(i))) return false; opt.replay_path = v; }
     else if (arg == "--out") { if (!(v = need_value(i))) return false; opt.out_dir = v; }
     else if (arg == "--protocol") { if (!(v = need_value(i))) return false; opt.protocols.push_back(v); }
+    else if (arg == "--register-semantics") {
+      if (!(v = need_value(i))) return false;
+      RegisterSemantics s;
+      if (!register_semantics_from_string(v, &s)) {
+        std::fprintf(stderr,
+                     "bprc_torture: unknown register semantics '%s' "
+                     "(this build knows atomic, regular, safe)\n", v);
+        return false;
+      }
+      opt.semantics.push_back(s);
+    }
     else if (arg == "--adversary") { if (!(v = need_value(i))) return false; opt.adversaries.push_back(v); }
     else if (arg == "--n") { if (!(v = need_value(i))) return false; opt.ns.push_back(std::atoi(v)); }
     else if (arg == "--seeds") { if (!(v = need_value(i))) return false; opt.seeds = std::strtoull(v, nullptr, 10); }
@@ -301,6 +320,7 @@ CampaignConfig build_config(const Options& opt) {
     config.run_deadline = std::chrono::milliseconds(5000);
   }
   if (!opt.ns.empty()) config.ns = opt.ns;
+  if (!opt.semantics.empty()) config.semantics = opt.semantics;
   if (opt.seeds != 0) config.seeds_per_cell = opt.seeds;
   if (opt.budget != 0) config.max_steps = opt.budget;
   if (opt.deadline_ms >= 0) {
@@ -498,6 +518,12 @@ int finish_report(const Options& opt, CampaignReport& report, double secs) {
       static_cast<unsigned long long>(report.budget_aborts),
       static_cast<unsigned long long>(report.deadline_aborts),
       static_cast<unsigned long long>(report.skipped_crash_cells));
+  if (report.skipped_safe_cells != 0) {
+    std::printf(
+        "torture: %llu safe-semantics cell(s) skipped (protocol invariants "
+        "reject safe-register reads; docs/REGISTER_SEMANTICS.md)\n",
+        static_cast<unsigned long long>(report.skipped_safe_cells));
+  }
   // Independence witness: identical at every --jobs level, every
   // --workers count, and across --shard/--merge round trips (CI diffs
   // this line).
