@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "coin/coin_logic.hpp"
 #include "consensus/driver.hpp"
 #include "engine/executor.hpp"
 #include "engine/trial.hpp"
@@ -31,6 +32,7 @@
 #include "runtime/fiber.hpp"
 #include "shard/coordinator.hpp"
 #include "util/assert.hpp"
+#include "util/space_budget.hpp"
 #include "util/stats.hpp"
 
 namespace bprc::bench {
@@ -212,6 +214,86 @@ inline ExplorePerf measure_explore_throughput(unsigned jobs,
     out.states_per_sec = static_cast<double>(out.states) / secs;
     out.execs_per_sec = static_cast<double>(out.executions) / secs;
   }
+  return out;
+}
+
+/// One space-budget measurement of the space–time frontier (the
+/// `space_frontier_*` entries of BENCH_sim.json). Time side: mean
+/// simulated steps per run of a campaign cell pinned to the budget.
+/// Space side: the budgeted shared-register bits per process, a static
+/// function of (budget, n). The digest lets callers assert that every
+/// --jobs / --workers level measured the identical run set.
+struct FrontierPerf {
+  double mean_steps = 0.0;
+  double runs_per_sec = 0.0;
+  std::uint64_t runs = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Shared-register bits per process bought by `space` at size n: the
+/// coin-slot ring (slots cells of ±(m+1) counters) plus the n−1 outgoing
+/// edge counters (mod cycle). Only the budget-controlled fields are
+/// counted — the constant-size pref/hint fields are the same at every
+/// budget and would only blur the frontier's x-axis.
+inline double space_bits_per_process(const SpaceBudget& space, int n) {
+  const CoinParams coin = CoinParams::standard(n, space.b, space.m_scale);
+  auto bits_for = [](std::int64_t distinct) {
+    double bits = 0.0;
+    while ((std::int64_t{1} << static_cast<int>(bits)) < distinct) bits += 1.0;
+    return bits;
+  };
+  const double counter_bits = bits_for(2 * (coin.m + 1) + 1);
+  const double edge_bits = bits_for(space.cycle());
+  return static_cast<double>(space.slots) * counter_bits +
+         static_cast<double>(n - 1) * edge_bits;
+}
+
+/// Sweeps one (protocol, n) campaign cell of `trials` seeds under the
+/// random adversary at the given space budget. workers == 0 runs
+/// in-process at `jobs` threads (mean steps come from the run observer);
+/// workers >= 2 pushes the identical cell through the forked-worker
+/// coordinator, where per-run steps stay behind the wire and only the
+/// digest and throughput are meaningful.
+inline FrontierPerf measure_space_frontier(const std::string& protocol,
+                                           const SpaceBudget& space, int n,
+                                           std::uint64_t trials, unsigned jobs,
+                                           unsigned workers = 0) {
+  fault::CampaignConfig config;
+  config.protocols = {protocol};
+  config.ns = {n};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = trials;
+  config.crash_plans = false;
+  config.spaces = {space};
+  config.max_steps = kRunBudget;
+  config.run_deadline = std::chrono::milliseconds::zero();
+  config.jobs = jobs;
+  FrontierPerf out;
+  Throughput timer;
+  fault::CampaignReport report;
+  if (workers >= 2) {
+    shard::ShardServiceConfig service;
+    service.campaign = config;
+    service.workers = workers;
+    report = shard::run_sharded_campaign(service);
+  } else {
+    report = fault::run_campaign(
+        config, [&out](const fault::TortureRun&, const ConsensusRunResult& r) {
+          out.total_steps += r.total_steps;
+        });
+  }
+  const std::uint64_t ns = timer.elapsed_ns();
+  BPRC_REQUIRE(report.ok(), "frontier bench campaign failed");
+  out.runs = report.runs;
+  out.digest = report.summary_digest;
+  if (report.runs > 0) {
+    out.mean_steps = static_cast<double>(out.total_steps) /
+                     static_cast<double>(report.runs);
+  }
+  out.runs_per_sec = ns == 0 ? 0.0
+                             : static_cast<double>(report.runs) * 1e9 /
+                                   static_cast<double>(ns);
   return out;
 }
 

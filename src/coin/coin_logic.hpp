@@ -35,12 +35,17 @@ struct CoinParams {
   int b = 4;           ///< decision threshold multiple (barrier at ±b·n)
   std::int64_t m = 0;  ///< own-counter bound; overflow at |c_i| > m
 
-  /// Paper defaults: m = (f(b)·n)² with f(b) chosen so the overflow
-  /// probability is far below the coin's inherent 1/b disagreement
-  /// (Lemma 3.4 gives overflow ≲ C·b·n/√m = C/(4(b+1)) here).
-  static CoinParams standard(int n, int b = 4) {
+  /// Paper defaults: m = (f(b)·n)² with f(b) = m_scale·(b+1) chosen so
+  /// the overflow probability is far below the coin's inherent 1/b
+  /// disagreement (Lemma 3.4 gives overflow ≲ C·b·n/√m = C/(4(b+1)) at
+  /// the paper's m_scale = 4). Smaller m_scale shrinks the counters —
+  /// trading overflow noise (time) for register width (space); the
+  /// frontier bench sweeps exactly this knob.
+  static CoinParams standard(int n, int b = 4, int m_scale = 4) {
     BPRC_REQUIRE(n >= 1 && b >= 2, "coin needs n >= 1 and b >= 2");
-    const auto side = static_cast<std::int64_t>(4 * (b + 1)) * n;
+    BPRC_REQUIRE(m_scale >= 1, "coin needs m_scale >= 1");
+    const auto side =
+        static_cast<std::int64_t>(m_scale) * (b + 1) * n;
     return CoinParams{n, b, side * side};
   }
 };

@@ -9,12 +9,33 @@ namespace bprc {
 
 namespace {
 
+// Physical layout: the declared budget when it suffices, the paper's
+// layout otherwise. An under-provisioned budget never shrinks what the
+// instance allocates — it shrinks what the instance is ALLOWED to use,
+// and the demand latches below record every access beyond the allowance
+// so footprint() can report the violation instead of decoding junk.
+int physical_cycle(const BPRCParams& p) {
+  const int declared = p.space.cycle();
+  return declared > 2 * p.K ? declared : default_edge_cycle(p.K);
+}
+
+int physical_slots(const BPRCParams& p) {
+  return p.space.slots >= p.K + 1 ? p.space.slots : p.K + 1;
+}
+
 BPRCRecord initial_record(const BPRCParams& p) {
   BPRCRecord rec;
   rec.pref = kUnwritten;
-  rec.coins = CoinSlots(p.K);
+  rec.coins = CoinSlots::with_slot_count(physical_slots(p));
   rec.edges = initial_edge_counters(p.n);
   return rec;
+}
+
+void latch_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -22,6 +43,10 @@ BPRCRecord initial_record(const BPRCParams& p) {
 BPRCConsensus::BPRCConsensus(Runtime& rt, BPRCParams params, ArrowImpl arrows)
     : rt_(rt),
       params_(params),
+      cycle_phys_(physical_cycle(params)),
+      slots_phys_(physical_slots(params)),
+      cycle_deficient_(params.space.cycle() < 2 * params.K + 1),
+      slots_deficient_(params.space.slots < params.K + 1),
       mem_(rt, initial_record(params), arrows),
       decisions_(static_cast<std::size_t>(params.n), -1),
       decision_rounds_(static_cast<std::size_t>(params.n), 0),
@@ -30,6 +55,10 @@ BPRCConsensus::BPRCConsensus(Runtime& rt, BPRCParams params, ArrowImpl arrows)
                "params sized for a different process count");
   BPRC_REQUIRE(params_.K >= 2, "the protocol requires K >= 2");
   BPRC_REQUIRE(params_.coin.n == params_.n, "coin params out of sync");
+  BPRC_REQUIRE(params_.space.validate(), "invalid space budget");
+  BPRC_REQUIRE(params_.space.K == params_.K, "space budget K out of sync");
+  BPRC_REQUIRE(params_.space.b == params_.coin.b,
+               "space budget b out of sync with coin params");
 }
 
 void BPRCConsensus::scan_view(View& view) {
@@ -46,9 +75,18 @@ void BPRCConsensus::scan_view(View& view) {
               .edges[static_cast<std::size_t>(j)],
           view.recs[static_cast<std::size_t>(j)]
               .edges[static_cast<std::size_t>(i)],
-          params_.K);
+          params_.K, cycle_phys_);
       BPRC_REQUIRE(s.has_value(),
                    "scanned edge counters decode to no valid difference");
+      if (cycle_deficient_) {
+        // On the declared cycle c this difference would alias (decode to
+        // both +|s| and −|s|) once |s| ≥ c − K; the smallest cycle that
+        // decodes it unambiguously is 2|s|+1 cells.
+        const int mag = *s < 0 ? -*s : *s;
+        if (mag >= params_.space.cycle() - params_.K) {
+          latch_max(cycle_demand_, 2 * static_cast<std::int64_t>(mag) + 1);
+        }
+      }
       view.graph.set_signed_diff(i, j, *s);
     }
   }
@@ -96,6 +134,12 @@ CoinValue BPRCConsensus::next_coin_value(ProcId me, const BPRCRecord& mine,
     if (j == me) continue;
     const int s = view.graph.signed_diff(j, me);
     if (s >= 0 && s < params_.K) {
+      // Serving a reader that trails by s takes s+2 ring slots (next,
+      // current, and s−1 older ones still unrecycled); a budget with
+      // fewer would have withdrawn this contribution already.
+      if (slots_deficient_ && s + 2 > params_.space.slots) {
+        latch_max(slot_demand_, s + 2);
+      }
       counters[static_cast<std::size_t>(j)] =
           view.recs[static_cast<std::size_t>(j)].coins.read_for_trailing(s);
     }
@@ -108,8 +152,28 @@ void BPRCConsensus::do_inc(ProcId me, BPRCRecord& rec,
   // §5 `function inc`: advance the coin pointer (recycling and zeroing the
   // K+1-rounds-old slot) and apply the guarded edge-counter increments
   // computed from the scanned graph.
+  //
+  // Slot-demand accounting for under-declared rings. The snapshot
+  // registers of the simulator mean a trailing read can never observe a
+  // recycled slot (reader distance and ring come from the same record
+  // snapshot), so the deficit is charged where the protocol's contract
+  // needs the slack instead: advancing while process j sits within
+  // serving range leaves j trailing by w = diff+1, and serving a
+  // trailing-by-w reader that races this very advance takes w+2 retained
+  // rounds — the static w+1 plus the one-round slack that is exactly the
+  // paper's K+1st slot. A budget declaring fewer has, at this step,
+  // committed to recycling a round some racing reader may still need.
+  if (slots_deficient_) {
+    for (int j = 0; j < params_.n; ++j) {
+      if (j == me) continue;
+      const int w = graph.signed_diff(me, j) + 1;
+      if (w >= 1 && w < params_.K && w + 2 > params_.space.slots) {
+        latch_max(slot_demand_, w + 2);
+      }
+    }
+  }
   rec.coins.advance();
-  inc_counters(me, graph, rec.edges);
+  inc_counters(me, graph, rec.edges, cycle_phys_);
 }
 
 void BPRCConsensus::publish(ProcId me, const BPRCRecord& rec,
@@ -227,8 +291,25 @@ MemoryFootprint BPRCConsensus::footprint() const {
   MemoryFootprint f;
   f.bounded = true;
   f.max_round_stored = 0;  // no round number exists in shared memory
+  f.coin_locations =
+      static_cast<std::int64_t>(params_.n) * params_.space.slots;
+  // A latched deficit outranks the walk-counter report: the declared
+  // budget could not have served some access this execution performed,
+  // so the (bound, demand) pair becomes the footprint verdict and the
+  // driver grades it kBoundedMemory.
+  const std::int64_t cyc_demand = cycle_demand_.load(std::memory_order_relaxed);
+  if (cyc_demand > params_.space.cycle()) {
+    f.static_bound = params_.space.cycle();
+    f.max_counter = cyc_demand;
+    return f;
+  }
+  const std::int64_t sl_demand = slot_demand_.load(std::memory_order_relaxed);
+  if (sl_demand > params_.space.slots) {
+    f.static_bound = params_.space.slots;
+    f.max_counter = sl_demand;
+    return f;
+  }
   f.max_counter = max_counter_.load(std::memory_order_relaxed);
-  f.coin_locations = static_cast<std::int64_t>(params_.n) * (params_.K + 1);
   f.static_bound = params_.coin.m + 1;
   return f;
 }

@@ -48,16 +48,31 @@
 #include "strip/coin_slots.hpp"
 #include "strip/distance_graph.hpp"
 #include "strip/edge_counters.hpp"
+#include "util/space_budget.hpp"
 
 namespace bprc {
 
 struct BPRCParams {
   int n = 0;
-  int K = 2;        ///< the strip constant; the paper fixes K = 2
-  CoinParams coin;  ///< per-round shared-coin parameters (b, m)
+  int K = 2;          ///< the strip constant; the paper fixes K = 2
+  CoinParams coin;    ///< per-round shared-coin parameters (b, m)
+  SpaceBudget space;  ///< the declared budget (K and b mirrored above)
 
   static BPRCParams standard(int n, int K = 2, int b = 4) {
-    return BPRCParams{n, K, CoinParams::standard(n, b)};
+    SpaceBudget s;
+    s.K = K;
+    s.slots = K + 1;
+    s.b = b;
+    return BPRCParams{n, K, CoinParams::standard(n, b), s};
+  }
+
+  /// The SpaceBudget path: every constant drawn from the budget. An
+  /// under-provisioned budget is accepted — the protocol runs on a safe
+  /// physical layout and latches the declared deficit (see the demand
+  /// latch in bprc.cpp) so it surfaces as kBoundedMemory, not as junk.
+  static BPRCParams from_budget(int n, const SpaceBudget& s) {
+    BPRC_REQUIRE(s.validate(), "invalid space budget");
+    return BPRCParams{n, s.K, CoinParams::standard(n, s.b, s.m_scale), s};
   }
 };
 
@@ -120,6 +135,16 @@ class BPRCConsensus final : public ConsensusProtocol {
 
   Runtime& rt_;
   BPRCParams params_;
+  /// Physical layout the instance actually runs on. Equal to the
+  /// declared budget when it is sufficient; clamped up to the paper's
+  /// 3K-cycle / K+1-slot layout when the budget under-provisions, in
+  /// which case the demand latches below record every access the
+  /// declared budget could not have served (footprint() turns a latched
+  /// deficit into a kBoundedMemory verdict).
+  int cycle_phys_ = 0;
+  int slots_phys_ = 0;
+  bool cycle_deficient_ = false;  ///< declared cycle < 2K+1
+  bool slots_deficient_ = false;  ///< declared slots < K+1
   ScannableMemory<BPRCRecord> mem_;
   std::vector<std::int8_t> decisions_;        ///< per-process; -1 until decided
   std::vector<std::int64_t> decision_rounds_;
@@ -131,6 +156,12 @@ class BPRCConsensus final : public ConsensusProtocol {
   std::atomic<std::uint64_t> scans_{0};
   std::atomic<std::int64_t> max_round_{0};
   std::atomic<std::int64_t> max_counter_{0};
+  /// Demand latches for under-provisioned budgets: the largest edge-cycle
+  /// cell count / coin-slot count some access actually needed. Stay 0
+  /// while the declared budget covers every access. Mutable because
+  /// next_coin_value (logically const) latches slot demand.
+  mutable std::atomic<std::int64_t> cycle_demand_{0};
+  mutable std::atomic<std::int64_t> slot_demand_{0};
 };
 
 }  // namespace bprc

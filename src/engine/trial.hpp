@@ -26,6 +26,7 @@
 
 #include "consensus/driver.hpp"
 #include "runtime/adversary.hpp"
+#include "util/space_budget.hpp"
 
 namespace bprc::engine {
 
@@ -63,6 +64,11 @@ struct TrialSpec {
   /// order, fed to ScriptedAdversary::set_stale_script. Past the end every
   /// choice is the atomic answer.
   std::vector<int> forced_stales;
+
+  /// Space budget the factory was built at. Bookkeeping only — the
+  /// factory already captured it — carried so sweeps and artifact
+  /// writers can label the trial without re-deriving it.
+  SpaceBudget space;
 
   std::uint64_t seed = 0;  ///< process local-coin seed
   /// Adversary seed; defaults to `seed` (the torture convention). The

@@ -97,6 +97,15 @@ std::uint64_t consensus_target_fingerprint(
   for (const int input : config.inputs) {
     h = fnv_mix(h, static_cast<std::uint64_t>(input) + 1);
   }
+  // Non-default budgets change what the target IS; fold them (and only
+  // them, so historical frontier fingerprints keep their values).
+  if (!config.space.is_default()) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(config.space.K));
+    h = fnv_mix(h, static_cast<std::uint64_t>(config.space.cycle_mult));
+    h = fnv_mix(h, static_cast<std::uint64_t>(config.space.slots));
+    h = fnv_mix(h, static_cast<std::uint64_t>(config.space.b));
+    h = fnv_mix(h, static_cast<std::uint64_t>(config.space.m_scale));
+  }
   return h;
 }
 
@@ -104,8 +113,9 @@ ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config,
                                          const FrontierOptions* frontier) {
   BPRC_REQUIRE(!config.inputs.empty(), "explore_consensus needs inputs");
   const int n = static_cast<int>(config.inputs.size());
-  ConsensusTarget target(fault::make_protocol(config.protocol, n, config.seed),
-                         config.inputs);
+  ConsensusTarget target(
+      fault::make_protocol(config.protocol, n, config.seed, config.space),
+      config.inputs);
   std::optional<FrontierOptions> options;
   if (frontier != nullptr) {
     options = *frontier;
@@ -123,13 +133,15 @@ ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config,
 
 std::vector<ConsensusExploreReport> explore_consensus_all_inputs(
     const std::string& protocol, int n, std::uint64_t seed,
-    const ExploreLimits& limits, bool reuse_runtime) {
+    const ExploreLimits& limits, bool reuse_runtime,
+    const SpaceBudget& space) {
   BPRC_REQUIRE(n > 0 && n < 16, "input sweep is exponential in n");
   std::vector<ConsensusExploreReport> reports;
   for (unsigned bits = 0; bits < (1u << n); ++bits) {
     ConsensusExploreConfig config;
     config.protocol = protocol;
     config.seed = seed;
+    config.space = space;
     config.limits = limits;
     config.reuse_runtime = reuse_runtime;
     config.inputs.resize(static_cast<std::size_t>(n));
@@ -151,6 +163,7 @@ fault::Repro make_explore_repro(const ConsensusExploreConfig& config,
   repro.run.seed = config.seed;
   repro.run.max_steps = config.limits.max_run_steps;
   repro.run.semantics = config.limits.semantics;
+  repro.run.space = config.space;
   repro.failure = violation.failure;
   repro.schedule = violation.schedule;
   repro.flips = violation.flips;

@@ -12,6 +12,7 @@
 
 #include "explore/explorer.hpp"
 #include "fault/repro.hpp"
+#include "util/space_budget.hpp"
 
 namespace bprc::explore {
 
@@ -19,6 +20,10 @@ struct ConsensusExploreConfig {
   std::string protocol;     ///< name in the fault registry
   std::vector<int> inputs;  ///< size = n
   std::uint64_t seed = 1;   ///< process local coins beyond the flip budget
+  /// Space budget the protocol instance is built at. Non-default budgets
+  /// fold into the target fingerprint, so a `.bprc-frontier` checkpoint
+  /// refuses to resume under a different budget.
+  SpaceBudget space;
   ExploreLimits limits;
   bool reuse_runtime = true;
 };
@@ -48,7 +53,8 @@ ConsensusExploreReport explore_consensus(const ConsensusExploreConfig& config,
 /// (and thus its inputs, for the repro) is the report it sits in.
 std::vector<ConsensusExploreReport> explore_consensus_all_inputs(
     const std::string& protocol, int n, std::uint64_t seed,
-    const ExploreLimits& limits, bool reuse_runtime = true);
+    const ExploreLimits& limits, bool reuse_runtime = true,
+    const SpaceBudget& space = SpaceBudget{});
 
 /// Builds a replayable artifact from an explorer counterexample. The
 /// schedule replays through ScriptedAdversary, the forced flips through

@@ -29,7 +29,8 @@ engine::TrialSpec to_trial_spec(const TortureRun& run,
                                 bool record) {
   engine::TrialSpec spec;
   spec.protocol = run.protocol;
-  spec.factory = make_protocol(run.protocol, run.n(), run.seed);
+  spec.factory = make_protocol(run.protocol, run.n(), run.seed, run.space);
+  spec.space = run.space;
   spec.inputs = run.inputs;
   spec.adversary = run.adversary;
   spec.crash_plan = run.crash_plan;
@@ -113,11 +114,15 @@ std::uint64_t fnv_mix_string(std::uint64_t h, const std::string& s) {
 /// coordinator's workers are just index *ranges* over it.
 std::vector<TortureRun> enumerate_campaign_runs(
     const CampaignConfig& config, std::uint64_t* skipped_crash_cells,
-    std::uint64_t* skipped_safe_cells) {
+    std::uint64_t* skipped_safe_cells, std::uint64_t* skipped_space_cells) {
   std::uint64_t skipped_local = 0;
   std::uint64_t skipped_safe_local = 0;
+  std::uint64_t skipped_space_local = 0;
   if (skipped_crash_cells == nullptr) skipped_crash_cells = &skipped_local;
   if (skipped_safe_cells == nullptr) skipped_safe_cells = &skipped_safe_local;
+  if (skipped_space_cells == nullptr) {
+    skipped_space_cells = &skipped_space_local;
+  }
   const std::vector<std::string> protocols =
       config.protocols.empty() ? protocol_names() : config.protocols;
   const std::vector<std::string> adversaries = config.adversaries.empty()
@@ -127,18 +132,23 @@ std::vector<TortureRun> enumerate_campaign_runs(
       config.semantics.empty()
           ? std::vector<RegisterSemantics>{RegisterSemantics::kAtomic}
           : config.semantics;
+  const std::vector<SpaceBudget> space_axis =
+      config.spaces.empty() ? std::vector<SpaceBudget>{SpaceBudget{}}
+                            : config.spaces;
   Rng sweep_rng(config.seed0 ^ 0x70727475ULL);  // independent plan stream
   std::vector<TortureRun> runs;
 
-  // Outermost semantics loop: with the default single-entry (atomic) axis
-  // the enumeration — including the stateful crash-plan rng stream — is
-  // byte-identical to the historical matrix.
+  // Outermost space and semantics loops: with the default single-entry
+  // axes (paper budget, atomic) the enumeration — including the stateful
+  // crash-plan rng stream — is byte-identical to the historical matrix.
+  for (const SpaceBudget& space : space_axis) {
   for (const RegisterSemantics sem : semantics_axis) {
   for (const std::string& protocol : protocols) {
     const ProtocolSpec& spec = protocol_spec(protocol);
     const bool crash_tolerant = spec.crash_tolerant;
     const bool skip_safe =
         sem == RegisterSemantics::kSafe && !spec.tolerates_safe_reads;
+    const bool skip_space = !space.is_default() && !spec.space_sensitive;
     for (const int n : config.ns) {
       for (std::uint64_t k = 0; k < config.seeds_per_cell; ++k) {
         // One seed covers every (adversary × pattern × plan) combination
@@ -150,6 +160,13 @@ std::vector<TortureRun> enumerate_campaign_runs(
           for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
             for (const bool with_plan : {false, true}) {
               if (with_plan && !config.crash_plans) continue;
+              if (skip_space) {
+                // A space-insensitive protocol would execute the exact
+                // same instance at every budget; skip and count, like
+                // the safe/crash skips below.
+                ++*skipped_space_cells;
+                continue;
+              }
               if (skip_safe) {
                 // Safe-register junk would trip the protocol's own
                 // always-on invariants and abort the process; skip and
@@ -172,6 +189,7 @@ std::vector<TortureRun> enumerate_campaign_runs(
               run.seed = seed ^ (pi * 0x9E37ULL);
               run.max_steps = config.max_steps;
               run.semantics = sem;
+              run.space = space;
               if (with_plan) {
                 run.crash_plan = seeded_crash_plan(sweep_rng, n);
                 if (run.crash_plan.empty()) continue;  // n == 1
@@ -182,6 +200,7 @@ std::vector<TortureRun> enumerate_campaign_runs(
         }
       }
     }
+  }
   }
   }
   return runs;
@@ -299,6 +318,15 @@ std::uint64_t campaign_matrix_fingerprint(
     if (run.semantics != RegisterSemantics::kAtomic) {
       h = fnv_mix(h, static_cast<std::uint64_t>(run.semantics));
     }
+    // Same deal for the space lane: only non-default budgets fold, so
+    // every pre-existing fingerprint keeps its bytes.
+    if (!run.space.is_default()) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.space.K));
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.space.cycle_mult));
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.space.slots));
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.space.b));
+      h = fnv_mix(h, static_cast<std::uint64_t>(run.space.m_scale));
+    }
   }
   return h;
 }
@@ -307,7 +335,8 @@ CampaignReport run_campaign(const CampaignConfig& config,
                             const RunObserver& observer) {
   CampaignReport report;
   std::vector<TortureRun> runs = enumerate_campaign_runs(
-      config, &report.skipped_crash_cells, &report.skipped_safe_cells);
+      config, &report.skipped_crash_cells, &report.skipped_safe_cells,
+      &report.skipped_space_cells);
 
   std::size_t next = 0;
   const std::chrono::nanoseconds deadline = config.run_deadline;

@@ -31,6 +31,7 @@
 #include "consensus/driver.hpp"
 #include "engine/trial.hpp"
 #include "runtime/adversary.hpp"
+#include "util/space_budget.hpp"
 
 namespace bprc::fault {
 
@@ -48,6 +49,10 @@ struct TortureRun {
   /// the adversary's stale-read choices are recorded alongside the
   /// schedule so replays stay bit-identical.
   RegisterSemantics semantics = RegisterSemantics::kAtomic;
+  /// Space budget the protocol instance is built at (the space lane).
+  /// Default = the paper's constants, under which artifacts/digests keep
+  /// their historical bytes.
+  SpaceBudget space;
 
   int n() const { return static_cast<int>(inputs.size()); }
 };
@@ -77,6 +82,12 @@ struct CampaignConfig {
   /// default keeps the historical atomic-only matrix (and its digests)
   /// unchanged.
   std::vector<RegisterSemantics> semantics{RegisterSemantics::kAtomic};
+  /// Space-budget axis: the matrix is swept once per entry (outermost).
+  /// The default keeps the historical single-budget matrix (and its
+  /// digests) unchanged. Protocols whose layout ignores the budget
+  /// (ProtocolSpec::space_sensitive == false) are skipped-and-counted at
+  /// non-default entries rather than re-run under a misleading label.
+  std::vector<SpaceBudget> spaces{SpaceBudget{}};
   std::size_t max_failures = 8;  ///< stop the sweep once collected
   /// Worker threads for the sweep (engine::TrialExecutor). 1 = the exact
   /// serial path; 0 = hardware concurrency. Every report field, failure,
@@ -104,6 +115,11 @@ struct CampaignReport {
   /// its own invariants would abort the process instead of grading.
   /// Counted over the whole configured matrix, like crash skips.
   std::uint64_t skipped_safe_cells = 0;
+  /// Non-default-budget cells skipped because the protocol is registered
+  /// as not space-sensitive (ProtocolSpec::space_sensitive) — its layout
+  /// would not change, so rerunning it per budget would only mislabel
+  /// identical runs. Counted over the whole configured matrix.
+  std::uint64_t skipped_space_cells = 0;
   std::vector<TortureFailure> failures;
   /// FNV-1a chain over every delivered run's outcome_digest (see below),
   /// in delivery (= generation) order: the independence witness the CI
@@ -161,11 +177,12 @@ bool fold_outcome_record(CampaignReport& report, OutcomeRecord&& record,
 /// The campaign's deterministic trial matrix, in generation order. The
 /// index into this vector is the unit of sharding: shard i/k executes a
 /// contiguous index range and the coordinator re-folds records by index.
-/// `skipped_crash_cells` / `skipped_safe_cells` (nullable) receive the
-/// skip counts the report carries.
+/// `skipped_crash_cells` / `skipped_safe_cells` / `skipped_space_cells`
+/// (nullable) receive the skip counts the report carries.
 std::vector<TortureRun> enumerate_campaign_runs(
     const CampaignConfig& config, std::uint64_t* skipped_crash_cells,
-    std::uint64_t* skipped_safe_cells = nullptr);
+    std::uint64_t* skipped_safe_cells = nullptr,
+    std::uint64_t* skipped_space_cells = nullptr);
 
 /// FNV-1a fingerprint of the enumerated matrix (every run's parameters)
 /// plus the fold-relevant config. Shard files record it and the merge

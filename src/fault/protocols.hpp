@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "consensus/driver.hpp"
+#include "util/space_budget.hpp"
 
 namespace bprc::fault {
 
@@ -48,8 +49,20 @@ struct ProtocolSpec {
   /// precedent) instead of taking down the campaign.
   bool tolerates_safe_reads = true;
   /// Builds a factory for an n-process instance; `seed` feeds protocol
-  /// internals that want independent randomness (e.g. the strong coin).
-  std::function<ProtocolFactory(int n, std::uint64_t seed)> make;
+  /// internals that want independent randomness (e.g. the strong coin);
+  /// `space` is the campaign's SpaceBudget, which only space-sensitive
+  /// protocols consume (the others are built from their own constants
+  /// and skipped at non-default budgets — see the campaign's
+  /// skipped_space_cells counter).
+  std::function<ProtocolFactory(int n, std::uint64_t seed,
+                                const SpaceBudget& space)>
+      make;
+  /// Whether the protocol's layout actually responds to a SpaceBudget.
+  /// True for the paper's protocol (every knob) and Aspnes–Herlihy (the
+  /// barrier b; its counters are unbounded so m is moot). Campaigns
+  /// sweeping non-default budgets skip insensitive protocols rather
+  /// than re-run identical instances under a misleading label.
+  bool space_sensitive = false;
   /// The protocol can kill the OS process executing it (the shard
   /// supervisor's acceptance target, fault/broken.hpp). Excluded from
   /// every name listing — protocol_names() never returns it, even with
@@ -69,8 +82,13 @@ std::vector<std::string> protocol_names(bool include_broken = false);
 /// programmer input, not user input — the CLI validates before calling).
 const ProtocolSpec& protocol_spec(const std::string& name);
 
-/// Shorthand: factory for `name` at the given size and seed.
+/// Shorthand: factory for `name` at the given size and seed, at the
+/// paper's default space budget.
 ProtocolFactory make_protocol(const std::string& name, int n,
                               std::uint64_t seed);
+
+/// Same, at an explicit space budget.
+ProtocolFactory make_protocol(const std::string& name, int n,
+                              std::uint64_t seed, const SpaceBudget& space);
 
 }  // namespace bprc::fault

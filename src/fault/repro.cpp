@@ -36,6 +36,10 @@ std::string serialize_repro(const Repro& repro) {
   if (repro.run.semantics != RegisterSemantics::kAtomic) {
     out << "semantics " << to_string(repro.run.semantics) << "\n";
   }
+  // Same contract for the space lane: the default budget writes nothing.
+  if (!repro.run.space.is_default()) {
+    out << "space " << repro.run.space.to_string() << "\n";
+  }
   out << "failure " << to_string(repro.failure) << "\n";
   if (!repro.note.empty()) out << "note " << repro.note << "\n";
   if (repro.generative) out << "mode generative\n";
@@ -98,6 +102,7 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
   bool saw_seed = false, saw_max_steps = false, saw_failure = false;
   bool saw_schedule = false, saw_flips = false, saw_note = false;
   bool saw_mode = false, saw_semantics = false, saw_stales = false;
+  bool saw_space = false;
   const auto duplicate = [&](bool& flag, const char* what) {
     if (flag) {
       fail_with(err, std::string("duplicate ") + what + " section");
@@ -159,6 +164,20 @@ std::optional<Repro> parse_repro(const std::string& text, std::string* err) {
         fail_with(err, "malformed semantics line: " + line);
         return std::nullopt;
       }
+    } else if (key == "space") {
+      if (duplicate(saw_space, "space")) return std::nullopt;
+      std::string rest;
+      std::getline(fields, rest);
+      // Reject, never guess (the semantics precedent): a malformed
+      // budget silently replaced by the default would replay a different
+      // protocol layout and report its verdict as if it were recorded.
+      std::string why;
+      const auto parsed = SpaceBudget::parse(rest, &why);
+      if (!parsed.has_value()) {
+        fail_with(err, "malformed space line (" + why + "): " + line);
+        return std::nullopt;
+      }
+      repro.run.space = *parsed;
     } else if (key == "stale-reads") {
       if (duplicate(saw_stales, "stale-reads")) return std::nullopt;
       int c = 0;

@@ -15,6 +15,9 @@
 //   max-steps 2000000
 //   semantics regular            # optional: register semantics (default
 //                                # atomic; docs/REGISTER_SEMANTICS.md)
+//   space K=3 cycle=3 slots=4 b=8 mscale=4
+//                                # optional: space budget (default = the
+//                                # paper's; docs/SPACE_BUDGETS.md)
 //   failure consistency
 //   note decisions=0,1
 //   crash 37 0                   # zero or more: at_step victim

@@ -58,10 +58,12 @@ class Coordinator {
   Coordinator(const ShardServiceConfig& config,
               std::vector<fault::TortureRun>&& runs,
               std::uint64_t skipped_crash_cells,
-              std::uint64_t skipped_safe_cells)
+              std::uint64_t skipped_safe_cells,
+              std::uint64_t skipped_space_cells)
       : config_(config), runs_(std::move(runs)) {
     report_.skipped_crash_cells = skipped_crash_cells;
     report_.skipped_safe_cells = skipped_safe_cells;
+    report_.skipped_space_cells = skipped_space_cells;
     stall_timeout_ = config.stall_timeout;
     if (stall_timeout_.count() == 0 &&
         config.campaign.run_deadline.count() > 0) {
@@ -365,9 +367,11 @@ fault::CampaignReport run_sharded_campaign(const ShardServiceConfig& config) {
   BPRC_REQUIRE(config.max_respawns >= 0, "max_respawns must be >= 0");
   std::uint64_t skipped = 0;
   std::uint64_t skipped_safe = 0;
-  std::vector<fault::TortureRun> runs =
-      fault::enumerate_campaign_runs(config.campaign, &skipped, &skipped_safe);
-  Coordinator coordinator(config, std::move(runs), skipped, skipped_safe);
+  std::uint64_t skipped_space = 0;
+  std::vector<fault::TortureRun> runs = fault::enumerate_campaign_runs(
+      config.campaign, &skipped, &skipped_safe, &skipped_space);
+  Coordinator coordinator(config, std::move(runs), skipped, skipped_safe,
+                          skipped_space);
   return coordinator.run();
 }
 
@@ -377,14 +381,16 @@ ShardFile run_shard(const fault::CampaignConfig& campaign,
                "shard index out of range");
   std::uint64_t skipped = 0;
   std::uint64_t skipped_safe = 0;
-  std::vector<fault::TortureRun> runs =
-      fault::enumerate_campaign_runs(campaign, &skipped, &skipped_safe);
+  std::uint64_t skipped_space = 0;
+  std::vector<fault::TortureRun> runs = fault::enumerate_campaign_runs(
+      campaign, &skipped, &skipped_safe, &skipped_space);
   ShardFile shard;
   shard.fingerprint = fault::campaign_matrix_fingerprint(campaign, runs);
   shard.total_runs = runs.size();
   shard.max_failures = campaign.max_failures;
   shard.skipped_crash_cells = skipped;
   shard.skipped_safe_cells = skipped_safe;
+  shard.skipped_space_cells = skipped_space;
   const IndexRange range = shard_range(shard_index, shard_count, runs.size());
   shard.begin = range.begin;
   shard.end = range.end;
@@ -420,7 +426,8 @@ MergeResult merge_shard_files(const std::vector<ShardFile>& shards) {
         s->total_runs != first.total_runs ||
         s->max_failures != first.max_failures ||
         s->skipped_crash_cells != first.skipped_crash_cells ||
-        s->skipped_safe_cells != first.skipped_safe_cells) {
+        s->skipped_safe_cells != first.skipped_safe_cells ||
+        s->skipped_space_cells != first.skipped_space_cells) {
       result.error = "shards come from different campaigns";
       return result;
     }
@@ -443,6 +450,7 @@ MergeResult merge_shard_files(const std::vector<ShardFile>& shards) {
   }
   result.report.skipped_crash_cells = first.skipped_crash_cells;
   result.report.skipped_safe_cells = first.skipped_safe_cells;
+  result.report.skipped_space_cells = first.skipped_space_cells;
   bool stopped = false;
   for (const ShardFile* s : order) {
     if (stopped) break;

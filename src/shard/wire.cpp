@@ -101,6 +101,13 @@ void serialize_failure(std::ostringstream& out, const fault::TortureFailure& f) 
   // Unlike the user-facing repro format, the wire peers are always the
   // same binary, so the semantics line is unconditional (simpler parse).
   out << "semantics " << to_string(f.run.semantics) << '\n';
+  // The space line stays conditional even on the wire: failure blocks
+  // are embedded in `.bprc-shard` FILES, whose historical bytes the
+  // fixture tests pin, and the canonical budget text round-trips through
+  // SpaceBudget::parse either way.
+  if (!f.run.space.is_default()) {
+    out << "space " << f.run.space.to_string() << '\n';
+  }
   out << "fail-class " << to_string(f.failure) << '\n';
   out << "fail-reason " << to_string(f.reason) << '\n';
   out << "schedule";
@@ -155,6 +162,13 @@ bool parse_failure(LineParser& p, fault::TortureFailure* f, std::string* err) {
       std::string name;
       bad = !(fields >> name) || trailing_garbage(fields) ||
             !register_semantics_from_string(name, &f->run.semantics);
+    } else if (key == "space") {
+      std::string rest;
+      std::getline(fields, rest);
+      std::string why;
+      const auto parsed = SpaceBudget::parse(rest, &why);
+      bad = !parsed.has_value();
+      if (!bad) f->run.space = *parsed;
     } else if (key == "stales") {
       int x = 0;
       while (fields >> x) f->stales.push_back(x);
@@ -324,6 +338,11 @@ std::string serialize_shard_file(const ShardFile& shard) {
     // atomic-only shard files keep their historical bytes.
     out << "skipped-safe-cells " << shard.skipped_safe_cells << '\n';
   }
+  if (shard.skipped_space_cells != 0) {
+    // Optional line (multi-budget campaigns only): same byte-stability
+    // contract as skipped-safe-cells.
+    out << "skipped-space-cells " << shard.skipped_space_cells << '\n';
+  }
   out << "range " << shard.begin << ' ' << shard.end << '\n';
   for (const IndexedRecord& rec : shard.records) {
     out << serialize_record(rec.first, rec.second);
@@ -362,6 +381,15 @@ std::optional<ShardFile> parse_shard_file(const std::string& text,
       std::istringstream fields(p.line);
       std::string k;
       ok = static_cast<bool>(fields >> k >> shard.skipped_safe_cells) &&
+           !trailing_garbage(fields);
+      if (ok) ok = p.next_line();
+    }
+    // Optional space-lane line, in the same slot (written only by
+    // campaigns that skipped space-insensitive cells).
+    if (ok && p.line.rfind("skipped-space-cells", 0) == 0) {
+      std::istringstream fields(p.line);
+      std::string k;
+      ok = static_cast<bool>(fields >> k >> shard.skipped_space_cells) &&
            !trailing_garbage(fields);
       if (ok) ok = p.next_line();
     }

@@ -88,6 +88,11 @@ struct ShardFile {
   /// every file written before the weak-register lane existed — keep
   /// their historical bytes.
   std::uint64_t skipped_safe_cells = 0;
+  /// Whole-matrix space-insensitivity skip count (campaign.hpp). Same
+  /// contract: serialized only when nonzero, so single-budget campaigns
+  /// — every file written before the space lane existed — keep their
+  /// historical bytes.
+  std::uint64_t skipped_space_cells = 0;
   std::size_t begin = 0;           ///< executed index range [begin, end)
   std::size_t end = 0;
   std::vector<IndexedRecord> records;  ///< ascending, covering [begin, end)

@@ -37,6 +37,18 @@ struct CoinSlots {
     BPRC_REQUIRE(K >= 1, "coin slots need K >= 1");
   }
 
+  /// A ring with an explicit slot count — the SpaceBudget path. Extra
+  /// slots beyond K+1 just keep withdrawn contributions around longer
+  /// (they are zeroed on reuse, never read); fewer than K+1 cannot serve
+  /// every trailing distance, which consensus/bprc.cpp surfaces as a
+  /// bounded-memory demand latch rather than by shrinking the ring.
+  static CoinSlots with_slot_count(int nslots) {
+    BPRC_REQUIRE(nslots >= 2, "coin slots need at least 2 slots");
+    CoinSlots cs;
+    cs.slots.assign(static_cast<std::size_t>(nslots), 0);
+    return cs;
+  }
+
   int K() const { return static_cast<int>(slots.size()) - 1; }
 
   /// §5 `next(current_coin)`.

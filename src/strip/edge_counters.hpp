@@ -36,17 +36,26 @@ namespace bprc {
 /// Entry self is unused and stays 0.
 using EdgeCounters = std::vector<std::uint8_t>;
 
+/// The cycle the paper pays for at strip constant K (see the header
+/// comment for why it is 3K and not the information-theoretic 2K+1).
+/// Callers running a swept SpaceBudget pass their own cycle instead.
+inline int default_edge_cycle(int K) { return 3 * K; }
+
 /// The all-zero initial row (everyone tied).
 inline EdgeCounters initial_edge_counters(int n) {
   return EdgeCounters(static_cast<std::size_t>(n), 0);
 }
 
-/// Decodes the capped signed difference r_i − r_j from the two counters.
-/// Returns nullopt if the pair is not a valid encoding (which honest
-/// executions never produce; the consensus protocol asserts on it).
+/// Decodes the capped signed difference r_i − r_j from the two counters
+/// on a cycle of the given size. Any cycle ≥ 2K+1 decodes unambiguously
+/// (the BPRC_REQUIRE makes smaller, aliasing cycles unrepresentable —
+/// under-provisioned budgets run on a safe physical cycle and latch the
+/// declared deficit instead, consensus/bprc.cpp). Returns nullopt if the
+/// pair is not a valid encoding (which honest executions never produce;
+/// the consensus protocol asserts on it).
 inline std::optional<int> decode_edge(std::uint8_t e_ij, std::uint8_t e_ji,
-                                      int K) {
-  const int cycle = 3 * K;
+                                      int K, int cycle) {
+  BPRC_REQUIRE(cycle > 2 * K, "edge cycle must exceed 2K to decode");
   BPRC_REQUIRE(e_ij < cycle && e_ji < cycle, "edge counter out of cycle");
   const int d = (static_cast<int>(e_ij) - static_cast<int>(e_ji) + cycle) %
                 cycle;
@@ -55,10 +64,15 @@ inline std::optional<int> decode_edge(std::uint8_t e_ij, std::uint8_t e_ji,
   return std::nullopt;
 }
 
+inline std::optional<int> decode_edge(std::uint8_t e_ij, std::uint8_t e_ji,
+                                      int K) {
+  return decode_edge(e_ij, e_ji, K, default_edge_cycle(K));
+}
+
 /// Builds the distance graph from a snapshot view of every process's edge
 /// counters (§4.3 `make_graph`). `rows[i][j]` = e_i[j].
-inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows,
-                                int K) {
+inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows, int K,
+                                int cycle) {
   const int n = static_cast<int>(rows.size());
   DistanceGraph g(n, K);
   for (int i = 0; i < n; ++i) {
@@ -68,7 +82,8 @@ inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows,
     for (int j = i + 1; j < n; ++j) {
       const auto s = decode_edge(
           rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
-          rows[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], K);
+          rows[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], K,
+          cycle);
       BPRC_REQUIRE(s.has_value(),
                    "scanned edge counters decode to no valid difference");
       g.set_signed_diff(i, j, *s);
@@ -77,15 +92,21 @@ inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows,
   return g;
 }
 
+inline DistanceGraph make_graph(const std::vector<EdgeCounters>& rows,
+                                int K) {
+  return make_graph(rows, K, default_edge_cycle(K));
+}
+
 /// §4.3 `inc_graph`, the counter-level transition for process i moving up
 /// one round: for each j, increment e_i[j] (mod 3K) iff
 ///   * i leads j by < K (extend the lead), or
 ///   * j leads i along a tight edge (close the gap).
 /// `g` must be the graph decoded from the same snapshot as `row` (process
 /// i's own row, which only i writes, so its local copy is current).
-inline void inc_counters(int i, const DistanceGraph& g, EdgeCounters& row) {
+inline void inc_counters(int i, const DistanceGraph& g, EdgeCounters& row,
+                         int cycle) {
   const int K = g.K();
-  const int cycle = 3 * K;
+  BPRC_REQUIRE(cycle > 2 * K, "edge cycle must exceed 2K to increment");
   const int n = g.nprocs();
   const std::vector<int> d = g.all_dists();  // one FW for all tight checks
   for (int j = 0; j < n; ++j) {
@@ -101,6 +122,10 @@ inline void inc_counters(int i, const DistanceGraph& g, EdgeCounters& row) {
       e = static_cast<std::uint8_t>((e + 1) % cycle);
     }
   }
+}
+
+inline void inc_counters(int i, const DistanceGraph& g, EdgeCounters& row) {
+  inc_counters(i, g, row, default_edge_cycle(g.K()));
 }
 
 }  // namespace bprc

@@ -1,0 +1,158 @@
+// The space budget: every bounded-domain constant of the paper's
+// protocol, gathered into one sweepable value type.
+//
+// The paper proves its polynomial expected time at one point in space:
+// strip constant K = 2, edge counters on a cycle of 3K, K+1 coin slots
+// per process, coin barrier b = 4, own-counter bound m = (4(b+1)n)².
+// Those constants were baked into the defaults of coin_logic.hpp,
+// edge_counters.hpp, coin_slots.hpp and BPRCParams::standard; this type
+// lifts them into a single record so campaigns, the explorer, the
+// benches and the CLIs can sweep space like they already sweep --jobs
+// and --register-semantics (docs/SPACE_BUDGETS.md).
+//
+// Canonical text form (the `space` line of .bprc-repro artifacts and the
+// `--space` CLI flag, which also accepts commas as separators):
+//
+//     K=2 cycle=3 slots=3 b=4 mscale=4
+//
+// `cycle` is the cycle MULTIPLIER (edge cycle = cycle·K), `mscale` the
+// coin side factor (m = (mscale·(b+1)·n)²). Omitted keys keep their
+// paper defaults; giving K without slots re-derives slots = K+1. The
+// default budget serializes to nothing at all — artifacts and shard
+// files written before this type existed keep their bytes.
+//
+// Deliberately under-provisioned budgets (cycle 2K, or one coin slot
+// short) are VALID values: the registry's bprc-underprov-* variants
+// declare them to prove the harness catches the resulting
+// kBoundedMemory violations (see consensus/bprc.cpp's demand latch).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace bprc {
+
+struct SpaceBudget {
+  int K = 2;           ///< strip constant (round-difference cap)
+  int cycle_mult = 3;  ///< edge-counter cycle = cycle_mult · K
+  int slots = 3;       ///< coin slots per process (paper: K + 1)
+  int b = 4;           ///< coin barrier multiple (barrier at ±b·n)
+  int m_scale = 4;     ///< coin side factor: m = (m_scale·(b+1)·n)²
+
+  /// The edge-counter cycle size this budget pays for.
+  int cycle() const { return cycle_mult * K; }
+
+  /// The slot count the paper's withdrawal argument needs for this K.
+  int full_slots() const { return K + 1; }
+
+  friend bool operator==(const SpaceBudget&, const SpaceBudget&) = default;
+
+  /// True for the paper's point — the budget that serializes to nothing.
+  bool is_default() const { return *this == SpaceBudget{}; }
+
+  /// Structural sanity (representable, protocol-constructible). Returns
+  /// false and fills `why` (if non-null) on violation. Under-provisioned
+  /// budgets are valid; see the header comment.
+  bool validate(std::string* why = nullptr) const {
+    const auto fail = [&](const char* msg) {
+      if (why != nullptr) *why = msg;
+      return false;
+    };
+    if (K < 2) return fail("space budget needs K >= 2");
+    if (cycle_mult < 2) return fail("space budget needs cycle >= 2");
+    if (cycle() > 255) return fail("edge cycle must fit a uint8_t cell");
+    if (slots < 2) return fail("space budget needs slots >= 2");
+    if (slots > 255) return fail("space budget needs slots <= 255");
+    if (b < 2) return fail("space budget needs b >= 2");
+    if (m_scale < 1) return fail("space budget needs mscale >= 1");
+    return true;
+  }
+
+  /// Canonical form; parse(to_string()) round-trips exactly.
+  std::string to_string() const {
+    return "K=" + std::to_string(K) + " cycle=" + std::to_string(cycle_mult) +
+           " slots=" + std::to_string(slots) + " b=" + std::to_string(b) +
+           " mscale=" + std::to_string(m_scale);
+  }
+
+  /// Parses `key=value` tokens separated by spaces and/or commas (the
+  /// CLI accepts `K=3,b=8`; repro lines use the canonical space form).
+  /// Unknown keys, duplicate keys, malformed values and budgets that
+  /// fail validate() all return nullopt with a diagnostic in `err`.
+  static std::optional<SpaceBudget> parse(const std::string& text,
+                                          std::string* err) {
+    const auto fail = [&](const std::string& msg) {
+      if (err != nullptr) *err = msg;
+      return std::nullopt;
+    };
+    SpaceBudget out;
+    bool saw_K = false, saw_cycle = false, saw_slots = false, saw_b = false,
+         saw_mscale = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == ',' ||
+                                   text[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos >= text.size()) break;
+      std::size_t end = pos;
+      while (end < text.size() && text[end] != ' ' && text[end] != ',' &&
+             text[end] != '\t') {
+        ++end;
+      }
+      const std::string token = text.substr(pos, end - pos);
+      pos = end;
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        return fail("space budget token is not key=value: '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      int parsed = 0;
+      std::size_t used = 0;
+      try {
+        parsed = std::stoi(value, &used);
+      } catch (...) {
+        return fail("space budget value for '" + key + "' is not a number: '" +
+                    value + "'");
+      }
+      if (used != value.size()) {
+        return fail("space budget value for '" + key +
+                    "' has trailing junk: '" + value + "'");
+      }
+      const auto set = [&](int* field, bool* seen) -> bool {
+        if (*seen) return false;
+        *seen = true;
+        *field = parsed;
+        return true;
+      };
+      bool ok = true;
+      if (key == "K") {
+        ok = set(&out.K, &saw_K);
+      } else if (key == "cycle") {
+        ok = set(&out.cycle_mult, &saw_cycle);
+      } else if (key == "slots") {
+        ok = set(&out.slots, &saw_slots);
+      } else if (key == "b") {
+        ok = set(&out.b, &saw_b);
+      } else if (key == "mscale") {
+        ok = set(&out.m_scale, &saw_mscale);
+      } else {
+        return fail("space budget has unknown key '" + key + "'");
+      }
+      if (!ok) return fail("space budget repeats key '" + key + "'");
+    }
+    // K without slots re-derives the paper's K+1 — the usual intent of
+    // `--space K=3` is "the paper's layout at a bigger K", not "K=3 with
+    // K=2's slot count".
+    if (saw_K && !saw_slots) out.slots = out.K + 1;
+    std::string why;
+    if (!out.validate(&why)) return fail(why);
+    return out;
+  }
+};
+
+}  // namespace bprc

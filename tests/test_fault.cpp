@@ -25,13 +25,28 @@ TEST(ProtocolRegistry, NamesAndBrokenFlag) {
   for (const auto& name : real) EXPECT_FALSE(protocol_spec(name).broken);
 
   const auto all = protocol_names(/*include_broken=*/true);
-  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(all.size(), 9u);
   EXPECT_TRUE(protocol_spec("broken-racy").broken);
   EXPECT_TRUE(protocol_spec("broken-unbounded").broken);
   EXPECT_TRUE(protocol_spec("broken-needs-atomic").broken);
+  EXPECT_TRUE(protocol_spec("bprc-underprov-cycle").broken);
+  EXPECT_TRUE(protocol_spec("bprc-underprov-slots").broken);
   EXPECT_FALSE(protocol_spec("broken-needs-atomic").crash_tolerant);
   EXPECT_FALSE(protocol_spec("local-coin").crash_tolerant);
   EXPECT_TRUE(protocol_spec("bprc").crash_tolerant);
+}
+
+TEST(ProtocolRegistry, SpaceSensitivityTraits) {
+  // The campaign's space axis runs a protocol at non-default budgets only
+  // when its layout actually consumes them (docs/SPACE_BUDGETS.md).
+  for (const char* name : {"bprc", "aspnes-herlihy", "bprc-underprov-cycle",
+                           "bprc-underprov-slots"}) {
+    EXPECT_TRUE(protocol_spec(name).space_sensitive) << name;
+  }
+  for (const char* name :
+       {"local-coin", "strong-coin", "broken-racy", "broken-unbounded"}) {
+    EXPECT_FALSE(protocol_spec(name).space_sensitive) << name;
+  }
 }
 
 TEST(Repro, ParseRejectsMalformedInput) {
@@ -126,6 +141,84 @@ TEST(Campaign, SkipsSafeCellsForIntolerantProtocols) {
   const CampaignReport regular = run_campaign(config);
   EXPECT_GT(regular.runs, 0u);
   EXPECT_EQ(regular.skipped_safe_cells, 0u);
+}
+
+TEST(Campaign, SkipsSpaceCellsForBudgetIgnoringProtocols) {
+  SpaceBudget big;
+  big.b = 8;
+  CampaignConfig config;
+  config.protocols = {"local-coin"};
+  config.ns = {2};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 1;
+  config.max_steps = 2'000'000;
+  config.crash_plans = false;
+  config.spaces = {big};
+  const CampaignReport report = run_campaign(config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs, 0u);
+  EXPECT_GT(report.skipped_space_cells, 0u);
+
+  // Adding the default budget back runs the protocol once — only the
+  // non-default cell is skipped-and-counted.
+  config.spaces = {SpaceBudget{}, big};
+  const CampaignReport mixed = run_campaign(config);
+  EXPECT_GT(mixed.runs, 0u);
+  EXPECT_GT(mixed.skipped_space_cells, 0u);
+
+  // A budget-consuming protocol runs every budget and skips nothing.
+  config.protocols = {"bprc"};
+  const CampaignReport sensitive = run_campaign(config);
+  EXPECT_GT(sensitive.runs, mixed.runs);
+  EXPECT_EQ(sensitive.skipped_space_cells, 0u);
+}
+
+TEST(Campaign, UnderProvisionedVariantsAreCaughtAsBoundedMemory) {
+  // The space lane's self-certification (docs/SPACE_BUDGETS.md): the
+  // faithful protocol run at a deliberately short budget must surface
+  // kBoundedMemory under plain random campaigns — no special adversary,
+  // no exhaustive search.
+  for (const char* name : {"bprc-underprov-cycle", "bprc-underprov-slots"}) {
+    CampaignConfig config;
+    config.protocols = {name};
+    config.ns = {2, 3};
+    config.adversaries = {"random"};
+    config.seeds_per_cell = 8;
+    config.max_steps = 2'000'000;
+    config.crash_plans = false;
+    config.max_failures = 64;
+    const CampaignReport report = run_campaign(config);
+    ASSERT_FALSE(report.failures.empty()) << name;
+    for (const TortureFailure& fail : report.failures) {
+      EXPECT_EQ(fail.failure, FailureClass::kBoundedMemory) << name;
+    }
+  }
+}
+
+TEST(Campaign, SummaryDigestIsJobsInvariantAlongTheSpaceAxis) {
+  // The independence witness extends to the space axis: a sweep spanning
+  // the paper budget and a non-default one folds to the same digest at
+  // every jobs level, skips counted identically.
+  SpaceBudget tall;
+  tall.K = 3;  // parse("K=3") shape: slots re-derived to K+1
+  tall.slots = 4;
+  CampaignConfig config;
+  config.protocols = {"bprc", "local-coin"};
+  config.ns = {2};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 2;
+  config.max_steps = 2'000'000;
+  config.crash_plans = false;
+  config.spaces = {SpaceBudget{}, tall};
+  config.jobs = 1;
+  const CampaignReport serial = run_campaign(config);
+  config.jobs = 4;
+  const CampaignReport parallel = run_campaign(config);
+  EXPECT_EQ(serial.summary_digest, parallel.summary_digest);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_GT(serial.runs, 0u);
+  EXPECT_GT(serial.skipped_space_cells, 0u);
+  EXPECT_EQ(serial.skipped_space_cells, parallel.skipped_space_cells);
 }
 
 TEST(Campaign, WeakenedBudgetStopIsAnAbortNotAFailure) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -566,6 +568,158 @@ TEST(Repro, AtomicArtifactsCarryNoWeakRegisterLines) {
   const std::string text = serialize_repro(repro);
   EXPECT_EQ(text.find("semantics"), std::string::npos);
   EXPECT_EQ(text.find("stale-reads"), std::string::npos);
+}
+
+// ---- space budgets --------------------------------------------------------
+//
+// The space lane (docs/SPACE_BUDGETS.md): a non-default SpaceBudget is
+// part of the run's identity — the artifact must carry it, replay must
+// rebuild the protocol at it, and the default budget must keep writing
+// nothing so historical artifacts keep their bytes.
+
+/// Finds a kBoundedMemory failure by running the *faithful* protocol at a
+/// deliberately short budget through the campaign's space axis — the full
+/// tentpole path: matrix -> demand latch -> failure record.
+TortureFailure find_space_failure() {
+  SpaceBudget tight;
+  tight.cycle_mult = 2;  // 2K-cell cycle: |diff| = K aliases with −K
+  CampaignConfig config;
+  config.protocols = {"bprc"};
+  config.ns = {2, 3};
+  config.adversaries = {"random"};
+  config.seeds_per_cell = 8;
+  config.max_steps = 2'000'000;
+  config.crash_plans = false;
+  config.spaces = {tight};
+  config.max_failures = 1;
+  CampaignReport report = run_campaign(config);
+  EXPECT_FALSE(report.failures.empty())
+      << "campaign failed to catch the under-provisioned budget";
+  return report.failures.empty() ? TortureFailure{}
+                                 : std::move(report.failures.front());
+}
+
+TEST(SpaceReplay, UnderProvisionedBudgetIsCaughtAsBoundedMemory) {
+  const TortureFailure fail = find_space_failure();
+  ASSERT_EQ(fail.failure, FailureClass::kBoundedMemory);
+  EXPECT_FALSE(fail.run.space.is_default());
+
+  // Scripted replay of the recorded run reproduces the violation...
+  const ConsensusRunResult replayed =
+      replay_run(fail.run, fail.schedule, fail.crashes);
+  EXPECT_EQ(replayed.failure(), FailureClass::kBoundedMemory);
+
+  // ...and the budget is load-bearing: the same script at the paper's
+  // budget must be clean, or the finding wasn't about space at all.
+  TortureRun healed = fail.run;
+  healed.space = SpaceBudget{};
+  const ConsensusRunResult at_paper =
+      replay_run(healed, fail.schedule, fail.crashes);
+  EXPECT_NE(at_paper.failure(), FailureClass::kBoundedMemory);
+}
+
+TEST(SpaceReplay, ShrunkSpaceArtifactRoundTripsByteIdentically) {
+  // Catch -> ddmin -> serialize -> parse -> re-serialize -> replay, along
+  // the space axis: the artifact must carry the budget line and keep
+  // reproducing kBoundedMemory after the round trip.
+  const TortureFailure fail = find_space_failure();
+  ASSERT_EQ(fail.failure, FailureClass::kBoundedMemory);
+  const ShrinkOutcome shrunk = shrink_failure(fail);
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_LE(shrunk.schedule.size(), shrunk.original_len);
+
+  const Repro repro = make_repro(fail, shrunk.schedule, shrunk.crashes);
+  const std::string text = serialize_repro(repro);
+  EXPECT_NE(text.find("space " + fail.run.space.to_string() + "\n"),
+            std::string::npos);
+
+  std::string err;
+  const auto parsed = parse_repro(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->run.space, fail.run.space);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+
+  const ConsensusRunResult replayed = replay_repro(*parsed);
+  EXPECT_EQ(replayed.failure(), FailureClass::kBoundedMemory);
+}
+
+TEST(Repro, DefaultBudgetWritesNoSpaceLine) {
+  // Byte-stability of historical artifacts: at the paper's budget the
+  // serializer must omit the space line entirely.
+  TortureFailure fail;
+  fail.run.protocol = "broken-racy";
+  fail.run.inputs = {0, 1};
+  fail.run.adversary = "round-robin";
+  fail.run.seed = 7;
+  fail.run.max_steps = 100;
+  fail.failure = FailureClass::kConsistency;
+  fail.schedule = {0, 1, 0, 1};
+  const Repro repro = make_repro(fail, fail.schedule, fail.crashes);
+  EXPECT_EQ(serialize_repro(repro).find("space"), std::string::npos);
+}
+
+TEST(Repro, SpaceLineRoundTripsOnHandWrittenArtifact) {
+  std::string text(kGoodRepro);
+  text.insert(text.find("failure"), "space K=3 cycle=4 slots=4 b=8 mscale=2\n");
+  std::string err;
+  const auto parsed = parse_repro(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->run.space.K, 3);
+  EXPECT_EQ(parsed->run.space.cycle_mult, 4);
+  EXPECT_EQ(parsed->run.space.slots, 4);
+  EXPECT_EQ(parsed->run.space.b, 8);
+  EXPECT_EQ(parsed->run.space.m_scale, 2);
+  EXPECT_EQ(serialize_repro(*parsed), text);
+}
+
+TEST(Repro, MalformedSpaceLinesAreRejected) {
+  // Reject, never guess: a malformed budget silently replaced by the
+  // default would replay a different protocol layout.
+  struct Case {
+    const char* insert;
+    const char* diag;
+  };
+  const Case cases[] = {
+      {"space K=3\nspace K=4\n", "duplicate space"},
+      {"space banana\n", "malformed space line"},
+      {"space K=\n", "malformed space line"},
+      {"space K=1\n", "malformed space line"},       // fails validate()
+      {"space K=3 K=4\n", "malformed space line"},   // duplicate key
+      {"space flavor=3\n", "malformed space line"},  // unknown key
+  };
+  for (const Case& c : cases) {
+    std::string text(kGoodRepro);
+    text.insert(text.find("failure"), c.insert);
+    const std::string err = expect_rejected(text);
+    EXPECT_NE(err.find(c.diag), std::string::npos)
+        << "fixture=" << c.insert << " err=" << err;
+  }
+}
+
+TEST(Repro, SavedArtifactsReserializeByteIdentically) {
+  // The committed fixtures predate the space lane (and the weak-register
+  // lane before it): parsing and re-serializing them must reproduce their
+  // bytes exactly, proving the new optional lines cost old artifacts
+  // nothing.
+  const std::string dir = BPRC_TEST_DATA_DIR;
+  const char* fixtures[] = {
+      "broken-racy-round-robin-n2-0.bprc-repro",
+      "broken-racy-crash-storm-n3-0.bprc-repro",
+      "broken-racy-crash-storm-n3-1.bprc-repro",
+      "broken-racy-crash-n3.bprc-repro",
+  };
+  for (const char* name : fixtures) {
+    std::ifstream in(dir + "/" + name, std::ios::binary);
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string original = buf.str();
+    std::string err;
+    const auto repro = parse_repro(original, &err);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << err;
+    EXPECT_TRUE(repro->run.space.is_default()) << name;
+    EXPECT_EQ(serialize_repro(*repro), original) << name;
+  }
 }
 
 TEST(Repro, GenerativeModeRoundTrips) {

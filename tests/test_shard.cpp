@@ -221,6 +221,53 @@ TEST(Wire, RecordRoundTripPreservesEveryField) {
   EXPECT_EQ(b.result.reason, a.result.reason);
 }
 
+TEST(Wire, SpaceLineIsAbsentAtDefaultAndRoundTripsOtherwise) {
+  // The space lane's byte-stability contract on the wire: records from
+  // paper-budget runs — every record ever framed before the lane existed
+  // — carry no space line; a non-default budget rides in a failure block
+  // line and survives serialize/parse/re-serialize bit-identically.
+  fault::OutcomeRecord rec = sample_failure_record();
+  EXPECT_EQ(serialize_record(1, rec).find("space "), std::string::npos);
+
+  rec.detail->run.space.cycle_mult = 2;
+  const std::string text = serialize_record(1, rec);
+  EXPECT_NE(text.find("space K=2 cycle=2 slots=3 b=4 mscale=4\n"),
+            std::string::npos);
+  std::string err;
+  const auto parsed = parse_record(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->second.detail->run.space, rec.detail->run.space);
+  EXPECT_EQ(serialize_record(1, parsed->second), text);
+
+  // Reject, never guess: a mangled budget must not parse as the default.
+  std::string bad = text;
+  const std::size_t at = bad.find("space K=2 cycle=2");
+  bad.replace(at, 17, "space K=2 cycle=x");
+  EXPECT_FALSE(parse_record(bad, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Wire, SkippedSpaceCellsLineRoundTrips) {
+  ShardFile shard;
+  shard.fingerprint = 0xF00;
+  shard.total_runs = 0;
+  shard.max_failures = 8;
+  shard.begin = 0;
+  shard.end = 0;
+  // Absent at zero — the historical-bytes contract...
+  EXPECT_EQ(serialize_shard_file(shard).find("skipped-space-cells"),
+            std::string::npos);
+  // ...present and bit-stable when a space-insensitive cell was skipped.
+  shard.skipped_space_cells = 5;
+  const std::string text = serialize_shard_file(shard);
+  EXPECT_NE(text.find("skipped-space-cells 5\n"), std::string::npos);
+  std::string err;
+  const auto parsed = parse_shard_file(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->skipped_space_cells, 5u);
+  EXPECT_EQ(serialize_shard_file(*parsed), text);
+}
+
 TEST(Wire, MalformedRecordsAreRejectedWithDiagnostics) {
   std::string err;
   EXPECT_FALSE(parse_record("nonsense\n", &err).has_value());

@@ -1,0 +1,123 @@
+// SpaceBudget: the value type every layer threads (docs/SPACE_BUDGETS.md).
+// The load-bearing contracts: parse(to_string()) round-trips exactly, the
+// default budget is the paper's point and serializes to nothing anywhere,
+// and every malformed input is rejected with a diagnostic rather than
+// silently coerced — a bad --space must never run a different sweep than
+// the one the user asked for.
+#include <gtest/gtest.h>
+
+#include "util/space_budget.hpp"
+
+namespace bprc {
+namespace {
+
+TEST(SpaceBudget, DefaultsAreThePapersPoint) {
+  const SpaceBudget s;
+  EXPECT_EQ(s.K, 2);
+  EXPECT_EQ(s.cycle_mult, 3);
+  EXPECT_EQ(s.cycle(), 6);  // 3K
+  EXPECT_EQ(s.slots, 3);    // K + 1
+  EXPECT_EQ(s.full_slots(), 3);
+  EXPECT_EQ(s.b, 4);
+  EXPECT_EQ(s.m_scale, 4);
+  EXPECT_TRUE(s.is_default());
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(SpaceBudget, CanonicalTextRoundTrips) {
+  SpaceBudget s;
+  s.K = 3;
+  s.cycle_mult = 4;
+  s.slots = 5;
+  s.b = 8;
+  s.m_scale = 2;
+  EXPECT_EQ(s.to_string(), "K=3 cycle=4 slots=5 b=8 mscale=2");
+  std::string err;
+  const auto parsed = SpaceBudget::parse(s.to_string(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(*parsed, s);
+  EXPECT_FALSE(parsed->is_default());
+}
+
+TEST(SpaceBudget, DefaultRoundTripsToo) {
+  std::string err;
+  const auto parsed = SpaceBudget::parse(SpaceBudget{}.to_string(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(parsed->is_default());
+}
+
+TEST(SpaceBudget, EmptyTextIsTheDefault) {
+  std::string err;
+  const auto parsed = SpaceBudget::parse("", &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(parsed->is_default());
+}
+
+TEST(SpaceBudget, CommasAndTabsSeparateLikeSpaces) {
+  std::string err;
+  const auto parsed = SpaceBudget::parse("K=3,b=8\tmscale=1", &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->K, 3);
+  EXPECT_EQ(parsed->b, 8);
+  EXPECT_EQ(parsed->m_scale, 1);
+}
+
+TEST(SpaceBudget, BareKRederivesSlots) {
+  // `--space K=3` means "the paper's layout at a bigger K": slots follow
+  // as K+1 unless the user pins them explicitly.
+  std::string err;
+  auto parsed = SpaceBudget::parse("K=3", &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->slots, 4);
+
+  parsed = SpaceBudget::parse("K=3 slots=3", &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->slots, 3);  // pinned short — an under-provisioned value
+  EXPECT_TRUE(parsed->validate());
+}
+
+TEST(SpaceBudget, UnderProvisionedBudgetsAreValidValues) {
+  // The registry's bprc-underprov-* variants declare exactly these; the
+  // type must carry them so the demand latch can catch them downstream.
+  SpaceBudget cycle_short;
+  cycle_short.cycle_mult = 2;
+  EXPECT_TRUE(cycle_short.validate());
+  SpaceBudget slot_short;
+  slot_short.slots = slot_short.K;
+  EXPECT_TRUE(slot_short.validate());
+}
+
+TEST(SpaceBudget, RejectsMalformedInput) {
+  const char* bad[] = {
+      "K",             // no '='
+      "=3",            // empty key
+      "K=",            // empty value
+      "K=two",         // not a number
+      "K=3x",          // trailing junk
+      "K=3 K=4",       // duplicate key
+      "K=3,K=4",       // duplicate across separators
+      "q=3",           // unknown key
+      "K=1",           // validate: K >= 2
+      "cycle=1",       // validate: cycle >= 2
+      "slots=1",       // validate: slots >= 2
+      "slots=256",     // validate: slot index must fit a byte
+      "b=1",           // validate: b >= 2
+      "mscale=0",      // validate: mscale >= 1
+      "K=128 cycle=2"  // validate: 256-cell cycle overflows a uint8_t
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(SpaceBudget::parse(text, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(SpaceBudget, EqualityIsFieldwise) {
+  SpaceBudget a, b;
+  EXPECT_EQ(a, b);
+  b.m_scale = 1;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace bprc

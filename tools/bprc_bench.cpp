@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "fault/native.hpp"
+#include "fault/protocols.hpp"
 #include "perf_harness.hpp"
 
 namespace {
@@ -278,6 +279,83 @@ int run(const Options& opt) {
                      ? ewide.states_per_sec / eserial.states_per_sec
                      : 0.0,
                  static_cast<unsigned long long>(eserial.digest));
+  }
+
+  // Space–time frontier: the full faithful registry swept at several
+  // space budgets (docs/SPACE_BUDGETS.md). Time is mean simulated steps
+  // per run; space — recorded for `bprc` only, the one protocol whose
+  // registers the budget actually bounds — is the budgeted
+  // shared-register bits per process, so the two entries of one
+  // (protocol, budget) pair form a frontier point. The baselines chart
+  // the rest of the region: aspnes-herlihy tracks bprc step-for-step
+  // (same skeleton, unbounded registers — bounding space costs no time),
+  // local-coin/strong-coin ignore every knob but stay on the sweep as
+  // flat controls. Every budget is measured at jobs=1, re-measured at
+  // jobs=max, and pushed through 2 forked workers; all three digests
+  // must match — the same independence contract as the campaign lane,
+  // now along the space axis.
+  {
+    const int n = 3;
+    std::uint64_t trials = opt.smoke ? 24 : 256;
+    if (opt.trials_override != 0) trials = opt.trials_override;
+    const unsigned max_jobs = std::max(2u, bench_jobs());
+    struct BudgetPoint {
+      const char* tag;
+      SpaceBudget space;
+    };
+    std::vector<BudgetPoint> points;
+    points.push_back({"paper", SpaceBudget{}});
+    {
+      SpaceBudget lean;  // smallest coin: fewer counter bits, noisier walk
+      lean.b = 2;
+      lean.m_scale = 1;
+      points.push_back({"lean", lean});
+    }
+    {
+      SpaceBudget mid;  // paper barrier, quarter-size counters
+      mid.m_scale = 1;
+      points.push_back({"mid", mid});
+    }
+    {
+      SpaceBudget wide;  // higher barrier and full-size counters
+      wide.b = 8;
+      points.push_back({"wide", wide});
+    }
+    for (const std::string& protocol : fault::protocol_names(false)) {
+      // The campaign matrix skips (budget-ignoring protocol, non-default
+      // budget) cells rather than re-running identical work under a new
+      // label; honor the same trait here, so the flat controls contribute
+      // exactly one frontier point (the paper budget).
+      const bool sensitive = fault::protocol_spec(protocol).space_sensitive;
+      for (const BudgetPoint& point : points) {
+        if (!sensitive && !point.space.is_default()) continue;
+        std::fprintf(stderr,
+                     "bprc_bench: space frontier %s @ %s n=%d (%llu "
+                     "trials)...\n",
+                     protocol.c_str(), point.space.to_string().c_str(), n,
+                     static_cast<unsigned long long>(trials));
+        const FrontierPerf serial =
+            measure_space_frontier(protocol, point.space, n, trials, 1);
+        const FrontierPerf wide_jobs = measure_space_frontier(
+            protocol, point.space, n, trials, max_jobs);
+        const FrontierPerf forked =
+            measure_space_frontier(protocol, point.space, n, trials, 1, 2);
+        BPRC_REQUIRE(wide_jobs.digest == serial.digest &&
+                         forked.digest == serial.digest,
+                     "frontier digest must not depend on jobs/workers");
+        const std::string name = "space_frontier_" + protocol + "_" + point.tag;
+        add(name, "steps/run@space", serial.mean_steps, "steps", n, trials);
+        if (protocol == "bprc") {
+          add(name, "bits/proc@space",
+              space_bits_per_process(point.space, n), "bits", n, trials);
+        }
+        std::fprintf(stderr,
+                     "  %.0f steps/run (digest %016llx, jobs%u + workers2 "
+                     "identical)\n",
+                     serial.mean_steps,
+                     static_cast<unsigned long long>(serial.digest), max_jobs);
+      }
+    }
   }
 
   // Native-atomics lane: the scan-storm case (real threads, real

@@ -33,6 +33,7 @@
 #include "explore/token_game_explore.hpp"
 #include "fault/protocols.hpp"
 #include "fault/repro.hpp"
+#include "util/space_budget.hpp"
 
 namespace {
 
@@ -56,6 +57,7 @@ struct Options {
   int moves = 3;      // --claim41: moves per process
   unsigned jobs = 1;  // leaf-grading workers; 0 = one per core
   RegisterSemantics semantics = RegisterSemantics::kAtomic;
+  SpaceBudget space;  // default = paper budget
   std::uint64_t depth = 10;
   std::uint64_t coin_flips = 3;
   std::uint64_t max_stale_reads = 3;
@@ -94,6 +96,9 @@ void usage(std::FILE* to) {
                "                     stale reads branched exhaustively per\n"
                "                     execution (default 3; later reads take\n"
                "                     the atomic value)\n"
+               "  --space SPEC       explore at a space budget, e.g. K=3,b=8\n"
+               "                     (keys K cycle slots b mscale; default =\n"
+               "                     paper budget; docs/SPACE_BUDGETS.md)\n"
                "  --budget STEPS     per-execution step budget\n"
                "  --seed S           seed for post-budget coins (default 1)\n"
                "  --moves M          --claim41: moves per process\n"
@@ -159,6 +164,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
                      "(this build knows atomic, regular, safe)\n", v);
         return false;
       }
+    }
+    else if (arg == "--space") {
+      if (!(v = need_value(i))) return false;
+      std::string why;
+      const auto budget = SpaceBudget::parse(v, &why);
+      if (!budget) {
+        std::fprintf(stderr, "bprc_explore: bad --space '%s': %s\n", v,
+                     why.c_str());
+        return false;
+      }
+      opt.space = *budget;
     }
     else if (arg == "--max-stale-reads") { if (!(v = need_value(i))) return false; opt.max_stale_reads = std::strtoull(v, nullptr, 10); }
     else if (arg == "--budget") { if (!(v = need_value(i))) return false; opt.budget = std::strtoull(v, nullptr, 10); }
@@ -332,7 +348,7 @@ ProtocolOutcome explore_one_protocol(const Options& opt,
                                      std::size_t* artifact_index) {
   const ExploreLimits limits = build_limits(opt);
   const auto reports = explore_consensus_all_inputs(
-      name, opt.n, opt.seed, limits, opt.reuse_runtime);
+      name, opt.n, opt.seed, limits, opt.reuse_runtime, opt.space);
   ProtocolOutcome outcome;
   for (const ConsensusExploreReport& report : reports) {
     outcome.violations += report.violations.size();
@@ -410,6 +426,7 @@ int run_single_cell(const Options& opt, const std::string& name) {
   config.protocol = name;
   config.inputs = opt.inputs;
   config.seed = opt.seed;
+  config.space = opt.space;
   config.limits = build_limits(opt);
   config.reuse_runtime = opt.reuse_runtime;
 

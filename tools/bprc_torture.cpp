@@ -58,6 +58,7 @@
 #include "fault/repro.hpp"
 #include "fault/shrink.hpp"
 #include "shard/coordinator.hpp"
+#include "util/space_budget.hpp"
 #include "util/stats.hpp"
 #include "verify/weakmem/recorder.hpp"
 #include "verify/weakmem/sc_checker.hpp"
@@ -82,6 +83,7 @@ struct Options {
   std::vector<std::string> protocols;
   std::vector<std::string> adversaries;
   std::vector<RegisterSemantics> semantics;  // empty = atomic-only matrix
+  std::vector<SpaceBudget> spaces;           // empty = paper-default budget
   std::vector<int> ns;
   std::uint64_t seeds = 0;     // 0 = mode default
   std::uint64_t seed0 = 1;
@@ -114,7 +116,11 @@ void usage(std::FILE* to) {
                "  --inject-bug       pipeline self-test on a seeded bug\n"
                "  --replay FILE      re-run a .bprc-repro artifact\n"
                "  --list             print protocols and adversaries\n"
-               "  --list-protocols   print protocol names, one per line\n"
+               "  --list-protocols   print one protocol per line with its\n"
+               "                     registry traits (crash tolerance, stale-\n"
+               "                     read liveness, safe-read tolerance,\n"
+               "                     space sensitivity, ...); the name stays\n"
+               "                     the first token for scripts\n"
                "  --list-adversaries print adversary names, one per line\n"
                "  --jobs N           worker threads for the sweep (default:\n"
                "                     hardware concurrency; 1 = serial)\n"
@@ -151,6 +157,14 @@ void usage(std::FILE* to) {
                "                     PRNG — resolves reads that race a write,\n"
                "                     and the choices land in the artifact so\n"
                "                     --replay is bit-identical\n"
+               "  --space SPEC       sweep at a space budget, e.g.\n"
+               "                     K=3,b=8 or 'K=2 cycle=2 slots=3'\n"
+               "                     (keys K cycle slots b mscale; cycle is\n"
+               "                     the multiplier, physical cycle = K*mult;\n"
+               "                     repeatable; default = paper budget\n"
+               "                     K=2 cycle=3 slots=3 b=4 mscale=4).\n"
+               "                     Space-insensitive protocols are skipped\n"
+               "                     (and counted) at non-default budgets\n"
                "  --n N              process count (repeatable)\n"
                "  --seeds K          seeds per sweep cell\n"
                "  --seed S           base seed (default 1)\n"
@@ -209,6 +223,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.semantics.push_back(s);
+    }
+    else if (arg == "--space") {
+      if (!(v = need_value(i))) return false;
+      std::string why;
+      const auto budget = SpaceBudget::parse(v, &why);
+      if (!budget) {
+        std::fprintf(stderr, "bprc_torture: bad --space '%s': %s\n", v,
+                     why.c_str());
+        return false;
+      }
+      opt.spaces.push_back(*budget);
     }
     else if (arg == "--adversary") { if (!(v = need_value(i))) return false; opt.adversaries.push_back(v); }
     else if (arg == "--n") { if (!(v = need_value(i))) return false; opt.ns.push_back(std::atoi(v)); }
@@ -321,6 +346,7 @@ CampaignConfig build_config(const Options& opt) {
   }
   if (!opt.ns.empty()) config.ns = opt.ns;
   if (!opt.semantics.empty()) config.semantics = opt.semantics;
+  if (!opt.spaces.empty()) config.spaces = opt.spaces;
   if (opt.seeds != 0) config.seeds_per_cell = opt.seeds;
   if (opt.budget != 0) config.max_steps = opt.budget;
   if (opt.deadline_ms >= 0) {
@@ -523,6 +549,12 @@ int finish_report(const Options& opt, CampaignReport& report, double secs) {
         "torture: %llu safe-semantics cell(s) skipped (protocol invariants "
         "reject safe-register reads; docs/REGISTER_SEMANTICS.md)\n",
         static_cast<unsigned long long>(report.skipped_safe_cells));
+  }
+  if (report.skipped_space_cells != 0) {
+    std::printf(
+        "torture: %llu space cell(s) skipped (protocol layout ignores the "
+        "budget; docs/SPACE_BUDGETS.md)\n",
+        static_cast<unsigned long long>(report.skipped_space_cells));
   }
   // Independence witness: identical at every --jobs level, every
   // --workers count, and across --shard/--merge round trips (CI diffs
@@ -749,10 +781,20 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opt.list_protocols || opt.list_adversaries) {
-    // Machine-readable (one name per line) for scripts and CI matrices.
+    // Machine-readable (one record per line, name first) for scripts and
+    // CI matrices.
     if (opt.list_protocols) {
-      for (const auto& name : protocol_names(/*include_broken=*/true)) {
-        std::printf("%s\n", name.c_str());
+      // The full registry, traits and all — including crashes_process
+      // entries that protocol_names() hides from sweeps. Scripts that
+      // want sweep-safe names filter on the traits they care about.
+      for (const ProtocolSpec& spec : protocol_registry()) {
+        std::printf(
+            "%-22s broken=%d crash_tolerant=%d live_under_stale_reads=%d "
+            "tolerates_safe_reads=%d space_sensitive=%d crashes_process=%d\n",
+            spec.name.c_str(), spec.broken ? 1 : 0, spec.crash_tolerant ? 1 : 0,
+            spec.live_under_stale_reads ? 1 : 0,
+            spec.tolerates_safe_reads ? 1 : 0, spec.space_sensitive ? 1 : 0,
+            spec.crashes_process ? 1 : 0);
       }
     }
     if (opt.list_adversaries) {
